@@ -1,0 +1,119 @@
+"""Experiment A1: optimizer rule ablation.
+
+Shape claims: each rule family contributes on the pipeline it targets;
+every configuration returns the same extension (rewrites are semantics-
+preserving); all-rules ≥ any single family on its own target.
+"""
+
+import pytest
+
+from repro import fql
+from repro.fdm import extensionally_equal
+from repro.optimizer import optimize
+from repro.optimizer.rules import (
+    DEFAULT_RULES,
+    FilterToIndexLookup,
+    FilterToKeyLookup,
+    FuseFilters,
+    FuseGroupAggregate,
+    PushFilterBelowGroupAggregate,
+    PushFilterIntoJoin,
+)
+
+MIN_AGE = 82
+
+
+def _filter_pipeline(db):
+    return fql.filter(
+        fql.filter(db.customers, age__gt=MIN_AGE), state="NY"
+    )
+
+
+def _group_pipeline(db):
+    return fql.filter(
+        fql.aggregate(
+            fql.group(by=["age"], input=db.customers), n=fql.Count()
+        ),
+        age__gt=MIN_AGE,
+    )
+
+
+@pytest.mark.benchmark(group="a1-filter")
+def test_filter_pipeline_no_rules(benchmark, stored_retail):
+    expr = _filter_pipeline(stored_retail)
+    n = benchmark(lambda: expr.count())
+    assert n >= 0
+
+
+@pytest.mark.benchmark(group="a1-filter")
+def test_filter_pipeline_fusion_only(benchmark, stored_retail):
+    expr = optimize(_filter_pipeline(stored_retail), rules=[FuseFilters()])
+    n = benchmark(lambda: expr.count())
+    assert extensionally_equal(expr, _filter_pipeline(stored_retail))
+
+
+@pytest.mark.benchmark(group="a1-filter")
+def test_filter_pipeline_index_rules(benchmark, stored_retail):
+    expr = optimize(
+        _filter_pipeline(stored_retail),
+        rules=[FuseFilters(), FilterToKeyLookup(), FilterToIndexLookup()],
+    )
+    n = benchmark(lambda: expr.count())
+    assert extensionally_equal(expr, _filter_pipeline(stored_retail))
+
+
+@pytest.mark.benchmark(group="a1-filter")
+def test_filter_pipeline_all_rules(benchmark, stored_retail):
+    expr = optimize(_filter_pipeline(stored_retail))
+    n = benchmark(lambda: expr.count())
+    assert extensionally_equal(expr, _filter_pipeline(stored_retail))
+
+
+@pytest.mark.benchmark(group="a1-group")
+def test_group_pipeline_no_rules(benchmark, stored_retail):
+    expr = _group_pipeline(stored_retail)
+    n = benchmark(lambda: expr.count())
+    assert n >= 0
+
+
+@pytest.mark.benchmark(group="a1-group")
+def test_group_pipeline_fusion_only(benchmark, stored_retail):
+    expr = optimize(
+        _group_pipeline(stored_retail), rules=[FuseGroupAggregate()]
+    )
+    n = benchmark(lambda: expr.count())
+    assert extensionally_equal(expr, _group_pipeline(stored_retail))
+
+
+@pytest.mark.benchmark(group="a1-group")
+def test_group_pipeline_pushdown_and_fusion(benchmark, stored_retail):
+    expr = optimize(
+        _group_pipeline(stored_retail),
+        rules=[PushFilterBelowGroupAggregate(), FuseGroupAggregate(),
+               FilterToIndexLookup()],
+    )
+    n = benchmark(lambda: expr.count())
+    assert extensionally_equal(expr, _group_pipeline(stored_retail))
+
+
+@pytest.mark.benchmark(group="a1-join")
+def test_join_pipeline_no_rules(benchmark, fdm_retail):
+    expr = fql.filter(fql.join(fdm_retail), age__gt=MIN_AGE)
+    n = benchmark(lambda: sum(1 for _ in expr.keys()))
+    assert n >= 0
+
+
+@pytest.mark.benchmark(group="a1-join")
+def test_join_pipeline_filter_pushdown(benchmark, fdm_retail):
+    naive = fql.filter(fql.join(fdm_retail), age__gt=MIN_AGE)
+    expr = optimize(naive, rules=[PushFilterIntoJoin()])
+    n = benchmark(lambda: sum(1 for _ in expr.keys()))
+    assert n == sum(1 for _ in naive.keys())
+
+
+@pytest.mark.benchmark(group="a1-join")
+def test_join_pipeline_all_rules(benchmark, fdm_retail):
+    naive = fql.filter(fql.join(fdm_retail), age__gt=MIN_AGE)
+    expr = optimize(naive, rules=DEFAULT_RULES)
+    n = benchmark(lambda: sum(1 for _ in expr.keys()))
+    assert n == sum(1 for _ in naive.keys())

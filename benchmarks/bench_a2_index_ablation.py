@@ -1,0 +1,106 @@
+"""Experiment A2: the alternative-view (index) trade-off, first-class in
+FDM (§2.4).
+
+Shape claims: secondary indexes cost on writes (maintenance per index) and
+pay on reads (index access vs scan) — the classic trade-off, now part of
+the *conceptual* model rather than DBA folklore.
+"""
+
+import itertools
+
+import pytest
+
+import repro
+from repro import fql
+from repro.optimizer import IndexLookupFunction, optimize
+
+_ids = itertools.count(50_000_000)
+N_ROWS = 3000
+
+
+def _db(n_indexes: int):
+    db = repro.FunctionalDatabase(name=f"idx{n_indexes}")
+    db["customers"] = {
+        i: {"name": f"c{i}", "age": 20 + i % 60, "state": f"S{i % 10}",
+            "score": i % 100}
+        for i in range(1, N_ROWS + 1)
+    }
+    attrs = [("age", "sorted"), ("state", "hash"), ("score", "sorted")]
+    for attr, kind in attrs[:n_indexes]:
+        db.create_index("customers", attr, kind=kind)
+    return db
+
+
+@pytest.mark.parametrize("n_indexes", [0, 1, 3])
+@pytest.mark.benchmark(group="a2-writes")
+def test_insert_cost_per_index_count(benchmark, n_indexes):
+    db = _db(n_indexes)
+    customers = db.customers
+
+    def insert():
+        customers[next(_ids)] = {
+            "name": "new", "age": 33, "state": "S3", "score": 50,
+        }
+
+    benchmark(insert)
+    benchmark.extra_info["indexes"] = n_indexes
+
+
+@pytest.mark.parametrize("n_indexes", [0, 1, 3])
+@pytest.mark.benchmark(group="a2-updates")
+def test_update_cost_per_index_count(benchmark, n_indexes):
+    db = _db(n_indexes)
+    customers = db.customers
+    ages = itertools.cycle(range(20, 80))
+
+    def update():
+        customers[500]["age"] = next(ages)
+
+    benchmark(update)
+    benchmark.extra_info["indexes"] = n_indexes
+
+
+@pytest.mark.benchmark(group="a2-reads")
+def test_read_without_index_scans(benchmark):
+    db = _db(0)
+    expr = optimize(fql.filter(db.customers, age__eq=25))
+    assert not isinstance(expr, IndexLookupFunction)  # nothing to use
+    n = benchmark(lambda: expr.count())
+    assert n == len([i for i in range(1, N_ROWS + 1) if 20 + i % 60 == 25])
+
+
+@pytest.mark.benchmark(group="a2-reads")
+def test_read_with_index_seeks(benchmark):
+    db = _db(3)
+    expr = optimize(fql.filter(db.customers, age__eq=25))
+    assert isinstance(expr, IndexLookupFunction)
+    n = benchmark(lambda: expr.count())
+    assert n == len([i for i in range(1, N_ROWS + 1) if 20 + i % 60 == 25])
+
+
+@pytest.mark.benchmark(group="a2-reads")
+def test_range_read_with_sorted_index(benchmark):
+    db = _db(3)
+    expr = optimize(fql.filter(db.customers, score__between=(95, 99)))
+    assert isinstance(expr, IndexLookupFunction)
+    n = benchmark(lambda: expr.count())
+    naive = fql.filter(db.customers, score__between=(95, 99))
+    assert n == naive.count()
+
+
+@pytest.mark.benchmark(group="a2-views")
+def test_alternative_view_is_the_same_idea(benchmark):
+    """§2.4: R2/R3 alternative views == indexes, at the model level."""
+    from repro.fdm import alternative_view, relation
+
+    base = relation(
+        {i: {"age": 20 + i % 60, "name": f"c{i}"} for i in range(1, 501)},
+        name="customers",
+    )
+    by_age = alternative_view(base, "age", unique=False, name="R3")
+
+    def lookup():
+        return by_age(25).count()
+
+    n = benchmark(lookup)
+    assert n == sum(1 for i in range(1, 501) if 20 + i % 60 == 25)

@@ -1,0 +1,99 @@
+"""Experiment F1 (Fig. 1): ERM compiled to FDM vs the relational model.
+
+Shape claims: one ER model compiles to both targets; FDM key lookups are
+direct function application (no scan) while the baseline SQL point query
+scans; shared-domain FK enforcement needs no extra machinery.
+"""
+
+import pytest
+
+from repro import fql
+from repro.erm import compile_to_fdm, compile_to_rm, retail_model
+from repro.errors import ConstraintViolationError
+
+
+def _erm_data(small_retail_data):
+    return {
+        "customers": [
+            {"cid": c["cid"], "name": c["name"], "age": c["age"]}
+            for c in small_retail_data.customers
+        ],
+        "products": [
+            {"pid": p["pid"], "name": p["name"], "category": p["category"]}
+            for p in small_retail_data.products
+        ],
+        "order": {
+            key: {"date": attrs["date"]}
+            for key, attrs in small_retail_data.orders.items()
+        },
+    }
+
+
+@pytest.mark.benchmark(group="fig01-compile")
+def test_compile_erm_to_fdm(benchmark, small_retail_data):
+    data = _erm_data(small_retail_data)
+    db = benchmark(lambda: compile_to_fdm(retail_model(), data))
+    assert set(db.keys()) == {"customers", "products", "order"}
+    # FK enforcement came for free via shared domains (§3)
+    with pytest.raises(ConstraintViolationError):
+        db("order")[(10**9, 1)] = {"date": "2026-01-01"}
+    benchmark.extra_info["orders"] = len(db("order"))
+
+
+@pytest.mark.benchmark(group="fig01-compile")
+def test_compile_erm_to_rm(benchmark, small_retail_data):
+    data = _erm_data(small_retail_data)
+
+    def build():
+        return compile_to_rm(retail_model()).to_sql_database(data)
+
+    sql_db = benchmark(build)
+    assert set(sql_db.tables) == {"customers", "products", "order"}
+    benchmark.extra_info["ddl_lines"] = len(
+        compile_to_rm(retail_model()).ddl().splitlines()
+    )
+
+
+@pytest.mark.benchmark(group="fig01-lookup")
+def test_fdm_point_lookup(benchmark, small_retail_data):
+    db = compile_to_fdm(retail_model(), _erm_data(small_retail_data))
+    customers = db("customers")
+
+    result = benchmark(lambda: customers(150)("name"))
+    assert isinstance(result, str)
+
+
+@pytest.mark.benchmark(group="fig01-lookup")
+def test_sql_point_query(benchmark, small_retail_data):
+    sql_db = compile_to_rm(retail_model()).to_sql_database(
+        _erm_data(small_retail_data)
+    )
+
+    def probe():
+        return sql_db.query(
+            "SELECT name FROM customers WHERE cid = ?", (150,)
+        ).rows[0][0]
+
+    result = benchmark(probe)
+    assert isinstance(result, str)
+
+
+@pytest.mark.benchmark(group="fig01-query")
+def test_same_question_both_worlds(benchmark, small_retail_data):
+    """Both compilations answer the same join question identically."""
+    data = _erm_data(small_retail_data)
+    fdm_db = compile_to_fdm(retail_model(), data)
+    sql_db = compile_to_rm(retail_model()).to_sql_database(data)
+
+    def fdm_side():
+        return len(fql.join(fdm_db))
+
+    n_fdm = benchmark(fdm_side)
+    n_sql = len(
+        sql_db.query(
+            'SELECT * FROM customers '
+            'JOIN "order" ON customers.cid = "order".cid '
+            'JOIN products ON "order".pid = products.pid'
+        )
+    )
+    assert n_fdm == n_sql == len(data["order"])

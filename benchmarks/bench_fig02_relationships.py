@@ -1,0 +1,101 @@
+"""Experiment F2 (Fig. 2): k-ary relationship functions.
+
+Shape claim: checking/navigating a k-ary relationship is one function
+call in FDM, while the relational baseline reconstructs it with a
+(k-1)-way join — the gap grows with k.
+"""
+
+import pytest
+
+from repro.fdm import relation, relationship_predicate
+from repro.relational import SQLDatabase
+
+N_PER_LEG = 60
+N_FACTS = 500
+
+
+def _build(arity: int):
+    legs = {
+        f"leg{i}": relation(
+            {k: {"v": k * (i + 1)} for k in range(1, N_PER_LEG + 1)},
+            name=f"leg{i}",
+            key_name=f"k{i}",
+        )
+        for i in range(arity)
+    }
+    facts = []
+    for n in range(N_FACTS):
+        facts.append(tuple(1 + ((n * (i + 3) + i) % N_PER_LEG)
+                           for i in range(arity)))
+    rf = relationship_predicate(
+        f"rf{arity}",
+        {f"k{i}": legs[f"leg{i}"] for i in range(arity)},
+        asserted=facts,
+    )
+    sql = SQLDatabase()
+    sql.load_dicts(
+        "facts",
+        [{f"k{i}": f[i] for i in range(arity)} for f in facts],
+    )
+    for i in range(arity):
+        sql.load_dicts(
+            f"leg{i}",
+            [{f"k{i}": k, "v": k * (i + 1)}
+             for k in range(1, N_PER_LEG + 1)],
+        )
+    return rf, sql, facts
+
+
+def _sql_probe(sql: SQLDatabase, arity: int, fact: tuple) -> int:
+    joins = " ".join(
+        f"JOIN leg{i} ON facts.k{i} = leg{i}.k{i}" for i in range(arity)
+    )
+    where = " AND ".join(f"facts.k{i} = ?" for i in range(arity))
+    return len(sql.query(
+        f"SELECT * FROM facts {joins} WHERE {where}", fact
+    ))
+
+
+@pytest.mark.parametrize("arity", [2, 3, 4])
+@pytest.mark.benchmark(group="fig02-probe")
+def test_fdm_relationship_probe(benchmark, arity):
+    rf, _sql, facts = _build(arity)
+    fact = facts[N_FACTS // 2]
+
+    result = benchmark(lambda: rf.related(*fact))
+    assert result is True
+    assert rf.related(*tuple(N_PER_LEG + 1 for _ in range(arity))) is False
+
+
+@pytest.mark.parametrize("arity", [2, 3, 4])
+@pytest.mark.benchmark(group="fig02-probe")
+def test_sql_relationship_probe(benchmark, arity):
+    rf, sql, facts = _build(arity)
+    fact = facts[N_FACTS // 2]
+
+    result = benchmark(lambda: _sql_probe(sql, arity, fact))
+    assert result >= 1
+    assert rf.related(*fact)  # both worlds agree
+
+
+@pytest.mark.benchmark(group="fig02-navigate")
+def test_fdm_partners_navigation(benchmark):
+    rf, _sql, facts = _build(2)
+    target = facts[0][0]
+
+    partners = benchmark(lambda: list(rf.partners_of("k0", target)))
+    assert all(p[0] == target for p in partners)
+
+
+@pytest.mark.benchmark(group="fig02-navigate")
+def test_sql_partners_navigation(benchmark):
+    _rf, sql, facts = _build(2)
+    target = facts[0][0]
+
+    def navigate():
+        return len(sql.query(
+            "SELECT k1 FROM facts WHERE k0 = ?", (target,)
+        ))
+
+    n = benchmark(navigate)
+    assert n >= 1

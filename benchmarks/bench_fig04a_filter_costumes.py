@@ -1,0 +1,112 @@
+"""Experiment F4a (Fig. 4a): the six filter costumes.
+
+Shape claims: all six costumes produce extensionally equal results; the
+transparent costumes optimize to index accesses on a stored relation and
+beat the opaque lambda costume; the SQL baseline answers the same rows.
+"""
+
+import pytest
+
+from repro import fql
+from repro.fdm import extensionally_equal
+from repro.optimizer import IndexLookupFunction, optimize
+from repro.predicates.operators import gt
+
+MIN_AGE = 80  # selective: the sorted index should shine
+
+
+def _expected_keys(stored_retail):
+    return {
+        key
+        for key, t in stored_retail.customers.items()
+        if t("age") > MIN_AGE
+    }
+
+
+@pytest.mark.benchmark(group="fig04a-costumes")
+def test_costume_function_syntax(benchmark, stored_retail):
+    expr = fql.filter(
+        lambda prof: prof("age") > MIN_AGE, stored_retail.customers
+    )
+    keys = benchmark(lambda: set(expr.keys()))
+    assert keys == _expected_keys(stored_retail)
+
+
+@pytest.mark.benchmark(group="fig04a-costumes")
+def test_costume_dot_syntax(benchmark, stored_retail):
+    expr = fql.filter(lambda prof: prof.age > MIN_AGE,
+                      stored_retail.customers)
+    keys = benchmark(lambda: set(expr.keys()))
+    assert keys == _expected_keys(stored_retail)
+
+
+@pytest.mark.benchmark(group="fig04a-costumes")
+def test_costume_django(benchmark, stored_retail):
+    expr = fql.filter(stored_retail.customers, age__gt=MIN_AGE)
+    keys = benchmark(lambda: set(expr.keys()))
+    assert keys == _expected_keys(stored_retail)
+
+
+@pytest.mark.benchmark(group="fig04a-costumes")
+def test_costume_broken_up(benchmark, stored_retail):
+    expr = fql.filter(stored_retail.customers, att="age", op=gt, c=MIN_AGE)
+    keys = benchmark(lambda: set(expr.keys()))
+    assert keys == _expected_keys(stored_retail)
+
+
+@pytest.mark.benchmark(group="fig04a-costumes")
+def test_costume_textual_params(benchmark, stored_retail):
+    expr = fql.filter(
+        "age > $min", {"min": MIN_AGE}, stored_retail.customers
+    )
+    keys = benchmark(lambda: set(expr.keys()))
+    assert keys == _expected_keys(stored_retail)
+
+
+@pytest.mark.benchmark(group="fig04a-costumes")
+def test_all_costumes_extensionally_equal(benchmark, stored_retail):
+    variants = [
+        fql.filter(lambda prof: prof("age") > MIN_AGE,
+                   stored_retail.customers),
+        fql.filter(lambda prof: prof.age > MIN_AGE,
+                   stored_retail.customers),
+        fql.filter(stored_retail.customers, age__gt=MIN_AGE),
+        fql.filter(stored_retail.customers, att="age", op=gt, c=MIN_AGE),
+        fql.filter("age > $m", {"m": MIN_AGE}, stored_retail.customers),
+    ]
+
+    def all_equal():
+        head = variants[0]
+        return all(extensionally_equal(head, v) for v in variants[1:])
+
+    assert benchmark(all_equal)
+
+
+@pytest.mark.benchmark(group="fig04a-optimized")
+def test_transparent_costume_optimizes_to_index(benchmark, stored_retail):
+    expr = fql.filter(stored_retail.customers, age__gt=MIN_AGE)
+    optimized = optimize(expr)
+    assert isinstance(optimized, IndexLookupFunction)  # §4.2 payoff
+    keys = benchmark(lambda: set(optimized.keys()))
+    assert keys == _expected_keys(stored_retail)
+
+
+@pytest.mark.benchmark(group="fig04a-optimized")
+def test_opaque_costume_cannot_optimize(benchmark, stored_retail):
+    expr = fql.filter(lambda prof: prof.age > MIN_AGE,
+                      stored_retail.customers)
+    optimized = optimize(expr)
+    assert not isinstance(optimized, IndexLookupFunction)  # fenced
+    keys = benchmark(lambda: set(optimized.keys()))
+    assert keys == _expected_keys(stored_retail)
+
+
+@pytest.mark.benchmark(group="fig04a-optimized")
+def test_sql_baseline_filter(benchmark, sql_retail, stored_retail):
+    def run():
+        return sql_retail.query(
+            "SELECT cid FROM customers WHERE age > ?", (MIN_AGE,)
+        )
+
+    result = benchmark(run)
+    assert {r[0] for r in result} == _expected_keys(stored_retail)

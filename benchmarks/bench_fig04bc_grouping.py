@@ -1,0 +1,108 @@
+"""Experiments F4b/F4c (Figs. 4b & 4c): unrolled vs fused grouping.
+
+Shape claims: the unrolled pipeline (group → aggregate → having) equals
+the fused ``group_and_aggregate`` extensionally; the optimizer turns the
+unrolled form into the one-pass fused physical operator; results match the
+SQL GROUP BY/HAVING baseline.
+"""
+
+import pytest
+
+from repro import fql
+from repro.fdm import extensionally_equal
+from repro.optimizer import FusedGroupAggregateFunction, optimize
+
+
+def _unrolled(db):
+    groups = fql.group(by=["age"], input=db.customers)
+    return fql.aggregate(groups, count=fql.Count())
+
+
+def _fused(db):
+    return fql.group_and_aggregate(
+        by=["age"], count=fql.Count(), input=db.customers
+    )
+
+
+@pytest.mark.benchmark(group="fig04bc")
+def test_unrolled_pipeline(benchmark, fdm_retail):
+    expr = _unrolled(fdm_retail)
+    result = benchmark(lambda: {k: expr(k)("count") for k in expr.keys()})
+    assert sum(result.values()) == len(fdm_retail.customers)
+
+
+@pytest.mark.benchmark(group="fig04bc")
+def test_fused_costume(benchmark, fdm_retail):
+    expr = _fused(fdm_retail)
+    result = benchmark(lambda: {k: expr(k)("count") for k in expr.keys()})
+    assert sum(result.values()) == len(fdm_retail.customers)
+
+
+@pytest.mark.benchmark(group="fig04bc")
+def test_optimizer_fuses_unrolled(benchmark, fdm_retail):
+    expr = _unrolled(fdm_retail)
+    optimized = optimize(expr)
+    assert isinstance(optimized, FusedGroupAggregateFunction)
+    result = benchmark(
+        lambda: {k: t("count") for k, t in optimized.items()}
+    )
+    assert sum(result.values()) == len(fdm_retail.customers)
+
+
+@pytest.mark.benchmark(group="fig04bc")
+def test_unrolled_equals_fused(benchmark, fdm_retail):
+    unrolled = _unrolled(fdm_retail)
+    fused = _fused(fdm_retail)
+    assert benchmark(lambda: extensionally_equal(unrolled, fused))
+
+
+@pytest.mark.benchmark(group="fig04bc")
+def test_sql_group_by_baseline(benchmark, sql_retail, fdm_retail):
+    def run():
+        return sql_retail.query(
+            "SELECT age, count(*) AS n FROM customers GROUP BY age"
+        )
+
+    result = benchmark(run)
+    fused = _fused(fdm_retail)
+    sql_counts = {r[0]: r[1] for r in result}
+    fql_counts = {k: t("count") for k, t in fused.items()}
+    assert sql_counts == fql_counts
+
+
+@pytest.mark.benchmark(group="fig04bc-having")
+def test_having_as_filter(benchmark, fdm_retail):
+    """Fig. 4b's last line: HAVING is just another filter."""
+    aggregates = _fused(fdm_retail)
+    large = fql.filter(lambda g: g.count > 9, aggregates)
+    n = benchmark(lambda: large.count())
+    expected = sum(1 for t in aggregates.tuples() if t("count") > 9)
+    assert n == expected > 0
+
+
+@pytest.mark.benchmark(group="fig04bc-having")
+def test_sql_having(benchmark, sql_retail, fdm_retail):
+    def run():
+        return sql_retail.query(
+            "SELECT age, count(*) AS n FROM customers "
+            "GROUP BY age HAVING count(*) > 9"
+        )
+
+    result = benchmark(run)
+    large = fql.filter(
+        lambda g: g.count > 9, _fused(fdm_retail)
+    )
+    assert len(result) == large.count()
+
+
+@pytest.mark.benchmark(group="fig04bc-first-class")
+def test_groups_are_first_class(benchmark, fdm_retail):
+    """Query one group *before* aggregating — no SQL equivalent."""
+    groups = fql.group(by=["state"], input=fdm_retail.customers)
+
+    def oldest_in_ny():
+        ny = groups("NY")
+        return max(t("age") for t in ny.tuples())
+
+    age = benchmark(oldest_in_ny)
+    assert 18 <= age <= 90

@@ -1,0 +1,124 @@
+"""Experiment F5 (Fig. 5): ResultDB subdatabase vs denormalized SQL join.
+
+Shape claims: the subdatabase result has no duplication — its cell count
+stays near the base data — while the SQL join's denormalized result
+repeats customer/product attributes once per order, so its cell count
+grows multiplicatively and the gap widens with skew (hot customers buying
+hot products multiply repetition).
+"""
+
+import pytest
+
+from repro import fql
+from repro.workloads import generate_retail
+
+
+def _subdb_cells(reduced) -> int:
+    total = 0
+    for name in reduced.keys():
+        rel = reduced(name)
+        for t in rel.tuples():
+            total += 1 + sum(1 for _ in t.keys())  # key + attributes
+    return total
+
+
+def _run_fdm(db):
+    sub = fql.subdatabase(
+        db, relations=["customers", "order", "products"]
+    )
+    return fql.reduce_DB(sub)
+
+
+@pytest.mark.parametrize("skew", [0.0, 0.9])
+@pytest.mark.benchmark(group="fig05-result-shape")
+def test_subdatabase_vs_denormalized(benchmark, skew):
+    data = generate_retail(
+        n_customers=400, n_products=60, n_orders=1200, skew=skew, seed=21
+    )
+    db = data.to_fdm_database()
+    sql = data.to_sql_database()
+
+    reduced = benchmark(lambda: _run_fdm(db))
+
+    flat = sql.query(
+        "SELECT * FROM customers "
+        "JOIN orders ON customers.cid = orders.cid "
+        "JOIN products ON orders.pid = products.pid"
+    )
+    sub_cells = _subdb_cells(reduced)
+    flat_cells = flat.cell_count()
+    benchmark.extra_info["subdb_cells"] = sub_cells
+    benchmark.extra_info["flat_cells"] = flat_cells
+    benchmark.extra_info["blowup"] = round(flat_cells / sub_cells, 2)
+    # the [35] claim: separate streams avoid the duplication blowup
+    assert flat_cells > sub_cells
+    # no tuple appears twice in any stream (keys are unique by model)
+    for name in reduced.keys():
+        keys = list(reduced(name).keys())
+        assert len(keys) == len(set(keys))
+
+
+@pytest.mark.benchmark(group="fig05-reduce")
+def test_reduce_db_semantics(benchmark, fdm_retail):
+    """reduce_DB keeps exactly the contributing tuples."""
+    sub = fql.subdatabase(
+        fdm_retail, relations=["customers", "order", "products"]
+    )
+    reduced = benchmark(lambda: fql.reduce_DB(sub))
+    order_keys = set(fdm_retail("order").keys())
+    surviving_customers = set(reduced("customers").keys())
+    assert surviving_customers == {cid for cid, _pid in order_keys}
+    surviving_products = set(reduced("products").keys())
+    assert surviving_products == {pid for _cid, pid in order_keys}
+
+
+@pytest.mark.benchmark(group="fig05-reduce")
+def test_reduce_matches_join_participation(benchmark, small_fdm_retail):
+    """Semi-join reduction equals the (quadratic) participating-keys
+    reference on this acyclic schema."""
+    from repro.fql.join import JoinPlan
+
+    sub = fql.subdatabase(
+        small_fdm_retail, relations=["customers", "order", "products"]
+    )
+
+    def both_ways():
+        reduced = fql.reduce_DB(sub)
+        reference = JoinPlan.from_database(sub).participating_keys()
+        return reduced, reference
+
+    reduced, reference = benchmark(both_ways)
+    for name, keys in reference.items():
+        assert set(reduced(name).keys()) == keys
+
+
+@pytest.mark.benchmark(group="fig05-reduce")
+def test_sql_denormalized_join_baseline(benchmark, sql_retail):
+    result = benchmark(
+        lambda: sql_retail.query(
+            "SELECT * FROM customers "
+            "JOIN orders ON customers.cid = orders.cid "
+            "JOIN products ON orders.pid = products.pid"
+        )
+    )
+    assert len(result) > 0
+
+
+@pytest.mark.benchmark(group="fig05-streams")
+def test_separate_streams(benchmark, fdm_retail):
+    """Results flow as one stream per relation (§4.2 / [35])."""
+    from repro.resultdb import stream_database
+
+    reduced = fql.reduce_DB(
+        fql.subdatabase(
+            fdm_retail, relations=["customers", "order", "products"]
+        )
+    )
+
+    def drain():
+        streams = stream_database(reduced)
+        return {name: sum(1 for _ in s) for name, s in streams.items()}
+
+    counts = benchmark(drain)
+    assert set(counts) == {"customers", "order", "products"}
+    assert all(n > 0 for n in counts.values())

@@ -1,0 +1,97 @@
+"""Experiment F6 (Fig. 6): n-ary join into one denormalized relation
+function.
+
+Shape claims: schema-driven (relationship-derived) join == explicit-on
+join == SQL baseline cardinality; the optimizer's join order costs no more
+than the worst order; point lookups into the join result decompose into
+direct function applications.
+"""
+
+import pytest
+
+from repro import fql
+from repro.optimizer import optimize
+
+
+@pytest.mark.benchmark(group="fig06-join")
+def test_fql_schema_driven_join(benchmark, fdm_retail):
+    expr = fql.join(fdm_retail)
+    n = benchmark(lambda: sum(1 for _ in expr.keys()))
+    assert n == len(fdm_retail("order"))
+
+
+@pytest.mark.benchmark(group="fig06-join")
+def test_fql_explicit_on_join(benchmark, fdm_retail):
+    expr = fql.join(
+        fdm_retail,
+        on=[["customers.cid", "order.cid"], ["order.pid", "products.pid"]],
+    )
+    n = benchmark(lambda: sum(1 for _ in expr.keys()))
+    assert n == len(fdm_retail("order"))
+
+
+@pytest.mark.benchmark(group="fig06-join")
+def test_fql_optimized_join(benchmark, fdm_retail):
+    expr = optimize(fql.join(fdm_retail))
+    n = benchmark(lambda: sum(1 for _ in expr.keys()))
+    assert n == len(fdm_retail("order"))
+
+
+@pytest.mark.benchmark(group="fig06-join")
+def test_sql_three_way_join(benchmark, sql_retail, fdm_retail):
+    def run():
+        return sql_retail.query(
+            "SELECT * FROM customers "
+            "JOIN orders ON customers.cid = orders.cid "
+            "JOIN products ON orders.pid = products.pid"
+        )
+
+    result = benchmark(run)
+    assert len(result) == len(fdm_retail("order"))
+
+
+@pytest.mark.benchmark(group="fig06-order")
+def test_chosen_vs_worst_join_order(benchmark, fdm_retail):
+    from repro.fql.join import JoinedRelationFunction, JoinPlan
+    from repro.optimizer.joinorder import (
+        choose_order,
+        estimate_sequence_cost,
+        worst_order,
+    )
+
+    plan = JoinPlan.from_database(fdm_retail)
+    best = choose_order(plan)
+    worst = worst_order(plan)
+    assert estimate_sequence_cost(plan, best) <= estimate_sequence_cost(
+        plan, worst
+    )
+
+    best_plan = JoinPlan(dict(plan.atoms), list(plan.edges), order_hint=best)
+    expr = JoinedRelationFunction(fdm_retail, best_plan)
+    n = benchmark(lambda: sum(1 for _ in expr.keys()))
+    assert n == len(fdm_retail("order"))
+
+
+@pytest.mark.benchmark(group="fig06-order")
+def test_worst_join_order_still_correct(benchmark, fdm_retail):
+    from repro.fql.join import JoinedRelationFunction, JoinPlan
+    from repro.optimizer.joinorder import worst_order
+
+    plan = JoinPlan.from_database(fdm_retail)
+    worst_plan = JoinPlan(
+        dict(plan.atoms), list(plan.edges),
+        order_hint=worst_order(plan),
+    )
+    expr = JoinedRelationFunction(fdm_retail, worst_plan)
+    n = benchmark(lambda: sum(1 for _ in expr.keys()))
+    assert n == len(fdm_retail("order"))
+
+
+@pytest.mark.benchmark(group="fig06-lookup")
+def test_point_lookup_into_join_result(benchmark, fdm_retail):
+    expr = fql.join(fdm_retail)
+    key = next(iter(expr.keys()))
+
+    t = benchmark(lambda: expr(key))
+    assert t.defined_at("date")
+    assert expr.defined_at(key)

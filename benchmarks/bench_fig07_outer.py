@@ -1,0 +1,108 @@
+"""Experiment F7 (Fig. 7): outer marking vs NULL-padded outer joins.
+
+Shape claims: ``.inner``/``.outer`` partition each marked relation exactly
+(disjoint, complete); FQL results contain zero NULLs by construction; the
+SQL LEFT/FULL OUTER baseline pads with NULLs, and the padding grows with
+the unmatched fraction.
+"""
+
+import pytest
+
+from repro import fql
+from repro.workloads import generate_retail
+
+
+@pytest.mark.benchmark(group="fig07-marking")
+def test_outer_marking(benchmark, fdm_retail):
+    def mark():
+        sub = fql.subdatabase(fdm_retail, outer=["products", "customers"])
+        return (
+            set(sub.products.inner.keys()),
+            set(sub.products.outer.keys()),
+            set(sub.customers.outer.keys()),
+        )
+
+    sold, unsold, never_bought = benchmark(mark)
+    all_products = set(fdm_retail.products.keys())
+    assert sold | unsold == all_products
+    assert sold & unsold == set()
+    ordered_pids = {pid for _cid, pid in fdm_retail("order").keys()}
+    assert sold == ordered_pids
+    ordered_cids = {cid for cid, _pid in fdm_retail("order").keys()}
+    assert never_bought == set(fdm_retail.customers.keys()) - ordered_cids
+    benchmark.extra_info["unsold"] = len(unsold)
+    benchmark.extra_info["never_bought"] = len(never_bought)
+
+
+@pytest.mark.benchmark(group="fig07-marking")
+def test_no_nulls_in_fql_partitions(benchmark, fdm_retail):
+    sub = fql.subdatabase(fdm_retail, outer="products")
+
+    def count_nulls():
+        nulls = 0
+        for part in (sub.products.inner, sub.products.outer):
+            for t in part.tuples():
+                for attr in t.keys():
+                    if t(attr) is None:
+                        nulls += 1
+        return nulls
+
+    assert benchmark(count_nulls) == 0
+
+
+@pytest.mark.benchmark(group="fig07-marking")
+def test_sql_left_outer_baseline(benchmark, sql_retail, fdm_retail):
+    def run():
+        return sql_retail.query(
+            "SELECT * FROM products "
+            "LEFT JOIN orders ON products.pid = orders.pid"
+        )
+
+    result = benchmark(run)
+    nulls = result.null_count()
+    sub = fql.subdatabase(fdm_retail, outer="products")
+    unsold = len(sub.products.outer)
+    # each unsold product is one NULL-padded row (order side: 4 columns)
+    assert nulls == unsold * 4
+    benchmark.extra_info["null_cells"] = nulls
+
+
+@pytest.mark.benchmark(group="fig07-sweep")
+@pytest.mark.parametrize("coverage", [0.9, 0.5, 0.2])
+def test_null_padding_grows_with_unmatched(benchmark, coverage):
+    data = generate_retail(
+        n_customers=300, n_products=100, n_orders=500,
+        seed=5, order_coverage=coverage,
+    )
+    db = data.to_fdm_database()
+    sql = data.to_sql_database()
+
+    def both():
+        sub = fql.subdatabase(db, outer="products")
+        outer_n = len(sub.products.outer)
+        padded = sql.query(
+            "SELECT * FROM products "
+            "LEFT JOIN orders ON products.pid = orders.pid"
+        )
+        return outer_n, padded.null_count()
+
+    outer_n, nulls = benchmark(both)
+    assert nulls == outer_n * 4
+    # lower coverage → more unmatched products
+    assert outer_n >= int((1 - coverage) * 100) - 5
+    benchmark.extra_info["outer_tuples"] = outer_n
+    benchmark.extra_info["sql_null_cells"] = nulls
+
+
+@pytest.mark.benchmark(group="fig07-nary")
+def test_nary_marking_no_left_right(benchmark, fdm_retail):
+    """'left'/'right' make no sense here: mark any set of relations in an
+    n-ary join."""
+    def mark_all():
+        sub = fql.subdatabase(
+            fdm_retail, outer=["customers", "products"]
+        )
+        return len(sub.customers.outer) + len(sub.products.outer)
+
+    total = benchmark(mark_all)
+    assert total > 0

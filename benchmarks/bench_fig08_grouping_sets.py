@@ -1,0 +1,134 @@
+"""Experiment F8 (Fig. 8): grouping sets as separate relations vs SQL's
+NULL-filled single relation.
+
+Shape claims: each grouping lives in its own NULL-free relation function,
+separately addressable by name; the SQL GROUPING SETS result mixes all
+groupings into one relation where a growing fraction of cells is NULL
+filler, disambiguated only by grouping_id.
+"""
+
+import pytest
+
+from repro import fql
+from repro.relational.nulls import is_null
+
+
+def _gset(db):
+    return fql.group_and_aggregate(
+        [
+            dict(by=["state"], name="by_state"),
+            dict(by=["age"], name="by_age"),
+            dict(by=[], name="grand_total"),
+        ],
+        count=fql.Count(),
+        input=db.customers,
+    )
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fql_grouping_sets(benchmark, fdm_retail):
+    gset = _gset(fdm_retail)
+
+    def evaluate():
+        return {name: len(gset(name)) for name in gset.keys()}
+
+    sizes = benchmark(evaluate)
+    assert set(sizes) == {"by_state", "by_age", "grand_total"}
+    assert sizes["grand_total"] == 1
+    assert sizes["by_age"] >= 1 and sizes["by_state"] >= 1
+    # zero NULLs anywhere, by construction
+    for name in gset.keys():
+        for t in gset(name).tuples():
+            assert all(t(a) is not None for a in t.keys())
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_sql_grouping_sets(benchmark, sql_retail, fdm_retail):
+    def run():
+        return sql_retail.query(
+            "SELECT state, age, count(*) AS n FROM customers "
+            "GROUP BY GROUPING SETS ((state), (age), ())"
+        )
+
+    result = benchmark(run)
+    gset = _gset(fdm_retail)
+    expected_rows = sum(len(gset(name)) for name in gset.keys())
+    assert len(result) == expected_rows  # same information...
+    null_cells = result.null_count()
+    assert null_cells > 0  # ...but padded with NULL filler
+    # every row NULL-pads the grouping column(s) not in its set
+    assert null_cells == len(result) + 1  # 1 per row, 2 for grand total
+    null_fraction = null_cells / result.cell_count()
+    benchmark.extra_info["null_fraction"] = round(null_fraction, 3)
+    assert null_fraction > 0.1
+    assert "grouping_id" in result.columns  # needed to disambiguate
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_semantics_match_per_grouping(benchmark, sql_retail, fdm_retail):
+    """Row-for-row agreement between gset relations and the SQL slices."""
+    gset = _gset(fdm_retail)
+    result = sql_retail.query(
+        "SELECT state, age, count(*) AS n FROM customers "
+        "GROUP BY GROUPING SETS ((state), (age), ())"
+    )
+    state_i = result.column_index("state")
+    age_i = result.column_index("age")
+    n_i = result.column_index("n")
+    gid_i = result.column_index("grouping_id")
+
+    def compare():
+        by_state = {
+            row[state_i]: row[n_i]
+            for row in result.rows
+            if row[gid_i] == 2  # age not grouped
+        }
+        fql_by_state = {
+            k: t("count") for k, t in gset("by_state").items()
+        }
+        return by_state == fql_by_state
+
+    assert benchmark(compare)
+    # grand total agrees too
+    totals = [r[n_i] for r in result.rows if r[gid_i] == 3]
+    assert totals == [gset("grand_total")(())("count")]
+
+
+@pytest.mark.benchmark(group="fig08-rollup")
+def test_fql_rollup(benchmark, fdm_retail):
+    specs = fql.rollup(["state", "age"])
+
+    def run():
+        gset = fql.group_and_aggregate(
+            specs, count=fql.Count(), input=fdm_retail.customers
+        )
+        return {name: len(gset(name)) for name in gset.keys()}
+
+    sizes = benchmark(run)
+    assert len(sizes) == 3  # (state,age), (state), ()
+
+
+@pytest.mark.benchmark(group="fig08-rollup")
+def test_sql_rollup(benchmark, sql_retail):
+    def run():
+        return sql_retail.query(
+            "SELECT state, age, count(*) AS n FROM customers "
+            "GROUP BY ROLLUP(state, age)"
+        )
+
+    result = benchmark(run)
+    assert result.null_count() > 0
+
+
+@pytest.mark.benchmark(group="fig08-cube")
+def test_fql_cube_no_nulls(benchmark, fdm_retail):
+    specs = fql.cube(["state", "age"])
+
+    def run():
+        gset = fql.group_and_aggregate(
+            specs, count=fql.Count(), input=fdm_retail.customers
+        )
+        return sum(len(gset(name)) for name in gset.keys())
+
+    total = benchmark(run)
+    assert total > 0

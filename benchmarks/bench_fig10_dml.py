@@ -1,0 +1,142 @@
+"""Experiment F10 (Fig. 10): DML costumes on the stored database.
+
+Shape claims: all five costumes work against MVCC storage; statement-mode
+changes are immediately visible (no save()); write-through-views works
+(contribution 7); throughput is within a constant factor of the SQL
+baseline DML.
+"""
+
+import itertools
+
+import pytest
+
+import repro
+from repro import fql
+from repro.relational import SQLDatabase
+
+_ids = itertools.count(10_000_000)
+
+
+@pytest.fixture
+def dml_db():
+    db = repro.FunctionalDatabase(name="dml-bench")
+    db["customers"] = {
+        i: {"name": f"c{i}", "age": 20 + i % 60} for i in range(1, 2001)
+    }
+    return db
+
+
+@pytest.fixture
+def dml_sql():
+    db = SQLDatabase()
+    db.load_dicts(
+        "customers",
+        [{"cid": i, "name": f"c{i}", "age": 20 + i % 60}
+         for i in range(1, 2001)],
+    )
+    return db
+
+
+@pytest.mark.benchmark(group="fig10-insert")
+def test_fql_insert(benchmark, dml_db):
+    customers = dml_db.customers
+
+    def insert():
+        customers[next(_ids)] = {"name": "Tom", "age": 42}
+
+    benchmark(insert)
+    assert customers(next(_ids) - 1)("name") == "Tom"
+
+
+@pytest.mark.benchmark(group="fig10-insert")
+def test_fql_auto_id_add(benchmark, dml_db):
+    customers = dml_db.customers
+    benchmark(lambda: customers.add({"name": "Stephen", "age": 28}))
+
+
+@pytest.mark.benchmark(group="fig10-insert")
+def test_sql_insert(benchmark, dml_sql):
+    def insert():
+        dml_sql.execute(
+            "INSERT INTO customers (cid, name, age) VALUES (?, 'Tom', 42)",
+            (next(_ids),),
+        )
+
+    benchmark(insert)
+
+
+@pytest.mark.benchmark(group="fig10-update")
+def test_fql_attr_update(benchmark, dml_db):
+    customers = dml_db.customers
+
+    def update():
+        customers[500]["age"] = 50
+
+    benchmark(update)
+    assert customers(500)("age") == 50
+
+
+@pytest.mark.benchmark(group="fig10-update")
+def test_fql_row_update(benchmark, dml_db):
+    customers = dml_db.customers
+    benchmark(lambda: customers.__setitem__(
+        500, {"name": "Tom", "age": 49}
+    ))
+    assert customers(500)("age") == 49
+
+
+@pytest.mark.benchmark(group="fig10-update")
+def test_sql_update(benchmark, dml_sql):
+    benchmark(lambda: dml_sql.execute(
+        "UPDATE customers SET age = 50 WHERE cid = 500"
+    ))
+
+
+@pytest.mark.benchmark(group="fig10-delete")
+def test_fql_delete(benchmark, dml_db):
+    customers = dml_db.customers
+    keys = iter(range(1, 2001))
+
+    def delete():
+        key = next(keys, None)
+        if key is not None and customers.defined_at(key):
+            del customers[key]
+
+    benchmark(delete)
+
+
+@pytest.mark.benchmark(group="fig10-delete")
+def test_sql_delete(benchmark, dml_sql):
+    keys = iter(range(1, 2001))
+
+    def delete():
+        key = next(keys, None)
+        if key is not None:
+            dml_sql.execute("DELETE FROM customers WHERE cid = ?", (key,))
+
+    benchmark(delete)
+
+
+@pytest.mark.benchmark(group="fig10-views")
+def test_write_through_view(benchmark, dml_db):
+    """Contribution 7: updates through a filtered view hit the base."""
+    older = fql.filter(dml_db.customers, age__gt=40)
+    key = next(iter(older.keys()))
+
+    def write_through():
+        older(key)["age"] = 77
+
+    benchmark(write_through)
+    assert dml_db.customers(key)("age") == 77
+
+
+@pytest.mark.benchmark(group="fig10-views")
+def test_statement_visibility(benchmark, dml_db):
+    """Fig. 10's note: no save(); each statement commits immediately."""
+    customers = dml_db.customers
+
+    def mutate_and_read():
+        customers[777] = {"name": "x", "age": 1}
+        return dml_db("customers")(777)("age")
+
+    assert benchmark(mutate_and_read) == 1

@@ -1,0 +1,140 @@
+"""Experiment F11 (Fig. 11): snapshot transactions on the bank workload.
+
+Shape claims: money is conserved under any committed interleaving; abort
+rate grows with contention (first-committer-wins); readers never block and
+keep their snapshots; transaction throughput is storage-bound, not
+blocked by concurrent readers.
+"""
+
+import pytest
+
+import repro
+from repro.errors import TransactionConflictError
+from repro.workloads import generate_banking
+
+
+def _bank(data):
+    db = repro.FunctionalDatabase(name="bank-bench")
+    db["accounts"] = dict(data.accounts)
+    return db
+
+
+@pytest.mark.benchmark(group="fig11-throughput")
+def test_transfer_throughput(benchmark, banking_data):
+    db = _bank(banking_data)
+    accounts = db.accounts
+    transfers = iter(banking_data.transfers * 50)
+
+    def transfer():
+        t = next(transfers)
+        with db.transaction():
+            accounts[t.src]["balance"] -= t.amount
+            accounts[t.dst]["balance"] += t.amount
+
+    benchmark(transfer)
+    total = sum(tp("balance") for tp in accounts.tuples())
+    assert total == banking_data.total_balance  # conservation
+
+
+@pytest.mark.benchmark(group="fig11-throughput")
+def test_statement_mode_transfer(benchmark, banking_data):
+    """The same transfer without an explicit transaction: two statement
+    snapshots (Fig. 10 footnote) — faster, but not atomic."""
+    db = _bank(banking_data)
+    accounts = db.accounts
+    transfers = iter(banking_data.transfers * 50)
+
+    def transfer():
+        t = next(transfers)
+        accounts[t.src]["balance"] -= t.amount
+        accounts[t.dst]["balance"] += t.amount
+
+    benchmark(transfer)
+
+
+@pytest.mark.benchmark(group="fig11-contention")
+@pytest.mark.parametrize("hot_fraction", [0.0, 0.5, 0.95])
+def test_abort_rate_grows_with_contention(benchmark, hot_fraction):
+    data = generate_banking(
+        n_accounts=200, n_transfers=300, hot_fraction=hot_fraction,
+        hot_set_size=2, seed=13,
+    )
+    db = _bank(data)
+    accounts = db.accounts
+
+    def interleaved_run():
+        commits = aborts = 0
+        transfers = list(data.transfers)
+        # drive pairs of transactions concurrently (deterministic
+        # interleaving through pause/resume)
+        for i in range(0, len(transfers) - 1, 2):
+            a, b = transfers[i], transfers[i + 1]
+            t1 = db.begin()
+            accounts[a.src]["balance"] -= a.amount
+            accounts[a.dst]["balance"] += a.amount
+            t1.pause()
+            t2 = db.begin()
+            accounts[b.src]["balance"] -= b.amount
+            accounts[b.dst]["balance"] += b.amount
+            t2.pause()
+            for txn in (t1, t2):
+                txn.resume()
+                try:
+                    txn.commit()
+                    commits += 1
+                except TransactionConflictError:
+                    aborts += 1
+        return commits, aborts
+
+    commits, aborts = benchmark.pedantic(
+        interleaved_run, rounds=1, iterations=1
+    )
+    total = sum(t("balance") for t in accounts.tuples())
+    assert total == data.total_balance  # aborted txns left no trace
+    rate = aborts / (commits + aborts)
+    benchmark.extra_info["abort_rate"] = round(rate, 3)
+    if hot_fraction == 0.0:
+        assert rate < 0.15
+    if hot_fraction >= 0.95:
+        assert rate > 0.3  # contention drives first-committer-wins aborts
+
+
+@pytest.mark.benchmark(group="fig11-readers")
+def test_reader_never_blocks(benchmark, banking_data):
+    db = _bank(banking_data)
+    accounts = db.accounts
+    # a long-running writer holds buffered changes...
+    writer = db.begin()
+    accounts[1]["balance"] = 0
+    writer.pause()
+
+    def read_everything():
+        return sum(t("balance") for t in accounts.tuples())
+
+    total = benchmark(read_everything)
+    assert total == banking_data.total_balance  # snapshot, no dirty read
+    writer.resume()
+    writer.rollback()
+
+
+@pytest.mark.benchmark(group="fig11-readers")
+def test_snapshot_stability_under_churn(benchmark, banking_data):
+    db = _bank(banking_data)
+    accounts = db.accounts
+    reader = db.begin()
+    baseline = sum(t("balance") for t in accounts.tuples())
+    reader.pause()
+    for i in range(20):
+        with db.transaction():
+            accounts[1 + i % 50]["balance"] += 1
+
+    def stable_read():
+        reader.resume()
+        total = sum(t("balance") for t in accounts.tuples())
+        reader.pause()
+        return total
+
+    total = benchmark(stable_read)
+    assert total == baseline  # the old snapshot is still intact
+    reader.resume()
+    reader.commit()

@@ -1,0 +1,85 @@
+"""Experiment S1 (§4.2): the joint PL/DB optimization space.
+
+Shape claims: a fully transparent pipeline is delegated to the engine and,
+optimized, runs via index access — much faster than the PL-side evaluation
+forced by an opaque lambda; mixed pipelines split exactly at the opaque
+frontier.
+"""
+
+import pytest
+
+from repro import fql
+from repro.optimizer import optimize, split
+
+MIN_AGE = 82  # selective predicate
+
+
+@pytest.mark.benchmark(group="s1-pushdown")
+def test_transparent_pipeline_optimized(benchmark, stored_retail):
+    expr = fql.limit(
+        fql.order_by(
+            fql.filter(stored_retail.customers, age__gt=MIN_AGE), "age"
+        ),
+        10,
+    )
+    report = split(expr)
+    assert report.fully_pushed  # everything delegates to the engine
+    optimized = optimize(expr)
+
+    result = benchmark(lambda: [t("age") for t in optimized.tuples()])
+    assert all(age > MIN_AGE for age in result)
+    benchmark.extra_info["engine_fraction"] = report.engine_fraction
+
+
+@pytest.mark.benchmark(group="s1-pushdown")
+def test_opaque_pipeline_stays_in_pl(benchmark, stored_retail):
+    expr = fql.limit(
+        fql.order_by(
+            fql.filter(lambda t: t.age > MIN_AGE, stored_retail.customers),
+            "age",
+        ),
+        10,
+    )
+    report = split(expr)
+    assert not report.fully_pushed
+    assert report.blockers  # the lambda is named as the fence
+    optimized = optimize(expr)  # rules cannot reach through it
+
+    result = benchmark(lambda: [t("age") for t in optimized.tuples()])
+    assert all(age > MIN_AGE for age in result)
+    benchmark.extra_info["engine_fraction"] = report.engine_fraction
+
+
+@pytest.mark.benchmark(group="s1-pushdown")
+def test_mixed_pipeline_splits_at_frontier(benchmark, stored_retail):
+    """Engine-side filter below, opaque transform above: the split puts
+    exactly the opaque part (and what's above it) in the PL."""
+    engine_part = fql.filter(stored_retail.customers, age__gt=MIN_AGE)
+    pl_part = fql.map_tuples(
+        engine_part, lambda t: {"label": f"{t('name')}/{t('age')}"}
+    )
+    report = split(pl_part)
+    assert not report.fully_pushed
+    assert any("filter" in op for op in report.engine_ops)
+    assert any("map" in op for op in report.pl_ops)
+
+    optimized = optimize(pl_part)
+    result = benchmark(lambda: sum(1 for _ in optimized.keys()))
+    assert result == len(engine_part)
+
+
+@pytest.mark.benchmark(group="s1-join-pipeline")
+def test_transparent_filter_join_pipeline(benchmark, fdm_retail):
+    expr = optimize(fql.filter(fql.join(fdm_retail), age__gt=MIN_AGE))
+    n = benchmark(lambda: sum(1 for _ in expr.keys()))
+    naive = fql.filter(fql.join(fdm_retail), age__gt=MIN_AGE)
+    assert n == sum(1 for _ in naive.keys())
+
+
+@pytest.mark.benchmark(group="s1-join-pipeline")
+def test_opaque_filter_join_pipeline(benchmark, fdm_retail):
+    expr = optimize(
+        fql.filter(lambda t: t.age > MIN_AGE, fql.join(fdm_retail))
+    )
+    n = benchmark(lambda: sum(1 for _ in expr.keys()))
+    assert n >= 0

@@ -1,0 +1,115 @@
+"""Experiment S3 (contribution 3): stored and computed data are
+indistinguishable.
+
+Shape claims: one FQL pipeline runs unchanged over a stored relation and
+its computed twin with identical results at the sampled points; filtering
+a continuous data space constrains it symbolically (point lookups work, no
+enumeration happens); computed attributes added by extend() are filterable
+like stored ones.
+"""
+
+import pytest
+
+from repro import fql
+from repro.errors import NotEnumerableError
+from repro.workloads import (
+    computed_sensor_relation,
+    sampled_sensor_relation,
+)
+
+THRESHOLD = 21.5
+PROBES = [0.0, 600.0, 1234.5, 2400.0, 3599.0]
+
+
+@pytest.fixture(scope="module")
+def sensor():
+    return computed_sensor_relation(0, 3600)
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return sampled_sensor_relation(0, 3600, step=2.0)
+
+
+@pytest.mark.benchmark(group="s3-pipeline")
+def test_pipeline_over_stored_twin(benchmark, samples):
+    hot = fql.filter(samples, temperature__gt=THRESHOLD)
+    n = benchmark(lambda: hot.count())
+    assert 0 < n < len(samples)
+
+
+@pytest.mark.benchmark(group="s3-pipeline")
+def test_pipeline_over_computed_space(benchmark, sensor, samples):
+    hot = fql.filter(sensor, temperature__gt=THRESHOLD)
+
+    def probe_all():
+        return [hot.defined_at(t) for t in PROBES]
+
+    verdicts = benchmark(probe_all)
+    # identical answers at the shared points
+    hot_stored = fql.filter(samples, temperature__gt=THRESHOLD)
+    for t, verdict in zip(PROBES, verdicts):
+        if samples.defined_at(t):
+            assert verdict == hot_stored.defined_at(t)
+    # the filtered data space is still a data space
+    with pytest.raises(NotEnumerableError):
+        list(hot.keys())
+
+
+@pytest.mark.benchmark(group="s3-pipeline")
+def test_point_lookup_computed(benchmark, sensor):
+    t = benchmark(lambda: sensor(1234.5678)("temperature"))
+    assert isinstance(t, float)
+
+
+@pytest.mark.benchmark(group="s3-pipeline")
+def test_point_lookup_stored(benchmark, samples):
+    t = benchmark(lambda: samples(1234.0)("temperature"))
+    assert isinstance(t, float)
+
+
+@pytest.mark.benchmark(group="s3-extend")
+def test_filter_on_computed_attribute(benchmark, stored_retail):
+    """extend() attributes behave exactly like stored ones downstream."""
+    enriched = fql.extend(stored_retail.customers, double_age="age * 2")
+    old = fql.filter(enriched, double_age__gt=160)
+
+    n = benchmark(lambda: old.count())
+    direct = fql.filter(stored_retail.customers, age__gt=80)
+    assert n == direct.count()
+
+
+@pytest.mark.benchmark(group="s3-extend")
+def test_aggregate_over_computed_attribute(benchmark, stored_retail):
+    enriched = fql.extend(stored_retail.customers, decade="age / 10")
+
+    def run():
+        return fql.group_and_aggregate(
+            by=["state"], avg_decade=fql.Avg("decade"), input=enriched
+        )
+
+    result = benchmark(run)
+    for state in result.keys():
+        assert result(state)("avg_decade") > 0
+
+
+@pytest.mark.benchmark(group="s3-r4")
+def test_r4_fallback_lookup(benchmark):
+    """The paper's R4: computed results for keys never inserted."""
+    from repro.fdm import ComputedRelationFunction, FallbackFunction, relation
+
+    stored = relation(
+        {1: {"name": "Alice", "foo": 12}, 3: {"name": "Bob", "foo": 25}},
+        name="R1",
+    )
+    lam = ComputedRelationFunction(
+        lambda bar: {"name": f"rnd-{bar}", "foo": 42 * bar},
+        domain=int, name="λ",
+    )
+    r4 = FallbackFunction(stored, lam, name="R4")
+
+    def lookups():
+        return (r4(10)("foo"), r4(3)("foo"))
+
+    computed, stored_value = benchmark(lookups)
+    assert computed == 420 and stored_value == 25

@@ -1,0 +1,69 @@
+"""Shared fixtures for the benchmark harness.
+
+Every experiment row in DESIGN.md §3 has one module here. Benchmarks use
+pytest-benchmark (``pytest benchmarks/ --benchmark-only``); each test also
+asserts the *shape* claims (result equality, NULL counts, who-wins
+relations) so a passing run certifies semantics, not just timings.
+Measured numbers are recorded in ``benchmark.extra_info`` and summarized
+in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import generate_banking, generate_retail
+
+RETAIL_SCALE = dict(
+    n_customers=2000, n_products=200, n_orders=4000, skew=0.5, seed=42,
+    order_coverage=0.8,
+)
+SMALL_SCALE = dict(
+    n_customers=300, n_products=50, n_orders=600, skew=0.3, seed=42,
+    order_coverage=0.8,
+)
+
+
+@pytest.fixture(scope="session")
+def retail_data():
+    return generate_retail(**RETAIL_SCALE)
+
+
+@pytest.fixture(scope="session")
+def small_retail_data():
+    return generate_retail(**SMALL_SCALE)
+
+
+@pytest.fixture(scope="session")
+def fdm_retail(retail_data):
+    return retail_data.to_fdm_database()
+
+
+@pytest.fixture(scope="session")
+def sql_retail(retail_data):
+    return retail_data.to_sql_database()
+
+
+@pytest.fixture(scope="session")
+def stored_retail(retail_data):
+    db = retail_data.to_stored_database(name="bench-retail")
+    db.create_index("customers", "age", kind="sorted")
+    db.create_index("customers", "state", kind="hash")
+    return db
+
+
+@pytest.fixture(scope="session")
+def small_fdm_retail(small_retail_data):
+    return small_retail_data.to_fdm_database()
+
+
+@pytest.fixture(scope="session")
+def small_sql_retail(small_retail_data):
+    return small_retail_data.to_sql_database()
+
+
+@pytest.fixture(scope="session")
+def banking_data():
+    return generate_banking(
+        n_accounts=500, n_transfers=600, initial_balance=1000, seed=7
+    )

@@ -1,0 +1,84 @@
+"""Fig. 1 live: one ER model, two compilation targets.
+
+Run:  python examples/erm_to_fdm.py
+
+Builds the paper's retail ER model, compiles it to FDM (relation functions
+plus a relationship function with shared-domain foreign keys) and to the
+relational model (junction table plus FK columns), then answers the same
+question in both worlds.
+"""
+
+from repro import fql
+from repro.erm import ERModel, Attribute, MANY, compile_to_fdm, compile_to_rm
+
+
+def main() -> None:
+    model = ERModel("retail")
+    model.entity(
+        "customers",
+        [Attribute("cid", int), Attribute("name", str),
+         Attribute("age", int)],
+        key="cid",
+    )
+    model.entity(
+        "products",
+        [Attribute("pid", int), Attribute("name", str),
+         Attribute("category", str)],
+        key="pid",
+    )
+    model.relationship(
+        "order",
+        {"cid": ("customers", MANY), "pid": ("products", MANY)},
+        [Attribute("date", str)],
+    )
+    model.validate()
+    print("ER model:", model)
+
+    data = {
+        "customers": [
+            {"cid": 1, "name": "Alice", "age": 47},
+            {"cid": 2, "name": "Bob", "age": 25},
+            {"cid": 3, "name": "Carol", "age": 62},
+        ],
+        "products": [
+            {"pid": 10, "name": "laptop", "category": "tech"},
+            {"pid": 11, "name": "desk", "category": "furniture"},
+        ],
+        "order": {
+            (1, 10): {"date": "2026-01-05"},
+            (3, 10): {"date": "2026-01-09"},
+            (2, 11): {"date": "2026-02-01"},
+        },
+    }
+
+    # ---- target 1: FDM ----------------------------------------------------------
+    fdm_db = compile_to_fdm(model, data)
+    print("\nFDM rendering: order(cid, pid) is a relationship function")
+    print("  order((1, 10))('date') =", fdm_db("order")((1, 10))("date"))
+    print("  FK for free: inserting order((99, 10)) ->", end=" ")
+    try:
+        fdm_db("order")[(99, 10)] = {"date": "2026-03-01"}
+    except Exception as exc:
+        print(type(exc).__name__)
+
+    laptop_buyers = fql.join(
+        fql.subdatabase(fdm_db, relations=["customers", "order"])
+    )
+    print("  laptop buyers via join:",
+          sorted(t("name") for t in laptop_buyers.tuples()
+                 if t("pid") == 10))
+
+    # ---- target 2: the classic relational mapping --------------------------------
+    schema = compile_to_rm(model)
+    print("\nRelational rendering (the hand-translation FDM skips):")
+    print(schema.ddl())
+    sql_db = schema.to_sql_database(data)
+    result = sql_db.query(
+        'SELECT name FROM customers '
+        'JOIN "order" ON customers.cid = "order".cid WHERE pid = 10'
+    )
+    print("  laptop buyers via SQL:", sorted(r[0] for r in result))
+
+
+if __name__ == "__main__":
+    main()

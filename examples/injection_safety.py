@@ -1,0 +1,66 @@
+"""Paper contribution 10: SQL injection impossible *by design*.
+
+Run:  python examples/injection_safety.py
+
+A defensive demonstration against this repo's own toy SQL engine: naive
+string-concatenated SQL leaks the whole table; prepared statements fix it
+as an afterthought; FQL's parameterized predicates cannot be broken this
+way at all, because parameters bind to finished syntax trees and the
+predicate grammar has no statement separators or comments to hijack.
+"""
+
+from repro import fql
+from repro.errors import PredicateSyntaxError, RelationalError
+from repro.workloads import generate_retail
+
+PAYLOADS = [
+    "' OR '1'='1",
+    "x' OR 1=1 --",
+    "nobody'; DROP TABLE customers; --",
+    "' UNION SELECT state FROM customers --",
+]
+
+
+def main() -> None:
+    data = generate_retail(n_customers=30, n_products=5, n_orders=20, seed=9)
+    sql = data.to_sql_database()
+    db = data.to_stored_database(name="shop")
+
+    print("=== the vulnerable pattern: string concatenation ===")
+    for payload in PAYLOADS:
+        query = (
+            "SELECT name FROM customers WHERE name = '" + payload + "'"
+        )
+        try:
+            leaked = sql.query(query)
+            print(f"  payload {payload!r:45} -> {len(leaked)} rows leaked")
+        except RelationalError as exc:
+            print(f"  payload {payload!r:45} -> engine error "
+                  f"({type(exc).__name__})")
+
+    print("\n=== SQL's afterthought fix: prepared statements ===")
+    for payload in PAYLOADS:
+        result = sql.query(
+            "SELECT name FROM customers WHERE name = ?", (payload,)
+        )
+        print(f"  payload {payload!r:45} -> {len(result)} rows")
+
+    print("\n=== FQL: parameters bind to syntax trees; nothing to inject ===")
+    for payload in PAYLOADS:
+        matched = fql.filter("name == $n", {"n": payload}, db.customers)
+        print(f"  payload {payload!r:45} -> {matched.count()} rows "
+              "(compared as a value)")
+
+    print("\n=== and payloads cannot even *parse* as structure ===")
+    for payload in PAYLOADS:
+        try:
+            fql.filter("name == " + payload, db.customers)
+            print(f"  concatenated {payload!r:40} -> PARSED (!!)")
+        except PredicateSyntaxError:
+            print(f"  concatenated {payload!r:42} -> PredicateSyntaxError")
+    print("\n(The correct FQL spelling is the $param form; concatenation "
+          "is both unnecessary and rejected.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Quickstart: the FDM/FQL tour in one script.
+
+Run:  python examples/quickstart.py
+
+Covers: connecting, creating stored relations, the six filter costumes
+(Fig. 4a), grouping (Figs. 4b/4c), joins (Fig. 6), DML without save()
+(Fig. 10), and a transaction (Fig. 11).
+"""
+
+import repro
+from repro import fql
+from repro.predicates.operators import gt
+
+
+def main() -> None:
+    # -- a database function is the root object (paper §2.5) -----------------
+    db = repro.connect(name="shop")
+    db["customers"] = {
+        1: {"name": "Alice", "age": 47, "state": "NY"},
+        2: {"name": "Bob", "age": 25, "state": "CA"},
+        3: {"name": "Carol", "age": 62, "state": "NY"},
+    }
+    db["products"] = {
+        10: {"name": "laptop", "price": 1200},
+        11: {"name": "lamp", "price": 40},
+    }
+    db.add_relationship(
+        "order",
+        {"cid": "customers", "pid": "products"},
+        {(1, 10): {"date": "2026-01-05"}, (3, 11): {"date": "2026-02-14"}},
+    )
+
+    # -- calling functions IS querying (paper §2.3/§2.4) ----------------------
+    customers = db.customers           # DB('customers') works too
+    print("customers(1)('name') =", customers(1)("name"))
+    print("dot syntax:", customers[1].age)
+
+    # -- Fig. 4a: six costumes, one filter ------------------------------------
+    v1 = fql.filter(lambda prof: prof("age") > 42, customers)
+    v2 = fql.filter(lambda prof: prof.age > 42, customers)
+    v3 = fql.filter(customers, age__gt=42)
+    v4 = fql.filter(customers, att="age", op=gt, c=42)
+    v5 = fql.filter("age>$foo", {"foo": 42}, customers)
+    v6 = fql.filter("age > 42", input=customers)
+    assert all(set(v.keys()) == {1, 3} for v in (v1, v2, v3, v4, v5, v6))
+    print("older than 42:", sorted(t("name") for t in v3.tuples()))
+
+    # -- Figs. 4b/4c: groups are first-class databases ------------------------
+    groups = fql.group(by=["state"], input=customers)
+    print("states:", sorted(groups.keys()))
+    per_state = fql.aggregate(groups, n=fql.Count(), oldest=fql.Max("age"))
+    for state in per_state.keys():
+        t = per_state(state)
+        print(f"  {state}: n={t('n')} oldest={t('oldest')}")
+
+    # -- Fig. 6: join along the schema's relationship functions ---------------
+    joined = fql.join(db)
+    for key, t in joined.items():
+        print("order:", key, "->", t("name"), "bought", t("products_name")
+              if t.defined_at("products_name") else t("name"))
+
+    # -- Fig. 10: DML costumes; no save() -------------------------------------
+    customers[4] = {"name": "Dave", "age": 33, "state": "TX"}
+    customers.add({"name": "Eve", "age": 29, "state": "NY"})
+    customers[4]["age"] = 34
+    del customers[4]
+    print("after DML:", sorted(customers.keys()))
+
+    # -- Fig. 11: snapshot transaction -----------------------------------------
+    db["accounts"] = {42: {"balance": 1000}, 84: {"balance": 500}}
+    repro.begin()
+    db.accounts[42]["balance"] -= 100
+    db.accounts[84]["balance"] += 100
+    repro.commit()
+    print("balances:", db.accounts(42)("balance"), db.accounts(84)("balance"))
+
+    # -- views: dynamic vs materialized (§4.4) ----------------------------------
+    db["ny_view"] = fql.filter(customers, state="NY")
+    db["ny_frozen"] = fql.copy(fql.filter(customers, state="NY"))
+    customers.add({"name": "Frank", "age": 51, "state": "NY"})
+    print("dynamic view size:", len(db.ny_view),
+          "| materialized size:", len(db.ny_frozen))
+
+
+if __name__ == "__main__":
+    main()

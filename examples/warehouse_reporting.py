@@ -1,0 +1,84 @@
+"""Warehouse reporting: pivot, materialized views with maintenance, and
+catalog-guarded publishing — the extension operators (contribution 8 and
+conclusion item 3) working together on one stored database.
+
+Run:  python examples/warehouse_reporting.py
+"""
+
+import repro
+from repro import fql
+from repro._util import format_table
+from repro.catalog import Catalog, CheckConstraint, UniqueConstraint
+from repro.types import INT, STR, Schema
+from repro.workloads import generate_retail
+
+
+def main() -> None:
+    data = generate_retail(
+        n_customers=300, n_products=60, n_orders=700, skew=0.4, seed=23
+    )
+    db = data.to_stored_database(name="warehouse")
+
+    # ---- declare intent once; validate and index from the declaration -------
+    catalog = Catalog("warehouse")
+    catalog.declare(
+        "customers",
+        schema=Schema({"name": STR, "age": INT, "state": STR}),
+        key_name="cid",
+    ).constrain(UniqueConstraint("name")).constrain(
+        CheckConstraint("age >= 18", name="adults-only")
+    ).index("age", "sorted").index("state", "hash")
+    created = catalog.apply_indexes(db)
+    print(f"catalog: {created} indexes created; "
+          f"database valid: {catalog.is_valid(db)}")
+
+    # ---- pivot: data values become the attribute domain (footnote 2) ---------
+    joined = fql.join(db)
+    revenue = fql.pivot(
+        joined, row="state", column="category", value="price",
+        agg=fql.Sum("price"),
+    )
+    columns = sorted(revenue.column_values())[:4]
+    rows = []
+    for state in sorted(revenue.keys()):
+        t = revenue(state)
+        rows.append([state] + [t.get(c, "—") for c in columns])
+    print("\nrevenue pivot (state × category):")
+    print(format_table(rows, headers=["state"] + columns))
+
+    # absent cells are *undefined*, not NULL — ask before you touch:
+    some_state = next(iter(revenue.keys()))
+    missing = [c for c in revenue.column_values()
+               if not revenue(some_state).defined_at(c)]
+    print(f"  {some_state} has no sales in {len(missing)} categories "
+          "(undefined, not NULL)")
+
+    # ---- a materialized report with maintenance ------------------------------
+    report_expr = fql.top(
+        fql.group_and_aggregate(
+            by=["state"], n=fql.Count(), input=db.customers
+        ),
+        5, by="n",
+    )
+    report = fql.materialized_view(report_expr, name="top_states")
+    print("\nmaterialized top-states report:",
+          [(t("state"), t("n")) for t in report.tuples()])
+
+    # base data moves on; the snapshot is stable, staleness is observable
+    for i in range(40):
+        db.customers.add({"name": f"migrant-{i}", "age": 30, "state": "NV"})
+    print("after 40 inserts: stale?", report.is_stale())
+    touched = report.refresh()
+    print(f"refreshed ({touched} mappings touched):",
+          [(t("state"), t("n")) for t in report.tuples()])
+
+    # ---- publish only if the catalog still holds ------------------------------
+    db.customers.add({"name": "too-young", "age": 12, "state": "NV"})
+    violations = list(catalog.violations(db))
+    print("\npublish gate:", "BLOCKED" if violations else "ok")
+    for v in violations[:2]:
+        print("  -", v)
+
+
+if __name__ == "__main__":
+    main()

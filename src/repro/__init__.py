@@ -1,0 +1,77 @@
+"""fdmfql — the Functional Data Model and Functional Query Language.
+
+A complete implementation of Dittrich, *"A Functional Data Model and Query
+Language is All You Need"* (EDBT 2026): the FDM function hierarchy, the FQL
+operator algebra with all figure costumes, an MVCC storage engine with
+snapshot-isolated transactions, an injection-safe predicate language, a
+joint PL/DB optimizer, an ER-model front end, and a relational/SQL baseline
+for comparison.
+
+Quickstart::
+
+    import repro as fql
+
+    db = fql.connect()
+    db['customers'] = {1: {'name': 'Alice', 'age': 47},
+                       2: {'name': 'Bob', 'age': 25}}
+    older = fql.filter(db.customers, "age > $min", {'min': 42})
+    assert older(1)('name') == 'Alice'
+
+    fql.begin()
+    db.customers[2]['age'] = 26
+    fql.commit()
+"""
+
+from repro.fdm import *  # noqa: F401,F403 - the data model is the core API
+from repro.fdm import __all__ as _fdm_all
+from repro.fql import *  # noqa: F401,F403 - the operator algebra
+from repro.fql import __all__ as _fql_all
+from repro.database import FunctionalDatabase, connect
+from repro.txn import (
+    Transaction,
+    TransactionManager,
+    begin,
+    commit,
+    get_default_database,
+    rollback,
+    set_default_database,
+    transaction,
+)
+
+# submodules re-exported for qualified use: repro.fql.filter(...), etc.
+from repro import errors, fdm, fql, predicates  # noqa: F401
+from repro import catalog, erm, optimizer, relational, resultdb  # noqa: F401
+from repro import storage, txn, types, workloads  # noqa: F401
+
+__version__ = "1.0.0"
+
+__all__ = (
+    list(_fdm_all)
+    + list(_fql_all)
+    + [
+        "FunctionalDatabase",
+        "connect",
+        "Transaction",
+        "TransactionManager",
+        "begin",
+        "commit",
+        "get_default_database",
+        "rollback",
+        "set_default_database",
+        "transaction",
+        "errors",
+        "fdm",
+        "fql",
+        "predicates",
+        "catalog",
+        "erm",
+        "optimizer",
+        "relational",
+        "resultdb",
+        "storage",
+        "txn",
+        "types",
+        "workloads",
+        "__version__",
+    ]
+)

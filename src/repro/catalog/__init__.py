@@ -1,0 +1,27 @@
+"""Catalog: declared schemas, keys, and integrity constraints.
+
+Paper contribution 4: "FDM includes features of key, integrity
+constraints, and indexing as part of its conceptual definition already
+rather than an afterthought". The pieces live where the model puts them —
+keys are function inputs, uniqueness is function-ness (alternative views),
+FKs are shared domains — and the catalog is the bookkeeping that lets an
+application *declare* them once and validate databases against the
+declaration.
+"""
+
+from repro.catalog.catalog import Catalog, RelationDecl
+from repro.catalog.constraints import (
+    CheckConstraint,
+    Constraint,
+    ForeignKeyDecl,
+    UniqueConstraint,
+)
+
+__all__ = [
+    "Catalog",
+    "RelationDecl",
+    "CheckConstraint",
+    "Constraint",
+    "ForeignKeyDecl",
+    "UniqueConstraint",
+]

@@ -1,0 +1,120 @@
+"""The catalog: per-relation declarations and whole-database validation."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import CatalogError, ConstraintViolationError
+from repro.catalog.constraints import Constraint
+from repro.fdm.functions import FDMFunction
+from repro.types.schema import Schema
+
+__all__ = ["RelationDecl", "Catalog"]
+
+
+class RelationDecl:
+    """Everything declared about one relation: schema, key label,
+    constraints, and suggested indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema | None = None,
+        key_name: str | tuple[str, ...] | None = None,
+    ):
+        self.name = name
+        self.schema = schema
+        self.key_name = key_name
+        self.constraints: list[Constraint] = []
+        #: (attr, kind) pairs the physical layer should index
+        self.indexes: list[tuple[str, str]] = []
+
+    def constrain(self, constraint: Constraint) -> "RelationDecl":
+        self.constraints.append(constraint)
+        return self
+
+    def index(self, attr: str, kind: str = "hash") -> "RelationDecl":
+        self.indexes.append((attr, kind))
+        return self
+
+    def violations(self, fn: FDMFunction) -> Iterator[str]:
+        if self.schema is not None:
+            for key, t in fn.items():
+                try:
+                    self.schema.check_tuple(t, where=f"{self.name}[{key!r}]")
+                except Exception as exc:
+                    yield str(exc)
+        for constraint in self.constraints:
+            yield from constraint.violations(fn)
+
+    def __repr__(self) -> str:
+        return (
+            f"<RelationDecl {self.name!r}: "
+            f"{len(self.constraints)} constraints, "
+            f"{len(self.indexes)} indexes>"
+        )
+
+
+class Catalog:
+    """Declarations for a whole database, with validation and apply."""
+
+    def __init__(self, name: str = "catalog"):
+        self.name = name
+        self._decls: dict[str, RelationDecl] = {}
+
+    def declare(
+        self,
+        relation: str,
+        schema: Schema | None = None,
+        key_name: str | tuple[str, ...] | None = None,
+    ) -> RelationDecl:
+        if relation in self._decls:
+            raise CatalogError(f"{relation!r} is already declared")
+        decl = RelationDecl(relation, schema=schema, key_name=key_name)
+        self._decls[relation] = decl
+        return decl
+
+    def decl(self, relation: str) -> RelationDecl:
+        try:
+            return self._decls[relation]
+        except KeyError:
+            raise CatalogError(f"{relation!r} is not declared") from None
+
+    def relations(self) -> list[str]:
+        return list(self._decls)
+
+    # -- validation ----------------------------------------------------------------
+
+    def violations(self, db: FDMFunction) -> Iterator[str]:
+        """All violations of all declarations against *db*."""
+        for name, decl in self._decls.items():
+            if not db.defined_at(name):
+                yield f"declared relation {name!r} is missing from {db.name!r}"
+                continue
+            yield from decl.violations(db(name))
+
+    def validate(self, db: FDMFunction) -> None:
+        """Raise on the first violation."""
+        for violation in self.violations(db):
+            raise ConstraintViolationError(violation)
+
+    def is_valid(self, db: FDMFunction) -> bool:
+        return next(self.violations(db), None) is None
+
+    # -- physical application -----------------------------------------------------------
+
+    def apply_indexes(self, db: Any) -> int:
+        """Create the declared indexes on a stored database; returns the
+        number created (skips relations that are not stored tables)."""
+        created = 0
+        for name, decl in self._decls.items():
+            for attr, kind in decl.indexes:
+                try:
+                    db.create_index(name, attr, kind=kind)
+                    created += 1
+                except Exception:
+                    continue
+        return created
+
+    def __repr__(self) -> str:
+        return f"<Catalog {self.name!r}: {sorted(self._decls)}>"

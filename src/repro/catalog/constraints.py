@@ -1,0 +1,142 @@
+"""Integrity constraints over FDM functions.
+
+Each constraint knows how to check one relation (or relationship) and
+report violations as precise, human-readable strings. Constraints never
+mutate anything — enforcement points decide whether to raise.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from repro.errors import ConstraintViolationError, UndefinedInputError
+from repro.fdm.functions import FDMFunction
+from repro.predicates.ast import Predicate, as_predicate
+
+__all__ = [
+    "Constraint",
+    "UniqueConstraint",
+    "CheckConstraint",
+    "ForeignKeyDecl",
+]
+
+
+class Constraint:
+    """Base class: check a function, yield violation descriptions."""
+
+    def violations(self, fn: FDMFunction) -> Iterator[str]:
+        raise NotImplementedError
+
+    def check(self, fn: FDMFunction) -> None:
+        """Raise on the first violation."""
+        for violation in self.violations(fn):
+            raise ConstraintViolationError(violation)
+
+    def holds(self, fn: FDMFunction) -> bool:
+        return next(self.violations(fn), None) is None
+
+
+class UniqueConstraint(Constraint):
+    """No two tuples may share a value on *attrs* (§2.4: Definition 1
+    provides this for the key position; this declares it for others —
+    i.e., it asserts that a unique alternative view exists)."""
+
+    def __init__(self, attrs: str | Iterable[str]):
+        self.attrs: tuple[str, ...] = (
+            (attrs,) if isinstance(attrs, str) else tuple(attrs)
+        )
+        if not self.attrs:
+            raise ConstraintViolationError(
+                "a unique constraint needs at least one attribute"
+            )
+
+    def violations(self, fn: FDMFunction) -> Iterator[str]:
+        seen: dict[Any, Any] = {}
+        for key, t in fn.items():
+            try:
+                value = tuple(t(a) for a in self.attrs)
+            except UndefinedInputError:
+                continue  # undefined attrs carry no uniqueness obligation
+            value = value[0] if len(value) == 1 else value
+            try:
+                hash(value)
+            except TypeError:
+                value = repr(value)
+            if value in seen:
+                yield (
+                    f"unique({','.join(self.attrs)}) violated on "
+                    f"{fn.name!r}: keys {seen[value]!r} and {key!r} both "
+                    f"map to {value!r}"
+                )
+            else:
+                seen[value] = key
+
+    def __repr__(self) -> str:
+        return f"UNIQUE({', '.join(self.attrs)})"
+
+
+class CheckConstraint(Constraint):
+    """Every tuple must satisfy a (transparent or opaque) predicate."""
+
+    def __init__(self, predicate: Any, name: str | None = None):
+        self.predicate: Predicate = as_predicate(predicate)
+        self.name = name or f"check[{self.predicate.to_source()}]"
+
+    def violations(self, fn: FDMFunction) -> Iterator[str]:
+        for key, t in fn.items():
+            if not self.predicate(t, key=key):
+                yield (
+                    f"{self.name} violated on {fn.name!r}[{key!r}]: "
+                    f"{self.predicate.to_source()}"
+                )
+
+    def __repr__(self) -> str:
+        return f"CHECK({self.predicate.to_source()})"
+
+
+class ForeignKeyDecl(Constraint):
+    """Values of *attr* (or the key position) must be inputs of a target
+    function — the declared form of §3's shared-domain relationship.
+
+    ``attr=None`` constrains the *keys* of the checked function (useful for
+    alternative views); an integer constrains one component of composite
+    keys.
+    """
+
+    def __init__(self, target: FDMFunction, attr: str | int | None = None):
+        self.target = target
+        self.attr = attr
+
+    def _values(self, fn: FDMFunction) -> Iterator[tuple[Any, Any]]:
+        if self.attr is None:
+            for key in fn.keys():
+                yield key, key
+        elif isinstance(self.attr, int):
+            for key in fn.keys():
+                components = key if isinstance(key, tuple) else (key,)
+                try:
+                    yield key, components[self.attr]
+                except IndexError:
+                    yield key, None
+        else:
+            for key, t in fn.items():
+                try:
+                    yield key, t(self.attr)
+                except UndefinedInputError:
+                    continue
+
+    def violations(self, fn: FDMFunction) -> Iterator[str]:
+        for key, value in self._values(fn):
+            if not self.target.defined_at(value):
+                label = (
+                    "key" if self.attr is None else f"attr {self.attr!r}"
+                )
+                yield (
+                    f"foreign key violated on {fn.name!r}[{key!r}]: "
+                    f"{label} value {value!r} is not in the domain of "
+                    f"{self.target.name!r}"
+                )
+
+    def __repr__(self) -> str:
+        position = "key" if self.attr is None else repr(self.attr)
+        return f"FK({position} → {self.target.name})"

@@ -1,0 +1,316 @@
+"""The stored database function: a DBMS behind a function call.
+
+:func:`connect` returns a :class:`FunctionalDatabase` — a database function
+(paper §2.5) whose relation-valued mappings are backed by the MVCC storage
+engine and the snapshot-isolation transaction manager. Everything from the
+figures works on it:
+
+* ``db['customers'] = {1: {...}, ...}`` creates a stored table (Fig. 10),
+* ``db['view'] = fql_expr`` registers a **dynamic view** — the lazy derived
+  function itself (§4.4),
+* ``db['mv'] = fql.copy(expr)`` stores a **materialized** snapshot, because
+  ``copy`` returns material functions (§4.4's distinction falls out of the
+  value's own nature),
+* ``db.begin() / db.commit()`` or ``with db.transaction(): ...`` for
+  Fig. 11, with bare ``repro.begin()/commit()`` costumes against the
+  default database in :mod:`repro.txn.context`,
+* ``db.create_index('customers', 'age', kind='sorted')`` materializes the
+  alternative-view machinery of §2.4 at the storage level.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro._util import normalize_key
+from repro.errors import SchemaError, UnknownRelationError
+from repro.fdm.databases import DatabaseFunction
+from repro.fdm.domains import Domain, DiscreteDomain
+from repro.fdm.functions import DerivedFunction, FDMFunction
+from repro.fdm.relations import MaterialRelationFunction
+from repro.fdm.relationships import RelationshipFunction
+from repro.fdm.tuples import TupleFunction
+from repro.storage.engine import StorageEngine
+from repro.storage.persist import load_checkpoint, save_checkpoint
+from repro.storage.relation import (
+    StoredRelationFunction,
+    StoredRelationshipFunction,
+)
+from repro.txn.manager import Transaction, TransactionManager
+
+__all__ = ["FunctionalDatabase", "connect"]
+
+
+class FunctionalDatabase(DatabaseFunction):
+    """A database function over an MVCC engine plus dynamic views."""
+
+    def __init__(self, name: str = "DB", wal_path: str | None = None):
+        super().__init__(name=name)
+        self._engine = StorageEngine(name=name, wal_path=wal_path)
+        self._manager = TransactionManager(self._engine)
+        self._stored: dict[str, FDMFunction] = {}
+        self._views: dict[str, FDMFunction] = {}
+
+    # -- engine access ---------------------------------------------------------------
+
+    @property
+    def engine(self) -> StorageEngine:
+        return self._engine
+
+    @property
+    def manager(self) -> TransactionManager:
+        return self._manager
+
+    # -- database function interface ----------------------------------------------------
+
+    @property
+    def domain(self) -> Domain:
+        return DiscreteDomain(list(self._stored) + list(self._views))
+
+    def _apply(self, key: Any) -> Any:
+        if key in self._stored:
+            return self._stored[key]
+        if key in self._views:
+            return self._views[key]
+        raise UnknownRelationError(key, self._name)
+
+    def defined_at(self, *args: Any) -> bool:
+        return len(args) == 1 and (
+            args[0] in self._stored or args[0] in self._views
+        )
+
+    def keys(self) -> Iterator[str]:
+        yield from self._stored
+        for name in self._views:
+            if name not in self._stored:
+                yield name
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    # -- assignment: tables, dynamic views, materialized views -----------------------------
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        if not isinstance(key, str):
+            raise SchemaError(
+                f"database function inputs are relation names, got {key!r}"
+            )
+        if isinstance(value, Mapping) and not isinstance(value, FDMFunction):
+            self._store_rows(key, value.items(), key_name=None)
+            return
+        if isinstance(value, RelationshipFunction):
+            self._store_relationship(key, value)
+            return
+        if isinstance(value, MaterialRelationFunction):
+            # materialized content (e.g. the result of fql.copy) → stored
+            self._store_rows(
+                key, value.items(), key_name=value.key_name
+            )
+            return
+        if isinstance(value, StoredRelationFunction):
+            # re-binding an existing stored relation under a new name:
+            # alias the view object
+            self._drop_name(key)
+            self._stored[key] = value
+            return
+        if isinstance(value, (DerivedFunction, FDMFunction)):
+            # a lazy FQL expression (or tuple/λ function): dynamic view
+            self._drop_name(key)
+            self._views[key] = value
+            return
+        raise SchemaError(
+            f"cannot store {value!r} in database {self._name!r}"
+        )
+
+    def _drop_name(self, name: str) -> None:
+        if name in self._stored:
+            self._engine.drop_table(
+                self._stored[name].table_name
+                if isinstance(self._stored[name], StoredRelationFunction)
+                else name
+            )
+            del self._stored[name]
+        self._views.pop(name, None)
+
+    def _store_rows(
+        self,
+        name: str,
+        items: Any,
+        key_name: str | tuple[str, ...] | None,
+    ) -> None:
+        self._drop_name(name)
+        self._engine.create_table(name, key_name=key_name)
+        stored = StoredRelationFunction(
+            self._engine, self._manager, name, name=name
+        )
+        with self._manager.autocommit() as txn:
+            for key, row in items:
+                if isinstance(row, FDMFunction):
+                    if row.kind == "tuple" and row.is_enumerable:
+                        row = dict(row.items())
+                txn.write(name, normalize_key(key), _coerce_stored(row))
+        self._stored[name] = stored
+
+    def _store_relationship(
+        self, name: str, value: RelationshipFunction
+    ) -> None:
+        self._drop_name(name)
+        # participants that reference relations of *this* database re-point
+        # to the stored views so the shared-domain checks stay live
+        participants = []
+        for part in value.participants:
+            target = part.target
+            if isinstance(target, FDMFunction):
+                for stored_name, stored in self._stored.items():
+                    if target is stored or (
+                        hasattr(target, "fn_name")
+                        and target.fn_name == stored_name
+                    ):
+                        target = stored
+                        break
+            participants.append((part.param, target))
+        self._engine.create_table(name, key_name=value.param_names())
+        stored = StoredRelationshipFunction(
+            self._engine,
+            self._manager,
+            name,
+            participants,
+            name=name,
+            enforce=value._enforce,
+        )
+        with self._manager.autocommit() as txn:
+            for key, row in value._rows.items():
+                txn.write(name, key, _coerce_stored(row))
+        self._stored[name] = stored
+
+    def __delitem__(self, key: Any) -> None:
+        if key not in self._stored and key not in self._views:
+            raise UnknownRelationError(key, self._name)
+        self._drop_name(key)
+
+    # -- relationships & indexes -----------------------------------------------------------
+
+    def add_relationship(
+        self,
+        name: str,
+        participants: Mapping[str, Any],
+        mappings: Mapping[Any, Any] | None = None,
+        enforce: bool = True,
+    ) -> StoredRelationshipFunction:
+        """Create a stored relationship function among existing relations.
+
+        Participant targets may be relation names (resolved against this
+        database), FDM functions, or domains.
+        """
+        resolved = []
+        for param, target in participants.items():
+            if isinstance(target, str):
+                target = self(target)
+            resolved.append((param, target))
+        self._drop_name(name)
+        self._engine.create_table(
+            name, key_name=tuple(p for p, _t in resolved)
+        )
+        stored = StoredRelationshipFunction(
+            self._engine, self._manager, name, resolved, name=name,
+            enforce=enforce,
+        )
+        self._stored[name] = stored
+        if mappings:
+            for key, row in mappings.items():
+                stored[key] = row
+        return stored
+
+    def create_index(
+        self, relation: str, attr: str, kind: str = "hash"
+    ) -> None:
+        """Create a secondary index (the storage face of §2.4's alternative
+        views)."""
+        if relation not in self._stored:
+            raise UnknownRelationError(relation, self._name)
+        self._engine.create_index(relation, attr, kind=kind)
+
+    def drop_index(self, relation: str, attr: str) -> None:
+        self._engine.drop_index(relation, attr)
+
+    # -- transactions (Fig. 11) ---------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        """Start (and activate) a snapshot-isolated transaction."""
+        return self._manager.begin()
+
+    def commit(self) -> None:
+        """Commit the current transaction."""
+        txn = self._manager.current()
+        if txn is None:
+            from repro.errors import TransactionStateError
+
+            raise TransactionStateError("no transaction is active")
+        self._manager.commit(txn)
+
+    def rollback(self) -> None:
+        """Abort the current transaction."""
+        txn = self._manager.current()
+        if txn is None:
+            from repro.errors import TransactionStateError
+
+            raise TransactionStateError("no transaction is active")
+        self._manager.abort(txn)
+
+    def transaction(self) -> Transaction:
+        """Context-manager costume: ``with db.transaction(): ...``."""
+        return self._manager.begin()
+
+    def vacuum(self) -> int:
+        return self._manager.vacuum()
+
+    # -- durability ------------------------------------------------------------------------------
+
+    def checkpoint(self, path: str) -> None:
+        save_checkpoint(self._engine, path, self._manager.now())
+
+    @classmethod
+    def restore(cls, path: str, name: str = "DB") -> "FunctionalDatabase":
+        engine, clock = load_checkpoint(path, name=name)
+        db = cls.__new__(cls)
+        DatabaseFunction.__init__(db, name=name)
+        db._engine = engine
+        db._manager = TransactionManager(engine)
+        db._manager._clock = clock
+        db._stored = {
+            table_name: StoredRelationFunction(
+                engine, db._manager, table_name, name=table_name
+            )
+            for table_name in engine.table_names()
+        }
+        db._views = {}
+        return db
+
+    def __repr__(self) -> str:
+        return (
+            f"<FunctionalDatabase {self._name!r}: "
+            f"{len(self._stored)} stored, {len(self._views)} views>"
+        )
+
+
+def _coerce_stored(row: Any) -> Any:
+    if isinstance(row, FDMFunction):
+        return row
+    if isinstance(row, Mapping):
+        return dict(row)
+    raise SchemaError(f"cannot store row {row!r}")
+
+
+def connect(
+    name: str = "DB",
+    wal_path: str | None = None,
+    default: bool = True,
+) -> FunctionalDatabase:
+    """Open a new functional database; optionally make it the default for
+    the bare ``begin()/commit()`` costumes of Fig. 11."""
+    db = FunctionalDatabase(name=name, wal_path=wal_path)
+    if default:
+        from repro.txn.context import set_default_database
+
+        set_default_database(db)
+    return db

@@ -1,0 +1,21 @@
+"""ER model + compilers to FDM (Fig. 1 bottom) and RM (classic mapping)."""
+
+from repro.erm.model import (
+    MANY,
+    ONE,
+    Attribute,
+    Entity,
+    ERModel,
+    Relationship,
+    Role,
+    retail_model,
+)
+from repro.erm.to_fdm import CardinalityCheckedRelationship, compile_to_fdm
+from repro.erm.to_rm import RelationalSchema, compile_to_rm
+
+__all__ = [
+    "MANY", "ONE", "Attribute", "Entity", "ERModel", "Relationship", "Role",
+    "retail_model",
+    "CardinalityCheckedRelationship", "compile_to_fdm",
+    "RelationalSchema", "compile_to_rm",
+]

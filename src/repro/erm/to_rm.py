@@ -1,0 +1,238 @@
+"""Compile an ER model to the relational model — the classic translation.
+
+This is what database courses (and [16]'s "physiological design step")
+prescribe, implemented as the baseline side of Fig. 1:
+
+* entity → table (key attributes become key columns),
+* N:M (and higher-degree all-MANY) relationship → junction table whose
+  columns are the role keys plus relationship attributes,
+* 1:N relationship → foreign-key column(s) plus the relationship's
+  attributes embedded on the N side (NULL when absent — the relational
+  model has no other way),
+* 1:1 → foreign key on the first role's entity.
+
+Produces DDL text, :class:`repro.relational.Relation` instances, or a
+ready-to-query :class:`repro.relational.SQLDatabase`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.errors import ERMValidationError
+from repro.relational.nulls import NULL
+from repro.relational.relation import Relation
+from repro.relational.sql.engine import SQLDatabase
+from repro.erm.model import Entity, ERModel, MANY, Relationship
+
+__all__ = ["RelationalSchema", "compile_to_rm"]
+
+_TYPE_NAMES = {int: "int", float: "real", str: "text", bool: "boolean"}
+
+
+class RelationalSchema:
+    """The relational rendering of an ER model."""
+
+    def __init__(self, model: ERModel):
+        self.model = model
+        #: table name → ordered column list
+        self.tables: dict[str, list[str]] = {}
+        #: (table, column) → (referenced table, referenced column)
+        self.foreign_keys: dict[tuple[str, str], tuple[str, str]] = {}
+        #: relationships embedded as FK columns on an entity table
+        self.embedded: dict[str, str] = {}  # relationship name → host table
+        self._column_types: dict[tuple[str, str], str] = {}
+        self._build()
+
+    # -- schema construction ------------------------------------------------------
+
+    def _entity_columns(self, entity: Entity) -> list[str]:
+        return [a.name for a in entity.attributes]
+
+    def _build(self) -> None:
+        model = self.model
+        model.validate()
+        for entity in model.entities:
+            columns = self._entity_columns(entity)
+            self.tables[entity.name] = columns
+            for attr in entity.attributes:
+                self._column_types[(entity.name, attr.name)] = (
+                    _TYPE_NAMES.get(attr.type, "text")
+                    if attr.type
+                    else "text"
+                )
+        for rel in model.relationships:
+            one_roles = rel.one_roles()
+            if rel.is_many_to_many() or rel.degree > 2:
+                self._junction_table(rel)
+            elif len(one_roles) == 1 and rel.degree == 2:
+                # 1:N — embed the FK on the MANY side
+                many_role = next(
+                    r for r in rel.roles if r.cardinality == MANY
+                )
+                one_role = one_roles[0]
+                self._embed_fk(rel, host=many_role.entity,
+                               target=one_role.entity)
+            else:
+                # 1:1 — embed on the first role's entity
+                self._embed_fk(
+                    rel,
+                    host=rel.roles[0].entity,
+                    target=rel.roles[1].entity,
+                )
+
+    def _junction_table(self, rel: Relationship) -> None:
+        columns: list[str] = []
+        for role in rel.roles:
+            entity = self.model.get_entity(role.entity)
+            for key_attr in entity.key_attrs():
+                column = role.name if len(entity.key_attrs()) == 1 else (
+                    f"{role.name}_{key_attr}"
+                )
+                columns.append(column)
+                self.foreign_keys[(rel.name, column)] = (
+                    entity.name, key_attr,
+                )
+                self._column_types[(rel.name, column)] = (
+                    self._column_types.get((entity.name, key_attr), "text")
+                )
+        for attr in rel.attributes:
+            columns.append(attr.name)
+            self._column_types[(rel.name, attr.name)] = _TYPE_NAMES.get(
+                attr.type, "text"
+            ) if attr.type else "text"
+        self.tables[rel.name] = columns
+
+    def _embed_fk(self, rel: Relationship, host: str, target: str) -> None:
+        target_entity = self.model.get_entity(target)
+        for key_attr in target_entity.key_attrs():
+            column = f"{rel.name}_{key_attr}"
+            self.tables[host].append(column)
+            self.foreign_keys[(host, column)] = (target, key_attr)
+            self._column_types[(host, column)] = self._column_types.get(
+                (target, key_attr), "text"
+            )
+        for attr in rel.attributes:
+            column = f"{rel.name}_{attr.name}"
+            self.tables[host].append(column)
+            self._column_types[(host, column)] = (
+                _TYPE_NAMES.get(attr.type, "text") if attr.type else "text"
+            )
+        self.embedded[rel.name] = host
+
+    # -- outputs ---------------------------------------------------------------------
+
+    def ddl(self) -> str:
+        """CREATE TABLE statements for the whole schema.
+
+        Names colliding with SQL keywords (Fig. 1's ``order``!) are
+        double-quoted — an impedance the FDM rendering never encounters.
+        """
+        from repro.relational.sql.lexer import KEYWORDS
+
+        def q(name: str) -> str:
+            return f'"{name}"' if name.lower() in KEYWORDS else name
+
+        statements = []
+        for table, columns in self.tables.items():
+            cols = ", ".join(
+                f"{q(c)} {self._column_types.get((table, c), 'text')}"
+                for c in columns
+            )
+            statements.append(f"CREATE TABLE {q(table)} ({cols});")
+        return "\n".join(statements)
+
+    def to_relations(
+        self, data: Mapping[str, Iterable[Any]] | None = None
+    ) -> dict[str, Relation]:
+        """Instantiate relations, loading optional instance data.
+
+        Entity data: iterables of attribute dicts. Relationship data for
+        junction tables: ``{key_tuple: attrs}`` or ``(key_tuple, attrs)``
+        pairs; for embedded (1:N / 1:1) relationships the FK columns are
+        filled on the host rows and left NULL elsewhere.
+        """
+        data = dict(data or {})
+        relations: dict[str, Relation] = {
+            name: Relation(name, columns)
+            for name, columns in self.tables.items()
+        }
+        embedded_values: dict[str, dict[Any, dict[str, Any]]] = {}
+        for rel in self.model.relationships:
+            if rel.name not in self.embedded:
+                continue
+            host = self.embedded[rel.name]
+            host_entity = self.model.get_entity(host)
+            per_host: dict[Any, dict[str, Any]] = {}
+            payload = data.get(rel.name, ())
+            items = (
+                payload.items() if isinstance(payload, Mapping) else payload
+            )
+            host_index = [r.entity for r in rel.roles].index(host)
+            other = rel.roles[1 - host_index]
+            other_entity = self.model.get_entity(other.entity)
+            for key, attrs in items:
+                key_t = key if isinstance(key, tuple) else (key,)
+                host_key = key_t[host_index]
+                extra: dict[str, Any] = {}
+                for k_attr in other_entity.key_attrs():
+                    extra[f"{rel.name}_{k_attr}"] = key_t[1 - host_index]
+                for attr in rel.attributes:
+                    extra[f"{rel.name}_{attr.name}"] = attrs.get(
+                        attr.name, NULL
+                    )
+                per_host[host_key] = extra
+            embedded_values[host] = per_host
+            _ = host_entity  # host entity resolved above for clarity
+        for entity in self.model.entities:
+            rel_out = relations[entity.name]
+            host_extras = embedded_values.get(entity.name, {})
+            key_attrs = entity.key_attrs()
+            for row in data.get(entity.name, ()):
+                merged = dict(row)
+                host_key = tuple(row[k] for k in key_attrs)
+                host_key = host_key[0] if len(host_key) == 1 else host_key
+                merged.update(host_extras.get(host_key, {}))
+                rel_out.append(
+                    [merged.get(c, NULL) for c in rel_out.columns]
+                )
+        for rel in self.model.relationships:
+            if rel.name in self.embedded:
+                continue
+            rel_out = relations[rel.name]
+            payload = data.get(rel.name, ())
+            items = (
+                payload.items() if isinstance(payload, Mapping) else payload
+            )
+            for key, attrs in items:
+                key_t = key if isinstance(key, tuple) else (key,)
+                if len(key_t) != rel.degree:
+                    raise ERMValidationError(
+                        f"relationship {rel.name!r}: key {key!r} does not "
+                        f"match degree {rel.degree}"
+                    )
+                row = dict(zip(
+                    [c for c in rel_out.columns[: len(key_t)]], key_t
+                ))
+                for attr in rel.attributes:
+                    row[attr.name] = attrs.get(attr.name, NULL)
+                rel_out.append(
+                    [row.get(c, NULL) for c in rel_out.columns]
+                )
+        return relations
+
+    def to_sql_database(
+        self, data: Mapping[str, Iterable[Any]] | None = None
+    ) -> SQLDatabase:
+        db = SQLDatabase(self.model.name)
+        for relation in self.to_relations(data).values():
+            db.load(relation)
+        return db
+
+    def __repr__(self) -> str:
+        return f"<RelationalSchema of {self.model.name!r}: {sorted(self.tables)}>"
+
+
+def compile_to_rm(model: ERModel) -> RelationalSchema:
+    """Compile *model* to a relational schema (classic ERM→RM mapping)."""
+    return RelationalSchema(model)

@@ -1,0 +1,268 @@
+"""Exception hierarchy for the fdmfql library.
+
+Every exception raised by this package derives from :class:`ReproError`, so
+applications can catch one base class. Below that, the hierarchy mirrors the
+subsystem layout: data-model errors, query-language errors, predicate-language
+errors, storage errors, transaction errors, catalog errors, SQL-baseline
+errors, ER-model errors, and optimizer errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Data model (FDM)
+# ---------------------------------------------------------------------------
+
+
+class FDMError(ReproError):
+    """Base class for errors in the functional data model."""
+
+
+class UndefinedInputError(FDMError, KeyError):
+    """A function was called with an input outside its domain.
+
+    In FDM there are no NULLs: a function is simply *undefined* at inputs it
+    does not map (paper §2.3). This error is the runtime manifestation of
+    that undefinedness.
+    """
+
+    def __init__(self, function_name: str, value: object):
+        self.function_name = function_name
+        self.value = value
+        super().__init__(
+            f"function {function_name!r} is not defined at input {value!r}"
+        )
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep message plain
+        return self.args[0]
+
+
+class DomainError(FDMError, ValueError):
+    """A value violates a function's domain or codomain constraint."""
+
+
+class NotEnumerableError(FDMError, TypeError):
+    """An operation required enumerating a non-enumerable domain.
+
+    Continuous (interval) and predicate-only domains describe a *data space*
+    (paper §2.4) rather than a discrete set; they support membership tests
+    and point lookups but not iteration.
+    """
+
+
+class ReadOnlyFunctionError(FDMError, TypeError):
+    """An in-place mutation was attempted on a derived (read-only) function."""
+
+
+class MergeConflictError(FDMError, ValueError):
+    """A set operation found two incompatible values for the same input."""
+
+
+class SchemaError(FDMError, ValueError):
+    """A tuple or relation does not conform to its declared schema."""
+
+
+# ---------------------------------------------------------------------------
+# Query language (FQL)
+# ---------------------------------------------------------------------------
+
+
+class FQLError(ReproError):
+    """Base class for errors in FQL operators."""
+
+
+class OperatorError(FQLError, ValueError):
+    """An FQL operator received arguments it cannot interpret."""
+
+
+class AmbiguousArgumentError(OperatorError):
+    """A costume call site matched more than one argument interpretation."""
+
+
+# ---------------------------------------------------------------------------
+# Predicate language
+# ---------------------------------------------------------------------------
+
+
+class PredicateError(ReproError):
+    """Base class for predicate-language errors."""
+
+
+class PredicateSyntaxError(PredicateError, SyntaxError):
+    """The textual predicate could not be parsed."""
+
+    def __init__(self, message: str, text: str = "", position: int = -1):
+        self.text = text
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at position {position} in {text!r})"
+        super().__init__(message)
+
+
+class UnboundParameterError(PredicateError, KeyError):
+    """A ``$param`` placeholder had no binding supplied."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"no value bound for predicate parameter ${name}")
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class UnknownAttributeError(PredicateError, KeyError):
+    """A predicate referenced an attribute the input tuple does not define."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"predicate references undefined attribute {name!r}")
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+# ---------------------------------------------------------------------------
+# Type system
+# ---------------------------------------------------------------------------
+
+
+class TypeCheckError(ReproError, TypeError):
+    """A runtime type check against a PL type hint failed (paper ref [25])."""
+
+
+# ---------------------------------------------------------------------------
+# Storage
+# ---------------------------------------------------------------------------
+
+
+class StorageError(ReproError):
+    """Base class for storage-engine errors."""
+
+
+class DuplicateKeyError(StorageError, KeyError):
+    """An insert supplied a primary key that already exists."""
+
+    def __init__(self, table: str, key: object):
+        self.table = table
+        self.key = key
+        super().__init__(f"duplicate key {key!r} in table {table!r}")
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class WALError(StorageError):
+    """The write-ahead log is corrupt or could not be applied."""
+
+
+class PersistenceError(StorageError):
+    """A database snapshot could not be serialized or loaded."""
+
+
+# ---------------------------------------------------------------------------
+# Transactions
+# ---------------------------------------------------------------------------
+
+
+class TransactionError(ReproError):
+    """Base class for transaction errors."""
+
+
+class TransactionConflictError(TransactionError):
+    """First-committer-wins write-write conflict; the transaction aborted."""
+
+    def __init__(self, txn_id: int, key: object = None, table: str | None = None):
+        self.txn_id = txn_id
+        self.key = key
+        self.table = table
+        where = f" on {table!r}[{key!r}]" if table is not None else ""
+        super().__init__(
+            f"transaction {txn_id} aborted: write-write conflict{where}"
+        )
+
+
+class TransactionStateError(TransactionError):
+    """A transaction operation was invalid in the current state."""
+
+
+# ---------------------------------------------------------------------------
+# Catalog / constraints
+# ---------------------------------------------------------------------------
+
+
+class CatalogError(ReproError):
+    """Base class for catalog errors."""
+
+
+class UnknownRelationError(CatalogError, KeyError):
+    """A database function was called with an unknown relation name."""
+
+    def __init__(self, name: str, database: str = "DB"):
+        self.name = name
+        super().__init__(f"{database} has no relation named {name!r}")
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class ConstraintViolationError(CatalogError, ValueError):
+    """An integrity constraint (key, domain sharing, unique) was violated."""
+
+
+# ---------------------------------------------------------------------------
+# Relational baseline / SQL subset
+# ---------------------------------------------------------------------------
+
+
+class RelationalError(ReproError):
+    """Base class for relational-baseline errors."""
+
+
+class SQLError(RelationalError):
+    """Base class for SQL-engine errors."""
+
+
+class SQLSyntaxError(SQLError, SyntaxError):
+    """The SQL text could not be parsed."""
+
+    def __init__(self, message: str, text: str = "", position: int = -1):
+        self.text = text
+        self.position = position
+        if position >= 0:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class SQLExecutionError(SQLError, RuntimeError):
+    """A parsed SQL statement failed during execution."""
+
+
+# ---------------------------------------------------------------------------
+# ER model
+# ---------------------------------------------------------------------------
+
+
+class ERMError(ReproError):
+    """Base class for entity-relationship model errors."""
+
+
+class ERMValidationError(ERMError, ValueError):
+    """The ER model is internally inconsistent."""
+
+
+# ---------------------------------------------------------------------------
+# Optimizer
+# ---------------------------------------------------------------------------
+
+
+class OptimizerError(ReproError):
+    """Base class for optimizer errors."""
+
+
+class PlanError(OptimizerError, ValueError):
+    """A logical plan was malformed or could not be executed."""

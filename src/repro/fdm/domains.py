@@ -1,0 +1,585 @@
+"""Domains and codomains for FDM functions.
+
+Paper §2.1/§2.4: a function maps a *domain* to a *codomain*, and both "may be
+constrained to a type and/or certain conditions". Constraining the domain of
+a relation function is how FDM expresses which tuples *exist*; the paper
+explicitly allows both discrete sets (``X = {1, 3} ∩ N+``) and continuous
+subspaces (``X = [7; 12] ∩ R+``).
+
+This module provides a small algebra of domain objects:
+
+* :class:`AnyDomain` — everything is a member.
+* :class:`TypeDomain` — membership by Python type (``int``, ``str``, …).
+* :class:`DiscreteDomain` — an explicit finite set; the only *directly*
+  enumerable base domain.
+* :class:`IntervalDomain` — ``[lo; hi]`` over numbers; enumerable only when
+  marked integral with finite bounds.
+* :class:`PredicateDomain` — membership by arbitrary predicate.
+* :class:`ProductDomain` — k-ary cartesian products, used by relationship
+  functions (paper §3).
+* Intersections and unions of the above, built with ``&`` and ``|``.
+
+Enumerability is a first-class property: FQL operators that must *scan* a
+function require an enumerable domain; computed relation functions over
+continuous domains support point lookup and symbolic constraint only
+(:class:`repro.errors.NotEnumerableError` otherwise).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.errors import DomainError, NotEnumerableError
+
+__all__ = [
+    "Domain",
+    "AnyDomain",
+    "EmptyDomain",
+    "TypeDomain",
+    "DiscreteDomain",
+    "IntervalDomain",
+    "PredicateDomain",
+    "IntersectionDomain",
+    "UnionDomain",
+    "DifferenceDomain",
+    "ProductDomain",
+    "ANY",
+    "EMPTY",
+    "INT",
+    "FLOAT",
+    "STR",
+    "BOOL",
+    "as_domain",
+]
+
+
+class Domain:
+    """Abstract base class for all domains."""
+
+    def contains(self, value: Any) -> bool:
+        """True if *value* is a member of this domain."""
+        raise NotImplementedError
+
+    def __contains__(self, value: Any) -> bool:
+        return self.contains(value)
+
+    @property
+    def is_enumerable(self) -> bool:
+        """True if the members of this domain can be iterated."""
+        return False
+
+    def iter_values(self) -> Iterator[Any]:
+        """Iterate the members; raises for non-enumerable domains."""
+        raise NotEnumerableError(
+            f"domain {self!r} is not enumerable; it describes a data space, "
+            "not a discrete set"
+        )
+
+    def __iter__(self) -> Iterator[Any]:
+        return self.iter_values()
+
+    def size(self) -> int | float:
+        """Number of members, or ``math.inf`` when not enumerable."""
+        if not self.is_enumerable:
+            return math.inf
+        return sum(1 for _ in self.iter_values())
+
+    # -- algebra ------------------------------------------------------------
+
+    def __and__(self, other: "Domain") -> "Domain":
+        return intersect_domains(self, other)
+
+    def __or__(self, other: "Domain") -> "Domain":
+        return union_domains(self, other)
+
+    def __sub__(self, other: "Domain") -> "Domain":
+        return DifferenceDomain(self, other)
+
+    def constrain(
+        self, predicate: Callable[[Any], bool], description: str = "<predicate>"
+    ) -> "Domain":
+        """Return this domain further restricted by *predicate*."""
+        return intersect_domains(self, PredicateDomain(predicate, description))
+
+    def validate(self, value: Any, what: str = "value") -> Any:
+        """Return *value* if it is a member, else raise :class:`DomainError`."""
+        if not self.contains(value):
+            raise DomainError(f"{what} {value!r} is not in domain {self!r}")
+        return value
+
+
+class AnyDomain(Domain):
+    """The universal domain: every value is a member."""
+
+    def contains(self, value: Any) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return "Any"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AnyDomain)
+
+    def __hash__(self) -> int:
+        return hash("AnyDomain")
+
+
+class EmptyDomain(Domain):
+    """The empty domain: no value is a member. Enumerable (trivially)."""
+
+    def contains(self, value: Any) -> bool:
+        return False
+
+    @property
+    def is_enumerable(self) -> bool:
+        return True
+
+    def iter_values(self) -> Iterator[Any]:
+        return iter(())
+
+    def size(self) -> int:
+        return 0
+
+    def __repr__(self) -> str:
+        return "∅"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, EmptyDomain) or (
+            isinstance(other, DiscreteDomain) and other.size() == 0
+        )
+
+    def __hash__(self) -> int:
+        return hash("EmptyDomain")
+
+
+class TypeDomain(Domain):
+    """Membership by Python type; e.g. ``TypeDomain(int)`` is ℤ.
+
+    ``bool`` is excluded from ``int`` membership (Python's bool subclasses
+    int, but mixing booleans into integer keys is almost always a bug).
+    """
+
+    __slots__ = ("pytype",)
+
+    def __init__(self, pytype: type | tuple[type, ...]):
+        self.pytype = pytype
+
+    def contains(self, value: Any) -> bool:
+        if self.pytype is int or (
+            isinstance(self.pytype, tuple) and self.pytype == (int,)
+        ):
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self.pytype is float:
+            return (
+                isinstance(value, (int, float)) and not isinstance(value, bool)
+            )
+        return isinstance(value, self.pytype)
+
+    def __repr__(self) -> str:
+        if isinstance(self.pytype, tuple):
+            names = "|".join(t.__name__ for t in self.pytype)
+        else:
+            names = self.pytype.__name__
+        return f"Type[{names}]"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, TypeDomain) and other.pytype == self.pytype
+
+    def __hash__(self) -> int:
+        return hash(("TypeDomain", self.pytype))
+
+
+class DiscreteDomain(Domain):
+    """An explicit finite set of members — e.g. ``X = {1, 3}`` (paper §2.4).
+
+    Values are stored in first-seen order, so iteration is deterministic.
+    """
+
+    __slots__ = ("_values", "_set")
+
+    def __init__(self, values: Iterable[Any]):
+        self._values: list[Any] = []
+        self._set: set[Any] = set()
+        for v in values:
+            if v not in self._set:
+                self._set.add(v)
+                self._values.append(v)
+
+    def contains(self, value: Any) -> bool:
+        try:
+            return value in self._set
+        except TypeError:  # unhashable probe value
+            return False
+
+    @property
+    def is_enumerable(self) -> bool:
+        return True
+
+    def iter_values(self) -> Iterator[Any]:
+        return iter(self._values)
+
+    def size(self) -> int:
+        return len(self._values)
+
+    def add(self, value: Any) -> None:
+        """Extend the domain with *value* (used by stored relations)."""
+        if value not in self._set:
+            self._set.add(value)
+            self._values.append(value)
+
+    def discard(self, value: Any) -> None:
+        """Remove *value* from the domain if present."""
+        if value in self._set:
+            self._set.discard(value)
+            self._values.remove(value)
+
+    def __repr__(self) -> str:
+        if len(self._values) <= 6:
+            inner = ", ".join(repr(v) for v in self._values)
+        else:
+            shown = ", ".join(repr(v) for v in self._values[:5])
+            inner = f"{shown}, … ({len(self._values)} values)"
+        return "{" + inner + "}"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, DiscreteDomain):
+            return self._set == other._set
+        if isinstance(other, EmptyDomain):
+            return not self._set
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("DiscreteDomain", frozenset(self._set)))
+
+
+class IntervalDomain(Domain):
+    """A numeric interval ``[lo; hi]`` — a continuous data space (paper §2.4).
+
+    With ``integral=True`` and finite bounds the interval is enumerable
+    (``ℤ ∩ [lo; hi]``); otherwise membership tests and symbolic constraint
+    are the only operations.
+    """
+
+    __slots__ = ("lo", "hi", "lo_open", "hi_open", "integral")
+
+    def __init__(
+        self,
+        lo: float = -math.inf,
+        hi: float = math.inf,
+        *,
+        lo_open: bool = False,
+        hi_open: bool = False,
+        integral: bool = False,
+    ):
+        if lo > hi:
+            raise DomainError(f"empty interval: lo={lo!r} > hi={hi!r}")
+        self.lo = lo
+        self.hi = hi
+        self.lo_open = lo_open
+        self.hi_open = hi_open
+        self.integral = integral
+
+    def contains(self, value: Any) -> bool:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return False
+        if self.integral and not (
+            isinstance(value, int) or float(value).is_integer()
+        ):
+            return False
+        if self.lo_open:
+            if not value > self.lo:
+                return False
+        elif not value >= self.lo:
+            return False
+        if self.hi_open:
+            return value < self.hi
+        return value <= self.hi
+
+    @property
+    def is_enumerable(self) -> bool:
+        return (
+            self.integral
+            and math.isfinite(self.lo)
+            and math.isfinite(self.hi)
+        )
+
+    def iter_values(self) -> Iterator[Any]:
+        if not self.is_enumerable:
+            return super().iter_values()
+        start = math.ceil(self.lo)
+        if self.lo_open and start == self.lo:
+            start += 1
+        stop = math.floor(self.hi)
+        if self.hi_open and stop == self.hi:
+            stop -= 1
+        return iter(range(int(start), int(stop) + 1))
+
+    def size(self) -> int | float:
+        if not self.is_enumerable:
+            return math.inf
+        return max(0, len(list(self.iter_values())))
+
+    def __repr__(self) -> str:
+        left = "(" if self.lo_open else "["
+        right = ")" if self.hi_open else "]"
+        base = f"{left}{self.lo}; {self.hi}{right}"
+        return base + (" ∩ ℤ" if self.integral else "")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntervalDomain) and (
+            self.lo,
+            self.hi,
+            self.lo_open,
+            self.hi_open,
+            self.integral,
+        ) == (other.lo, other.hi, other.lo_open, other.hi_open, other.integral)
+
+    def __hash__(self) -> int:
+        return hash(
+            ("IntervalDomain", self.lo, self.hi, self.lo_open, self.hi_open,
+             self.integral)
+        )
+
+
+class PredicateDomain(Domain):
+    """Membership decided by an arbitrary predicate callable."""
+
+    __slots__ = ("predicate", "description")
+
+    def __init__(
+        self, predicate: Callable[[Any], bool], description: str = "<predicate>"
+    ):
+        self.predicate = predicate
+        self.description = description
+
+    def contains(self, value: Any) -> bool:
+        try:
+            return bool(self.predicate(value))
+        except Exception:
+            return False
+
+    def __repr__(self) -> str:
+        return f"{{x | {self.description}}}"
+
+
+class IntersectionDomain(Domain):
+    """Conjunction of member domains; enumerable if any member is."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[Domain]):
+        flat: list[Domain] = []
+        for p in parts:
+            if isinstance(p, IntersectionDomain):
+                flat.extend(p.parts)
+            elif not isinstance(p, AnyDomain):
+                flat.append(p)
+        self.parts: tuple[Domain, ...] = tuple(flat)
+
+    def contains(self, value: Any) -> bool:
+        return all(p.contains(value) for p in self.parts)
+
+    @property
+    def is_enumerable(self) -> bool:
+        return any(p.is_enumerable for p in self.parts)
+
+    def iter_values(self) -> Iterator[Any]:
+        enumerable = [p for p in self.parts if p.is_enumerable]
+        if not enumerable:
+            return super().iter_values()
+        base = min(enumerable, key=lambda p: p.size())
+        others = [p for p in self.parts if p is not base]
+        return (
+            v for v in base.iter_values() if all(o.contains(v) for o in others)
+        )
+
+    def __repr__(self) -> str:
+        return " ∩ ".join(repr(p) for p in self.parts) or "Any"
+
+
+class UnionDomain(Domain):
+    """Disjunction of member domains; enumerable iff all members are."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[Domain]):
+        flat: list[Domain] = []
+        for p in parts:
+            if isinstance(p, UnionDomain):
+                flat.extend(p.parts)
+            elif not isinstance(p, EmptyDomain):
+                flat.append(p)
+        self.parts: tuple[Domain, ...] = tuple(flat)
+
+    def contains(self, value: Any) -> bool:
+        return any(p.contains(value) for p in self.parts)
+
+    @property
+    def is_enumerable(self) -> bool:
+        return all(p.is_enumerable for p in self.parts)
+
+    def iter_values(self) -> Iterator[Any]:
+        if not self.is_enumerable:
+            return super().iter_values()
+        seen: set[Any] = set()
+
+        def generate() -> Iterator[Any]:
+            for p in self.parts:
+                for v in p.iter_values():
+                    if v not in seen:
+                        seen.add(v)
+                        yield v
+
+        return generate()
+
+    def __repr__(self) -> str:
+        return " ∪ ".join(repr(p) for p in self.parts) or "∅"
+
+
+class DifferenceDomain(Domain):
+    """Members of *left* that are not members of *right*."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Domain, right: Domain):
+        self.left = left
+        self.right = right
+
+    def contains(self, value: Any) -> bool:
+        return self.left.contains(value) and not self.right.contains(value)
+
+    @property
+    def is_enumerable(self) -> bool:
+        return self.left.is_enumerable
+
+    def iter_values(self) -> Iterator[Any]:
+        if not self.is_enumerable:
+            return super().iter_values()
+        return (
+            v for v in self.left.iter_values() if not self.right.contains(v)
+        )
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} ∖ {self.right!r}"
+
+
+class ProductDomain(Domain):
+    """A k-ary cartesian product of domains.
+
+    Relationship functions (paper §3, Definition 3) take the *combined*
+    inputs of the participating functions, so their domain is a product of
+    the participants' domains. Members are k-tuples.
+    """
+
+    __slots__ = ("components",)
+
+    def __init__(self, components: Iterable[Domain]):
+        self.components: tuple[Domain, ...] = tuple(components)
+        if not self.components:
+            raise DomainError("a product domain needs at least one component")
+
+    @property
+    def arity(self) -> int:
+        return len(self.components)
+
+    def contains(self, value: Any) -> bool:
+        if not isinstance(value, tuple) or len(value) != len(self.components):
+            return False
+        return all(d.contains(v) for d, v in zip(self.components, value))
+
+    @property
+    def is_enumerable(self) -> bool:
+        return all(c.is_enumerable for c in self.components)
+
+    def iter_values(self) -> Iterator[Any]:
+        if not self.is_enumerable:
+            return super().iter_values()
+        return iter(
+            itertools.product(*(c.iter_values() for c in self.components))
+        )
+
+    def size(self) -> int | float:
+        if not self.is_enumerable:
+            return math.inf
+        total = 1
+        for c in self.components:
+            total *= c.size()
+        return total
+
+    def __repr__(self) -> str:
+        return " × ".join(repr(c) for c in self.components)
+
+
+def intersect_domains(*domains: Domain) -> Domain:
+    """Intersect domains, simplifying trivial cases."""
+    parts = [d for d in domains if not isinstance(d, AnyDomain)]
+    if not parts:
+        return ANY
+    if any(isinstance(d, EmptyDomain) for d in parts):
+        return EMPTY
+    if len(parts) == 1:
+        return parts[0]
+    discretes = [d for d in parts if isinstance(d, DiscreteDomain)]
+    if len(discretes) == len(parts):
+        base = min(discretes, key=DiscreteDomain.size)
+        others = [d for d in discretes if d is not base]
+        return DiscreteDomain(
+            v
+            for v in base.iter_values()
+            if all(o.contains(v) for o in others)
+        )
+    return IntersectionDomain(parts)
+
+
+def union_domains(*domains: Domain) -> Domain:
+    """Union domains, simplifying trivial cases."""
+    parts = [d for d in domains if not isinstance(d, EmptyDomain)]
+    if not parts:
+        return EMPTY
+    if any(isinstance(d, AnyDomain) for d in parts):
+        return ANY
+    if len(parts) == 1:
+        return parts[0]
+    if all(isinstance(d, DiscreteDomain) for d in parts):
+        merged: list[Any] = []
+        for d in parts:
+            merged.extend(d.iter_values())
+        return DiscreteDomain(merged)
+    return UnionDomain(parts)
+
+
+def as_domain(spec: Any) -> Domain:
+    """Coerce a user-facing domain *spec* into a :class:`Domain`.
+
+    Accepted specs: ``None`` (Any), a Domain, a Python type, a set/list/
+    tuple/frozenset of values, a ``range``, or a predicate callable.
+    """
+    if spec is None:
+        return ANY
+    if isinstance(spec, Domain):
+        return spec
+    if isinstance(spec, type):
+        return TypeDomain(spec)
+    if isinstance(spec, range):
+        if spec.step == 1:
+            return IntervalDomain(spec.start, spec.stop - 1, integral=True)
+        return DiscreteDomain(spec)
+    if isinstance(spec, (set, frozenset, list, tuple)):
+        return DiscreteDomain(spec)
+    if callable(spec):
+        name = getattr(spec, "__name__", "<predicate>")
+        return PredicateDomain(spec, name)
+    raise DomainError(f"cannot interpret {spec!r} as a domain")
+
+
+#: Singleton universal domain.
+ANY = AnyDomain()
+#: Singleton empty domain.
+EMPTY = EmptyDomain()
+#: Convenience typed domains.
+INT = TypeDomain(int)
+FLOAT = TypeDomain(float)
+STR = TypeDomain(str)
+BOOL = TypeDomain(bool)

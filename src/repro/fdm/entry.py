@@ -1,0 +1,70 @@
+"""Key/value entries: what FQL predicates are bound to.
+
+The paper uses two predicate shapes interchangeably:
+
+* Fig. 4a binds the *codomain value* — ``filter(lambda prof: prof("age") >
+  42, customers)``, where ``prof`` is a tuple function;
+* Fig. 5 binds a *(key, value) pair* — ``filter(lambda kv: kv[0] in
+  relations, DB)``, where ``kv[0]`` is the relation name.
+
+:class:`Entry` reconciles the two: it indexes like a pair (``entry[0]`` is
+the key, ``entry[1]`` the value) while forwarding calls, attribute access,
+and any non-pair subscript to the value. ``filter`` hands every predicate an
+Entry, so both figure syntaxes run verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+__all__ = ["Entry"]
+
+
+class Entry:
+    """A (key, value) mapping entry that masquerades as its value."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: Any, value: Any):
+        object.__setattr__(self, "key", key)
+        object.__setattr__(self, "value", value)
+
+    # -- pair behaviour -------------------------------------------------------
+
+    def __getitem__(self, index: Any) -> Any:
+        if index == 0 and isinstance(index, int):
+            return self.key
+        if index == 1 and isinstance(index, int):
+            return self.value
+        return self.value[index]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter((self.key, self.value))
+
+    def __len__(self) -> int:
+        return 2
+
+    # -- value forwarding -------------------------------------------------------
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.value(*args, **kwargs)
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.value, name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Entry objects are immutable")
+
+    def __contains__(self, item: Any) -> bool:
+        return item in self.value
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, Entry):
+            return self.key == other.key and self.value == other.value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Entry", self.key, id(self.value)))
+
+    def __repr__(self) -> str:
+        return f"Entry({self.key!r}: {self.value!r})"

@@ -1,0 +1,103 @@
+"""FQL: the functional query language operator algebra (paper §4).
+
+Every operator is a higher-order function ``Op(f_in) -> f_out``
+(Definition 4). Inputs and outputs are FDM functions at *any* level —
+tuples, relations, databases, relationships, sets of databases — and the
+algebra is closed: operators nest arbitrarily (Definition 5).
+
+The names deliberately shadow a couple of Python builtins (``filter``,
+``copy``) inside this namespace; that *is* the costume (§4.2) — in the host
+language, FQL looks like ordinary functions.
+"""
+
+from repro.fql.aggregates import (
+    Aggregate,
+    Avg,
+    Collect,
+    Count,
+    CountDistinct,
+    First,
+    Max,
+    Median,
+    Min,
+    StdDev,
+    Sum,
+)
+from repro.fql.copy import copy, deep_copy, materialize
+from repro.fql.filter import (
+    FilteredFunction,
+    RestrictedFunction,
+    exclude,
+    filter,
+    restrict_to_keys,
+)
+from repro.fql.group import (
+    AggregatedRelationFunction,
+    GroupBy,
+    GroupedDatabaseFunction,
+    aggregate,
+    cube,
+    group,
+    group_and_aggregate,
+    grouping_sets,
+    rollup,
+)
+from repro.fql.join import JoinedRelationFunction, JoinPlan, JoinSide, join
+from repro.fql.order import (
+    LimitedFunction,
+    OrderedFunction,
+    limit,
+    order_by,
+    top,
+)
+from repro.fql.outer import PartitionedRelationFunction
+from repro.fql.project import (
+    MappedFunction,
+    extend,
+    map_tuples,
+    project,
+    rename,
+)
+from repro.fql.setops import (
+    IntersectFunction,
+    MinusFunction,
+    UnionFunction,
+    difference,
+    intersect,
+    minus,
+    union,
+)
+from repro.fql.pivot import PivotedRelationFunction, pivot
+from repro.fql.subdb import reduce_DB, subdatabase
+from repro.fql.views import MaterializedView, materialized_view
+
+__all__ = [
+    # extension operators beyond SQL
+    "PivotedRelationFunction", "pivot",
+    "MaterializedView", "materialized_view",
+    # aggregates
+    "Aggregate", "Avg", "Collect", "Count", "CountDistinct", "First",
+    "Max", "Median", "Min", "StdDev", "Sum",
+    # copy / materialization
+    "copy", "deep_copy", "materialize",
+    # filter
+    "FilteredFunction", "RestrictedFunction", "exclude", "filter",
+    "restrict_to_keys",
+    # grouping
+    "AggregatedRelationFunction", "GroupBy", "GroupedDatabaseFunction",
+    "aggregate", "cube", "group", "group_and_aggregate", "grouping_sets",
+    "rollup",
+    # join
+    "JoinedRelationFunction", "JoinPlan", "JoinSide", "join",
+    # ordering
+    "LimitedFunction", "OrderedFunction", "limit", "order_by", "top",
+    # outer
+    "PartitionedRelationFunction",
+    # projection
+    "MappedFunction", "extend", "map_tuples", "project", "rename",
+    # set operations
+    "IntersectFunction", "MinusFunction", "UnionFunction", "difference",
+    "intersect", "minus", "union",
+    # subdatabases
+    "reduce_DB", "subdatabase",
+]

@@ -1,0 +1,194 @@
+"""Ordering and limiting — FQL extension operators (contribution 8).
+
+Functions have no inherent mapping order; ``order_by`` imposes a
+presentation order on enumeration without changing any mapping, ``limit``
+truncates enumeration, and ``top`` composes the two. These are "operators
+defined outside the realm of the database" in the paper's sense: adding
+them required no model change at all.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator
+
+from repro.errors import OperatorError, UndefinedInputError
+from repro.fdm.domains import Domain
+from repro.fdm.functions import DerivedFunction, FDMFunction
+from repro.fdm.relations import RelationFunction
+
+__all__ = ["order_by", "limit", "top", "OrderedFunction", "LimitedFunction"]
+
+
+class _SortKey:
+    """Totally-ordered wrapper: undefined sort keys go last, mixed types
+    compare by type name first (no TypeError mid-sort)."""
+
+    __slots__ = ("rank", "value")
+
+    def __init__(self, rank: int, value: Any):
+        self.rank = rank
+        self.value = value
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        if self.rank != other.rank:
+            return self.rank < other.rank
+        try:
+            return bool(self.value < other.value)
+        except TypeError:
+            return str(type(self.value)) < str(type(other.value))
+
+
+class OrderedFunction(DerivedFunction):
+    """Same mappings as the source; enumeration sorted by a tuple key."""
+
+    op_name = "order_by"
+
+    def __init__(
+        self,
+        source: FDMFunction,
+        key: str | list[str] | Callable[[Any], Any],
+        reverse: bool = False,
+        name: str | None = None,
+    ):
+        super().__init__((source,), name=name or f"sort({source.name})")
+        self._key_spec = key
+        self._reverse = reverse
+        self.kind = source.kind
+
+    def _sort_key(self, value: Any) -> _SortKey:
+        spec = self._key_spec
+        try:
+            if callable(spec):
+                return _SortKey(0, spec(value))
+            if isinstance(spec, str):
+                return _SortKey(0, value(spec))
+            return _SortKey(0, tuple(value(a) for a in spec))
+        except (UndefinedInputError, Exception):
+            return _SortKey(1, None)
+
+    @property
+    def domain(self) -> Domain:
+        return self.source.domain
+
+    @property
+    def is_enumerable(self) -> bool:
+        return self.source.is_enumerable
+
+    def _apply(self, key: Any) -> Any:
+        return self.source._apply(key)
+
+    def defined_at(self, *args: Any) -> bool:
+        return self.source.defined_at(*args)
+
+    def keys(self) -> Iterator[Any]:
+        pairs = list(self.source.items())
+        pairs.sort(key=lambda kv: self._sort_key(kv[1]),
+                   reverse=self._reverse)
+        return iter([k for k, _v in pairs])
+
+    def __len__(self) -> int:
+        return len(self.source)
+
+    def op_params(self) -> dict[str, Any]:
+        label = (
+            self._key_spec
+            if isinstance(self._key_spec, (str, list))
+            else getattr(self._key_spec, "__name__", "<fn>")
+        )
+        return {"key": label, "reverse": self._reverse}
+
+    def rebuild(self, children: tuple[FDMFunction, ...]) -> "OrderedFunction":
+        (source,) = children
+        return OrderedFunction(
+            source, self._key_spec, reverse=self._reverse, name=self._name
+        )
+
+    tuples = RelationFunction.tuples
+    first = RelationFunction.first
+    count = RelationFunction.count
+    attributes = RelationFunction.attributes
+    to_rows = RelationFunction.to_rows
+
+
+class LimitedFunction(DerivedFunction):
+    """The first *n* mappings in the source's enumeration order."""
+
+    op_name = "limit"
+
+    def __init__(self, source: FDMFunction, n: int, name: str | None = None):
+        if n < 0:
+            raise OperatorError("limit() needs a non-negative count")
+        super().__init__((source,), name=name or f"limit({source.name})")
+        self._n = n
+        self.kind = source.kind
+
+    def _limited_keys(self) -> list[Any]:
+        out = []
+        for key in self.source.keys():
+            if len(out) >= self._n:
+                break
+            out.append(key)
+        return out
+
+    @property
+    def domain(self) -> Domain:
+        from repro.fdm.domains import DiscreteDomain
+
+        return DiscreteDomain(self._limited_keys())
+
+    @property
+    def is_enumerable(self) -> bool:
+        return True
+
+    def _apply(self, key: Any) -> Any:
+        if key not in self._limited_keys():
+            raise UndefinedInputError(self._name, key)
+        return self.source._apply(key)
+
+    def defined_at(self, *args: Any) -> bool:
+        if len(args) != 1:
+            return False
+        return args[0] in self._limited_keys()
+
+    def keys(self) -> Iterator[Any]:
+        return iter(self._limited_keys())
+
+    def __len__(self) -> int:
+        return len(self._limited_keys())
+
+    def op_params(self) -> dict[str, Any]:
+        return {"n": self._n}
+
+    def rebuild(self, children: tuple[FDMFunction, ...]) -> "LimitedFunction":
+        (source,) = children
+        return LimitedFunction(source, self._n, name=self._name)
+
+    tuples = RelationFunction.tuples
+    first = RelationFunction.first
+    count = RelationFunction.count
+    attributes = RelationFunction.attributes
+    to_rows = RelationFunction.to_rows
+
+
+def order_by(
+    source: FDMFunction,
+    key: str | list[str] | Callable[[Any], Any],
+    reverse: bool = False,
+) -> OrderedFunction:
+    """Order enumeration by attribute(s) or a callable sort key."""
+    return OrderedFunction(source, key, reverse=reverse)
+
+
+def limit(source: FDMFunction, n: int) -> LimitedFunction:
+    """Keep the first *n* mappings of the enumeration."""
+    return LimitedFunction(source, n)
+
+
+def top(
+    source: FDMFunction,
+    n: int,
+    by: str | list[str] | Callable[[Any], Any],
+    reverse: bool = True,
+) -> LimitedFunction:
+    """The *n* largest (by default) mappings under the given sort key."""
+    return LimitedFunction(OrderedFunction(source, by, reverse=reverse), n)

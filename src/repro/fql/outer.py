@@ -1,0 +1,97 @@
+"""Outer-join semantics as *marking*, not NULL-padding (Fig. 7).
+
+    subDB: DBF = subdatabase(subdatabase_in, outer='products')
+    products_unsold: RF = subDB.products.outer
+    products_sold:   RF = subDB.products.inner
+
+SQL's outer joins force one output relation and pad non-matching rows with
+NULLs; the paper's marking keeps the two *semantically different* result
+sets separate. Note the figure's caption: "the terms 'left' and 'right'
+outer join do not make sense here" — marking names relations, and works for
+n-ary joins.
+
+A marked relation behaves exactly like the underlying relation (it is the
+union of both partitions) and additionally exposes ``.inner`` (tuples with
+at least one join partner) and ``.outer`` (tuples with none). Partitions
+are computed from the join bindings of the surrounding database — the same
+machinery as Fig. 6's join.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.fdm.domains import Domain
+from repro.fdm.functions import DerivedFunction, FDMFunction
+from repro.fdm.relations import RelationFunction
+from repro.fql.filter import RestrictedFunction
+
+__all__ = ["PartitionedRelationFunction"]
+
+
+class PartitionedRelationFunction(DerivedFunction):
+    """A relation function partitioned into inner/outer by join support."""
+
+    op_name = "outer_mark"
+    kind = "relation"
+
+    def __init__(self, base: FDMFunction, inner_keys: Any,
+                 name: str | None = None):
+        super().__init__((base,), name=name or base.name)
+        self._inner_keys = frozenset(inner_keys)
+
+    # -- transparent pass-through: the marked relation is still the relation --
+
+    @property
+    def domain(self) -> Domain:
+        return self.source.domain
+
+    @property
+    def is_enumerable(self) -> bool:
+        return self.source.is_enumerable
+
+    def _apply(self, key: Any) -> Any:
+        return self.source._apply(key)
+
+    def defined_at(self, *args: Any) -> bool:
+        return self.source.defined_at(*args)
+
+    def keys(self) -> Iterator[Any]:
+        return self.source.keys()
+
+    def __len__(self) -> int:
+        return len(self.source)
+
+    # -- the two semantically different results --------------------------------
+
+    @property
+    def inner(self) -> RestrictedFunction:
+        """Tuples that have at least one join partner."""
+        return RestrictedFunction(
+            self.source, self._inner_keys, name=f"{self._name}.inner"
+        )
+
+    @property
+    def outer(self) -> RestrictedFunction:
+        """Tuples without any join partner (what SQL would NULL-pad)."""
+        outer_keys = frozenset(self.source.keys()) - self._inner_keys
+        return RestrictedFunction(
+            self.source, outer_keys, name=f"{self._name}.outer"
+        )
+
+    def op_params(self) -> dict[str, Any]:
+        return {"inner_count": len(self._inner_keys)}
+
+    def rebuild(
+        self, children: tuple[FDMFunction, ...]
+    ) -> "PartitionedRelationFunction":
+        (base,) = children
+        return PartitionedRelationFunction(
+            base, self._inner_keys, name=self._name
+        )
+
+    tuples = RelationFunction.tuples
+    first = RelationFunction.first
+    count = RelationFunction.count
+    attributes = RelationFunction.attributes
+    to_rows = RelationFunction.to_rows

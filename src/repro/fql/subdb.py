@@ -1,0 +1,103 @@
+"""Subdatabase declaration and reduction (Fig. 5) and outer marking
+entry point (Fig. 7).
+
+    relations = ['order', 'products']
+    subdatabase = filter(lambda kv: kv[0] in relations, DB)   # Fig. 5 spelling
+    subdatabase = subdb(DB, relations=relations)              # equivalent
+    subdatabase.customers = filter(DB.customers, state='NY')
+    subdatabase_reduced = reduce_DB(subdatabase)
+
+``reduce_DB`` is the FQL version of the RESULTDB extension of [35]: the
+result is the input database restricted to the tuples that *contribute* to
+the (relationship-driven) join result — returned as separate relation
+streams, never denormalized into one table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import OperatorError, UnknownRelationError
+from repro.fdm.databases import OverlayDatabaseFunction
+from repro.fdm.functions import FDMFunction
+from repro.fql.filter import RestrictedFunction, filter as fql_filter
+from repro.fql.join import JoinPlan
+from repro.fql.outer import PartitionedRelationFunction
+
+__all__ = ["subdatabase", "reduce_DB"]
+
+
+def subdatabase(
+    *args: Any,
+    relations: Iterable[str] | None = None,
+    outer: str | Iterable[str] | None = None,
+    input: FDMFunction | None = None,  # noqa: A002 - figure spelling
+) -> OverlayDatabaseFunction:
+    """Declare a subdatabase view of *input*, optionally marking relations
+    for outer semantics.
+
+    * ``relations=[...]`` keeps only the named relations (Fig. 5; the same
+      effect as ``filter(lambda kv: kv[0] in relations, DB)``).
+    * ``outer='products'`` (or a list) partitions the named relations into
+      ``.inner``/``.outer`` by join support (Fig. 7).
+    """
+    db = input
+    for arg in args:
+        if isinstance(arg, FDMFunction):
+            if db is not None:
+                raise OperatorError(
+                    "subdatabase() received two input functions"
+                )
+            db = arg
+        else:
+            raise OperatorError(
+                f"subdatabase() cannot interpret argument {arg!r}"
+            )
+    if db is None:
+        raise OperatorError("subdatabase() needs a database function")
+
+    if relations is not None:
+        wanted = list(relations)
+        missing = [n for n in wanted if not db.defined_at(n)]
+        if missing:
+            raise UnknownRelationError(missing[0], db.name)
+        view = fql_filter(lambda kv: kv[0] in wanted, db)
+    else:
+        view = OverlayDatabaseFunction(db)
+
+    if outer is not None:
+        marked = [outer] if isinstance(outer, str) else list(outer)
+        plan = JoinPlan.from_database(view)
+        participating = plan.participating_keys()
+        for name in marked:
+            if not view.defined_at(name):
+                raise UnknownRelationError(name, view.name)
+            base = view(name)
+            inner_keys = participating.get(name, set())
+            view[name] = PartitionedRelationFunction(
+                base, inner_keys, name=name
+            )
+    return view
+
+
+def reduce_DB(db: FDMFunction) -> OverlayDatabaseFunction:
+    """Reduce a subdatabase to the tuples that contribute to its join
+    result (Fig. 5's ``reduce_DB``; semantics of [35]).
+
+    Implementation: semi-join fixpoint over the join-plan edges (a
+    Yannakakis-style full reducer — exact for acyclic join graphs, which is
+    what relationship functions produce; see :mod:`repro.resultdb.reduce`).
+    """
+    from repro.resultdb.reduce import reduced_key_sets
+
+    if not isinstance(db, FDMFunction):
+        raise OperatorError(f"reduce_DB() expects a database, got {db!r}")
+    plan = JoinPlan.from_database(db)
+    surviving = reduced_key_sets(plan)
+    view = OverlayDatabaseFunction(db, name=f"reduce({db.name})")
+    for name, keys in surviving.items():
+        base = db(name)
+        if keys == set(base.keys()):
+            continue  # untouched relations stay live views
+        view[name] = RestrictedFunction(base, keys, name=name)
+    return view

@@ -1,0 +1,221 @@
+"""Cardinality estimation over derived-function graphs.
+
+Stored relations carry live statistics (row counts, distinct values,
+min/max); everything else uses the textbook defaults (equality 1/V(attr),
+range one-third, independence across conjuncts). Estimates feed the join
+orderer and the explain output — they never affect result correctness,
+only physical choices.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.fdm.functions import FDMFunction
+from repro.fql.filter import FilteredFunction, RestrictedFunction
+from repro.fql.group import AggregatedRelationFunction, GroupedDatabaseFunction
+from repro.fql.join import JoinedRelationFunction
+from repro.fql.order import LimitedFunction, OrderedFunction
+from repro.fql.outer import PartitionedRelationFunction
+from repro.fql.project import MappedFunction
+from repro.fql.setops import IntersectFunction, MinusFunction, UnionFunction
+from repro.predicates.ast import (
+    And,
+    Between,
+    Comparison,
+    Literal,
+    Membership,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    AttrRef,
+)
+from repro.storage.relation import StoredRelationFunction
+
+__all__ = ["estimate_cardinality", "estimate_selectivity"]
+
+#: Defaults when no statistics apply.
+DEFAULT_EQ_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1 / 3
+DEFAULT_OPAQUE_SELECTIVITY = 1 / 3
+DEFAULT_GROUP_SHRINK = 10
+
+
+def _stats_of(fn: FDMFunction) -> Any:
+    if isinstance(fn, StoredRelationFunction):
+        return fn.statistics()
+    return None
+
+
+def estimate_selectivity(pred: Predicate, source: FDMFunction) -> float:
+    """Estimated fraction of mappings the predicate keeps."""
+    stats = _stats_of(source)
+
+    def of(p: Predicate) -> float:
+        if isinstance(p, TruePredicate):
+            return 1.0
+        if isinstance(p, And):
+            out = 1.0
+            for part in p.parts:
+                out *= of(part)
+            return out
+        if isinstance(p, Or):
+            out = 0.0
+            for part in p.parts:
+                out += of(part)
+            return min(1.0, out)
+        if isinstance(p, Not):
+            return max(0.0, 1.0 - of(p.operand))
+        if isinstance(p, Comparison):
+            attr = _single_attr(p.left) or _single_attr(p.right)
+            literal = (
+                p.right.value
+                if isinstance(p.right, Literal)
+                else (p.left.value if isinstance(p.left, Literal) else None)
+            )
+            if attr is not None and stats is not None:
+                attr_stats = stats.attr(attr)
+                if attr_stats is not None:
+                    if p.op == "==":
+                        return attr_stats.selectivity_eq(literal)
+                    if p.op in ("<", "<="):
+                        return attr_stats.selectivity_range(None, literal)
+                    if p.op in (">", ">="):
+                        return attr_stats.selectivity_range(literal, None)
+                    if p.op == "!=":
+                        return 1.0 - attr_stats.selectivity_eq(literal)
+            if p.op == "==":
+                return DEFAULT_EQ_SELECTIVITY
+            if p.op == "!=":
+                return 1.0 - DEFAULT_EQ_SELECTIVITY
+            return DEFAULT_RANGE_SELECTIVITY
+        if isinstance(p, Between):
+            attr = _single_attr(p.item)
+            if (
+                attr is not None
+                and stats is not None
+                and isinstance(p.lo, Literal)
+                and isinstance(p.hi, Literal)
+            ):
+                attr_stats = stats.attr(attr)
+                if attr_stats is not None:
+                    return attr_stats.selectivity_range(
+                        p.lo.value, p.hi.value
+                    )
+            return DEFAULT_RANGE_SELECTIVITY
+        if isinstance(p, Membership):
+            if isinstance(p.collection, Literal):
+                try:
+                    n = len(p.collection.value)
+                except TypeError:
+                    n = 1
+                sel = min(1.0, n * DEFAULT_EQ_SELECTIVITY)
+                return (1.0 - sel) if p.negated else sel
+            return DEFAULT_RANGE_SELECTIVITY
+        return DEFAULT_OPAQUE_SELECTIVITY
+
+    return max(0.0, min(1.0, of(pred)))
+
+
+def _single_attr(expr: Any) -> str | None:
+    if isinstance(expr, AttrRef) and len(expr.path) == 1:
+        return expr.path[0]
+    return None
+
+
+def estimate_cardinality(fn: FDMFunction) -> float:
+    """Estimated number of mappings of *fn* (never enumerates non-leaves
+    when statistics can answer)."""
+    if isinstance(fn, StoredRelationFunction):
+        return float(fn.statistics().row_count)
+    if isinstance(fn, FilteredFunction):
+        return estimate_cardinality(fn.source) * estimate_selectivity(
+            fn.predicate, _base_of(fn.source)
+        )
+    if isinstance(fn, RestrictedFunction):
+        return float(
+            min(len(fn.restricted_keys), estimate_cardinality(fn.source))
+        )
+    if isinstance(fn, LimitedFunction):
+        return float(min(fn.op_params()["n"], estimate_cardinality(fn.source)))
+    if isinstance(fn, (OrderedFunction, MappedFunction,
+                       PartitionedRelationFunction)):
+        return estimate_cardinality(fn.source)
+    if isinstance(fn, GroupedDatabaseFunction):
+        base = estimate_cardinality(fn.source)
+        stats = _stats_of(_base_of(fn.source))
+        if stats is not None and fn.by.attrs:
+            distinct = 1.0
+            for attr in fn.by.attrs:
+                attr_stats = stats.attr(attr)
+                if attr_stats is not None:
+                    distinct *= max(1, attr_stats.n_distinct)
+            return float(min(base, distinct))
+        return max(1.0, base / DEFAULT_GROUP_SHRINK)
+    if isinstance(fn, AggregatedRelationFunction):
+        return estimate_cardinality(fn.source)
+    if isinstance(fn, UnionFunction):
+        return estimate_cardinality(fn.left) + estimate_cardinality(fn.right)
+    if isinstance(fn, IntersectFunction):
+        return min(
+            estimate_cardinality(fn.left), estimate_cardinality(fn.right)
+        )
+    if isinstance(fn, MinusFunction):
+        return estimate_cardinality(fn.left)
+    if isinstance(fn, JoinedRelationFunction):
+        plan = fn.plan
+        total = 1.0
+        for atom in plan.atoms.values():
+            total *= max(1.0, estimate_cardinality(atom))
+        for left, right in plan.edges:
+            left_size = max(
+                1.0, estimate_cardinality(plan.atoms[left.atom])
+            )
+            right_size = max(
+                1.0, estimate_cardinality(plan.atoms[right.atom])
+            )
+            total /= max(left_size, right_size)
+        return max(0.0, total)
+    # physical operators
+    from repro.optimizer.physical import (
+        FusedGroupAggregateFunction,
+        IndexLookupFunction,
+        KeyLookupFunction,
+    )
+
+    if isinstance(fn, KeyLookupFunction):
+        return 1.0
+    if isinstance(fn, IndexLookupFunction):
+        stats = _stats_of(fn.source)
+        params = fn.op_params()
+        if stats is not None:
+            attr_stats = stats.attr(params["attr"])
+            if attr_stats is not None:
+                if "eq" in params:
+                    sel = attr_stats.selectivity_eq(params["eq"])
+                else:
+                    lo, hi = params["range"]
+                    sel = attr_stats.selectivity_range(lo, hi)
+                return estimate_cardinality(fn.source) * sel
+        return estimate_cardinality(fn.source) * DEFAULT_EQ_SELECTIVITY
+    if isinstance(fn, FusedGroupAggregateFunction):
+        return max(
+            1.0, estimate_cardinality(fn.source) / DEFAULT_GROUP_SHRINK
+        )
+    # leaves: material functions know their size; data spaces count as big
+    if fn.is_enumerable:
+        try:
+            return float(len(fn))
+        except Exception:
+            return float(sum(1 for _ in fn.keys()))
+    return float("inf")
+
+
+def _base_of(fn: FDMFunction) -> FDMFunction:
+    """Descend key-preserving unary chains to the statistics carrier."""
+    while True:
+        children = getattr(fn, "children", ())
+        if isinstance(fn, StoredRelationFunction) or len(children) != 1:
+            return fn
+        fn = children[0]

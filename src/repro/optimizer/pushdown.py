@@ -1,0 +1,148 @@
+"""The PL ↔ DBMS pushdown frontier (paper §4.2).
+
+"The entire FQL expression or any suitable part of it may be pushed down
+to the database system" — *which* part is decidable from the graph itself:
+an operator can be delegated iff the engine can see through it (transparent
+predicates, attribute-list group-bys, known aggregates) **and** everything
+beneath it can too. A single opaque lambda therefore fences off its whole
+upstream pipeline, which is the measured cost of that costume (bench S1).
+
+:func:`split` walks a derived graph and labels every node ``engine`` or
+``pl``; :class:`PushdownReport` summarizes the boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.fdm.functions import DerivedFunction, FDMFunction
+from repro.fql.aggregates import (
+    Aggregate,
+    Avg,
+    Collect,
+    Count,
+    CountDistinct,
+    First,
+    Max,
+    Median,
+    Min,
+    StdDev,
+    Sum,
+)
+from repro.fql.filter import FilteredFunction, RestrictedFunction
+from repro.fql.group import AggregatedRelationFunction, GroupedDatabaseFunction
+from repro.fql.order import OrderedFunction
+from repro.fql.project import MappedFunction
+
+__all__ = ["split", "PushdownReport", "is_engine_executable_op"]
+
+#: Aggregates the (hypothetical) engine knows how to run.
+KNOWN_AGGREGATES = (
+    Count, CountDistinct, Sum, Avg, Min, Max, Collect, First, StdDev, Median,
+)
+
+
+def _aggregates_known(aggs: dict[str, Aggregate]) -> bool:
+    return all(
+        type(agg) in KNOWN_AGGREGATES
+        and (agg.attr is None or isinstance(agg.attr, str))
+        for agg in aggs.values()
+    )
+
+
+def is_engine_executable_op(node: FDMFunction) -> bool:
+    """Can the engine execute *this* operator (ignoring children)?"""
+    if not isinstance(node, DerivedFunction):
+        return True  # base data lives in the engine by definition
+    if isinstance(node, FilteredFunction):
+        return node.predicate.is_transparent
+    if isinstance(node, GroupedDatabaseFunction):
+        return node.by.is_transparent
+    if isinstance(node, AggregatedRelationFunction):
+        return _aggregates_known(node.aggregates)
+    if isinstance(node, OrderedFunction):
+        key = node.op_params()["key"]
+        return isinstance(key, (str, list))
+    if isinstance(node, MappedFunction):
+        if node.op_name == "extend":
+            params = node.op_params()
+            return set(params["computed"]) == set(params["transparent"])
+        return node.op_name in ("project", "rename")
+    from repro.optimizer.physical import FusedGroupAggregateFunction
+
+    if isinstance(node, FusedGroupAggregateFunction):
+        return node._by.is_transparent and _aggregates_known(node._aggs)
+    if isinstance(node, RestrictedFunction):
+        return True
+    # joins, set ops, subdb machinery, overlays, limits, physical lookups
+    return node.op_name in (
+        "join", "union", "intersect", "minus", "limit", "restrict",
+        "outer_mark", "index_lookup", "key_lookup",
+    ) or not isinstance(node, DerivedFunction)
+
+
+@dataclass
+class PushdownReport:
+    """Which side of the frontier each operator landed on."""
+
+    engine_ops: list[str] = field(default_factory=list)
+    pl_ops: list[str] = field(default_factory=list)
+    blockers: list[str] = field(default_factory=list)
+
+    @property
+    def fully_pushed(self) -> bool:
+        return not self.pl_ops
+
+    @property
+    def engine_fraction(self) -> float:
+        total = len(self.engine_ops) + len(self.pl_ops)
+        return len(self.engine_ops) / total if total else 1.0
+
+    def describe(self) -> str:
+        lines = [
+            f"pushdown: {len(self.engine_ops)} engine-side, "
+            f"{len(self.pl_ops)} PL-side"
+        ]
+        if self.engine_ops:
+            lines.append("  engine: " + ", ".join(self.engine_ops))
+        if self.pl_ops:
+            lines.append("  PL:     " + ", ".join(self.pl_ops))
+        for blocker in self.blockers:
+            lines.append(f"  blocked by: {blocker}")
+        return "\n".join(lines)
+
+
+def split(fn: FDMFunction) -> PushdownReport:
+    """Label every operator of the graph engine-side or PL-side.
+
+    A node is engine-side iff its own operator is engine-executable and
+    all of its children are engine-side — delegation needs a contiguous
+    bottom fragment, matching how a real system ships a subplan.
+    """
+    report = PushdownReport()
+
+    def visit(node: FDMFunction) -> bool:
+        children_ok = all(
+            visit(child) for child in getattr(node, "children", ())
+        )
+        if not isinstance(node, DerivedFunction):
+            return True  # leaves are data, not operators
+        own_ok = is_engine_executable_op(node)
+        label = node.op_name
+        if isinstance(node, FilteredFunction):
+            label += f"[{node.predicate.to_source()}]"
+        if own_ok and children_ok:
+            report.engine_ops.append(label)
+            return True
+        report.pl_ops.append(label)
+        if not own_ok:
+            report.blockers.append(
+                f"{label} is opaque to the engine (lambda costume?)"
+            )
+        return False
+
+    visit(fn)
+    report.engine_ops.reverse()
+    report.pl_ops.reverse()
+    return report

@@ -1,0 +1,49 @@
+"""The FQL predicate language.
+
+Transparent predicates — parsed text, Django lookups, broken-up operator
+triples — expose their structure to the optimizer; opaque Python callables
+do not. Parameters bind to finished syntax trees, making injection
+impossible by construction (paper contribution 10).
+"""
+
+from repro.predicates.ast import (
+    And,
+    AttrRef,
+    Between,
+    BinOp,
+    Comparison,
+    EvalContext,
+    Expr,
+    FalsePredicate,
+    FuncCall,
+    KeyRef,
+    Literal,
+    Membership,
+    Not,
+    OpaquePredicate,
+    Or,
+    Param,
+    Predicate,
+    TruePredicate,
+    UnaryOp,
+    as_predicate,
+)
+from repro.predicates.django import (
+    LOOKUP_OPS,
+    exclude_to_predicate,
+    kwargs_to_predicate,
+    lookup_to_predicate,
+)
+from repro.predicates.operators import Operator
+from repro.predicates.parser import parse_expression, parse_predicate
+
+__all__ = [
+    "And", "AttrRef", "Between", "BinOp", "Comparison", "EvalContext",
+    "Expr", "FalsePredicate", "FuncCall", "KeyRef", "Literal", "Membership",
+    "Not", "OpaquePredicate", "Or", "Param", "Predicate", "TruePredicate",
+    "UnaryOp", "as_predicate",
+    "LOOKUP_OPS", "exclude_to_predicate", "kwargs_to_predicate",
+    "lookup_to_predicate",
+    "Operator",
+    "parse_expression", "parse_predicate",
+]

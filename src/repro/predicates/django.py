@@ -1,0 +1,154 @@
+"""Django-ORM-style keyword lookups: the ``filter(age__gt=42, ...)`` costume.
+
+A keyword ``<path>__<op>=value`` compiles to a transparent predicate node;
+a keyword without a recognized operator suffix is an equality test. Paths
+may be nested (``address__city__eq='NY'`` → ``address.city == 'NY'``), and
+the reserved head ``key`` addresses the mapping key (Fig. 5 filters by
+relation name this way: ``key__in=['order', 'products']``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+from repro.errors import PredicateError
+from repro.predicates.ast import (
+    And,
+    AttrRef,
+    Between,
+    Comparison,
+    Expr,
+    FuncCall,
+    KeyRef,
+    Literal,
+    Membership,
+    Not,
+    Predicate,
+    TruePredicate,
+)
+
+__all__ = ["lookup_to_predicate", "kwargs_to_predicate", "LOOKUP_OPS"]
+
+
+def _cmp(op: str) -> Callable[[Expr, Any], Predicate]:
+    return lambda ref, value: Comparison(op, ref, Literal(value))
+
+
+def _in(ref: Expr, value: Any) -> Predicate:
+    return Membership(ref, Literal(list(value)))
+
+
+def _not_in(ref: Expr, value: Any) -> Predicate:
+    return Membership(ref, Literal(list(value)), negated=True)
+
+
+def _between(ref: Expr, value: Any) -> Predicate:
+    try:
+        lo, hi = value
+    except (TypeError, ValueError):
+        raise PredicateError(
+            f"__between expects a (lo, hi) pair, got {value!r}"
+        ) from None
+    return Between(ref, Literal(lo), Literal(hi))
+
+
+def _contains(ref: Expr, value: Any) -> Predicate:
+    return Comparison("==", FuncCall("contains", [ref, Literal(value)]),
+                      Literal(True))
+
+
+def _startswith(ref: Expr, value: Any) -> Predicate:
+    return Comparison(
+        "==", FuncCall("startswith", [ref, Literal(value)]), Literal(True)
+    )
+
+
+def _endswith(ref: Expr, value: Any) -> Predicate:
+    return Comparison(
+        "==", FuncCall("endswith", [ref, Literal(value)]), Literal(True)
+    )
+
+
+def _icontains(ref: Expr, value: Any) -> Predicate:
+    return Comparison(
+        "==",
+        FuncCall(
+            "contains", [FuncCall("lower", [ref]), Literal(str(value).lower())]
+        ),
+        Literal(True),
+    )
+
+
+def _iexact(ref: Expr, value: Any) -> Predicate:
+    return Comparison(
+        "==", FuncCall("lower", [ref]), Literal(str(value).lower())
+    )
+
+
+#: Lookup suffix → predicate builder. ``gte``/``lte`` are the Django names;
+#: ``ge``/``le`` are accepted as aliases.
+LOOKUP_OPS: dict[str, Callable[[Expr, Any], Predicate]] = {
+    "eq": _cmp("=="),
+    "exact": _cmp("=="),
+    "ne": _cmp("!="),
+    "gt": _cmp(">"),
+    "gte": _cmp(">="),
+    "ge": _cmp(">="),
+    "lt": _cmp("<"),
+    "lte": _cmp("<="),
+    "le": _cmp("<="),
+    "in": _in,
+    "notin": _not_in,
+    "between": _between,
+    "contains": _contains,
+    "icontains": _icontains,
+    "startswith": _startswith,
+    "endswith": _endswith,
+    "iexact": _iexact,
+}
+
+
+def lookup_to_predicate(lookup: str, value: Any) -> Predicate:
+    """Compile one keyword lookup into a predicate.
+
+    >>> p = lookup_to_predicate("age__gt", 42)
+    >>> p.to_source()
+    'age > 42'
+    """
+    segments = lookup.split("__")
+    segments = [s for s in segments if s]  # tolerate leading '__'
+    if not segments:
+        raise PredicateError(f"empty lookup {lookup!r}")
+    if len(segments) > 1 and segments[-1] in LOOKUP_OPS:
+        op = segments[-1]
+        path = segments[:-1]
+    else:
+        op = "eq"
+        path = segments
+    ref: Expr
+    if path == ["key"]:
+        ref = KeyRef()
+    else:
+        ref = AttrRef(*path)
+    return LOOKUP_OPS[op](ref, value)
+
+
+def kwargs_to_predicate(lookups: Mapping[str, Any]) -> Predicate:
+    """AND all keyword lookups together (Django semantics).
+
+    An empty mapping yields the always-true predicate, so
+    ``filter(customers)`` is the identity filter.
+    """
+    parts = [
+        lookup_to_predicate(lookup, value) for lookup, value in lookups.items()
+    ]
+    if not parts:
+        return TruePredicate()
+    if len(parts) == 1:
+        return parts[0]
+    return And(*parts)
+
+
+def exclude_to_predicate(lookups: Mapping[str, Any]) -> Predicate:
+    """Django's ``exclude``: NOT(AND(lookups))."""
+    return Not(kwargs_to_predicate(lookups))

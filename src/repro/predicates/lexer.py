@@ -1,0 +1,146 @@
+"""Tokenizer for textual FQL predicates (the Fig. 4a costume
+``filter("age>$foo", {foo: 42}, customers)``).
+
+Token kinds: NUMBER, STRING, IDENT, PARAM (``$name``), OP, LPAREN, RPAREN,
+COMMA, DOT, EOF. Keywords (``and or not in between true false``) are
+reported as IDENT and classified by the parser, so attributes may not shadow
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import PredicateSyntaxError
+
+__all__ = ["Token", "tokenize"]
+
+_OPERATOR_CHARS = {"<", ">", "=", "!", "+", "-", "*", "/", "%", "~"}
+_TWO_CHAR_OPS = {"<=", ">=", "==", "!=", "<>"}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r}@{self.position})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize predicate source, raising on anything unrecognized.
+
+    Note what is *not* here: no statement separators, no comments, no
+    quoting tricks — the grammar is too small to smuggle structure through,
+    which is half of the injection-impossibility argument (the other half
+    is that parameters bind to finished syntax trees).
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "(":
+            tokens.append(Token("LPAREN", ch, i))
+            i += 1
+        elif ch == ")":
+            tokens.append(Token("RPAREN", ch, i))
+            i += 1
+        elif ch == ",":
+            tokens.append(Token("COMMA", ch, i))
+            i += 1
+        elif ch == "[":
+            tokens.append(Token("LBRACKET", ch, i))
+            i += 1
+        elif ch == "]":
+            tokens.append(Token("RBRACKET", ch, i))
+            i += 1
+        elif ch == "$":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            name = text[i + 1 : j]
+            if not name or not name[0].isalpha() and name[0] != "_":
+                raise PredicateSyntaxError(
+                    "expected parameter name after '$'", text, i
+                )
+            tokens.append(Token("PARAM", name, i))
+            i = j
+        elif ch in ("'", '"'):
+            j = i + 1
+            buf: list[str] = []
+            closed = False
+            while j < n:
+                if text[j] == "\\" and j + 1 < n:
+                    buf.append(text[j + 1])
+                    j += 2
+                    continue
+                if text[j] == ch:
+                    closed = True
+                    break
+                buf.append(text[j])
+                j += 1
+            if not closed:
+                raise PredicateSyntaxError("unterminated string", text, i)
+            tokens.append(Token("STRING", "".join(buf), i))
+            i = j + 1
+        elif ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    # a '.' followed by an identifier is attribute access,
+                    # not a decimal point
+                    if j + 1 < n and text[j + 1].isalpha():
+                        break
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    if j + 1 < n and (
+                        text[j + 1].isdigit() or text[j + 1] in "+-"
+                    ):
+                        seen_exp = True
+                        j += 1
+                        if text[j] in "+-":
+                            j += 1
+                    else:
+                        break
+                else:
+                    break
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+        elif ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            tokens.append(Token("IDENT", text[i:j], i))
+            i = j
+        elif ch == ".":
+            tokens.append(Token("DOT", ch, i))
+            i += 1
+        elif ch in _OPERATOR_CHARS:
+            two = text[i : i + 2]
+            if two in _TWO_CHAR_OPS:
+                tokens.append(Token("OP", two, i))
+                i += 2
+            else:
+                tokens.append(Token("OP", ch, i))
+                i += 1
+        else:
+            raise PredicateSyntaxError(
+                f"unexpected character {ch!r}", text, i
+            )
+    tokens.append(Token("EOF", "", n))
+    return tokens

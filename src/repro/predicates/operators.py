@@ -1,0 +1,90 @@
+"""Operator objects for the broken-up filter costume (Fig. 4a):
+
+    from repro.predicates.operators import gt
+    customers_42 = filter(customers, att='age', op=gt, c=42)
+
+Each operator is a tiny value object that knows how to build a transparent
+predicate from an attribute reference and a constant. Importing ``*`` from
+this module mirrors the figure's ``from operators import *``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.predicates.ast import (
+    AttrRef,
+    Between,
+    Comparison,
+    Expr,
+    FuncCall,
+    Literal,
+    Membership,
+    Predicate,
+)
+
+__all__ = [
+    "Operator",
+    "gt",
+    "ge",
+    "gte",
+    "lt",
+    "le",
+    "lte",
+    "eq",
+    "ne",
+    "isin",
+    "not_in",
+    "between",
+    "contains",
+    "startswith",
+    "endswith",
+]
+
+
+class Operator:
+    """A named comparison operator usable in the broken-up costume."""
+
+    __slots__ = ("name", "symbol")
+
+    def __init__(self, name: str, symbol: str):
+        self.name = name
+        self.symbol = symbol
+
+    def build(self, attr: str | Expr, constant: Any) -> Predicate:
+        """Build the predicate ``<attr> <op> <constant>``."""
+        ref = attr if isinstance(attr, Expr) else AttrRef(*str(attr).split("."))
+        if self.name == "isin":
+            return Membership(ref, Literal(list(constant)))
+        if self.name == "not_in":
+            return Membership(ref, Literal(list(constant)), negated=True)
+        if self.name == "between":
+            lo, hi = constant
+            return Between(ref, Literal(lo), Literal(hi))
+        if self.name in ("contains", "startswith", "endswith"):
+            return Comparison(
+                "==",
+                FuncCall(self.name, [ref, Literal(constant)]),
+                Literal(True),
+            )
+        return Comparison(self.symbol, ref, Literal(constant))
+
+    def __call__(self, attr: str | Expr, constant: Any) -> Predicate:
+        return self.build(attr, constant)
+
+    def __repr__(self) -> str:
+        return f"<op {self.name} ({self.symbol})>"
+
+
+gt = Operator("gt", ">")
+ge = gte = Operator("ge", ">=")
+lt = Operator("lt", "<")
+le = lte = Operator("le", "<=")
+eq = Operator("eq", "==")
+ne = Operator("ne", "!=")
+isin = Operator("isin", "in")
+not_in = Operator("not_in", "not in")
+between = Operator("between", "between")
+contains = Operator("contains", "contains")
+startswith = Operator("startswith", "startswith")
+endswith = Operator("endswith", "endswith")

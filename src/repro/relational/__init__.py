@@ -1,0 +1,36 @@
+"""The relational baseline: relations as sets of tuples, relational
+algebra with SQL NULL semantics, and a SQL subset engine.
+
+Everything the paper argues *against* is implemented here for real, so
+that every benchmark comparison runs against executable semantics instead
+of a strawman.
+"""
+
+from repro.relational.algebra import (
+    cross,
+    except_,
+    full_outer_join,
+    group_aggregate,
+    inner_join,
+    intersect,
+    left_outer_join,
+    project,
+    rename_columns,
+    right_outer_join,
+    select,
+    union,
+)
+from repro.relational.grouping_sets import cube_sets, grouping_sets, rollup_sets
+from repro.relational.nulls import NULL, UNKNOWN, is_null
+from repro.relational.relation import Relation
+from repro.relational.sql import SQLDatabase, parse_script, parse_sql
+
+__all__ = [
+    "cross", "except_", "full_outer_join", "group_aggregate", "inner_join",
+    "intersect", "left_outer_join", "project", "rename_columns",
+    "right_outer_join", "select", "union",
+    "cube_sets", "grouping_sets", "rollup_sets",
+    "NULL", "UNKNOWN", "is_null",
+    "Relation",
+    "SQLDatabase", "parse_script", "parse_sql",
+]

@@ -1,0 +1,308 @@
+"""Relational algebra over :class:`repro.relational.relation.Relation`.
+
+σ π ρ × ⋈ (inner/left/right/full outer) ∪ ∩ − γ — with SQL semantics
+throughout: predicates evaluate in three-valued logic and only TRUE
+selects; outer joins pad with NULL; set operations deduplicate and treat
+NULLs as equal; aggregation skips NULLs (except COUNT(*)).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import RelationalError
+from repro.relational.nulls import (
+    NULL,
+    is_null,
+    sql_truthy,
+)
+from repro.relational.relation import Relation
+
+__all__ = [
+    "select",
+    "project",
+    "rename_columns",
+    "cross",
+    "inner_join",
+    "left_outer_join",
+    "right_outer_join",
+    "full_outer_join",
+    "union",
+    "intersect",
+    "except_",
+    "group_aggregate",
+    "SQL_AGGREGATES",
+]
+
+RowPredicate = Callable[[dict[str, Any]], Any]  # returns True/False/UNKNOWN
+
+
+def select(rel: Relation, predicate: RowPredicate) -> Relation:
+    """σ: keep rows whose predicate is TRUE (UNKNOWN drops — 3VL)."""
+    out = Relation(rel.name, rel.columns)
+    for row in rel.rows:
+        if sql_truthy(predicate(rel.row_dict(row))):
+            out.rows.append(row)
+    return out
+
+
+def project(
+    rel: Relation, columns: Sequence[str], distinct: bool = True
+) -> Relation:
+    """π: column subset; SQL's DISTINCT question is explicit here."""
+    indexes = [rel.column_index(c) for c in columns]
+    out = Relation(rel.name, columns)
+    seen: set[tuple] = set()
+    for row in rel.rows:
+        projected = tuple(row[i] for i in indexes)
+        if distinct:
+            if projected in seen:
+                continue
+            seen.add(projected)
+        out.rows.append(projected)
+    return out
+
+
+def rename_columns(rel: Relation, mapping: dict[str, str]) -> Relation:
+    """ρ: rename columns."""
+    out = Relation(
+        rel.name, [mapping.get(c, c) for c in rel.columns]
+    )
+    out.rows = list(rel.rows)
+    return out
+
+
+def _merged_columns(left: Relation, right: Relation) -> list[str]:
+    columns = list(left.columns)
+    for c in right.columns:
+        columns.append(f"{right.name}.{c}" if c in left.columns else c)
+    return columns
+
+
+def cross(left: Relation, right: Relation) -> Relation:
+    """× : cartesian product (colliding columns qualified)."""
+    out = Relation(f"{left.name}×{right.name}", _merged_columns(left, right))
+    for lrow in left.rows:
+        for rrow in right.rows:
+            out.rows.append(lrow + rrow)
+    return out
+
+
+def _hash_join_pairs(
+    left: Relation,
+    right: Relation,
+    on: Sequence[tuple[str, str]],
+) -> tuple[list[tuple[int, int]], set[int], set[int]]:
+    """Matching row-index pairs plus matched row sets (for outer pads).
+
+    SQL join semantics: NULL join keys never match anything.
+    """
+    left_idx = [left.column_index(a) for a, _b in on]
+    right_idx = [right.column_index(b) for _a, b in on]
+    buckets: dict[tuple, list[int]] = {}
+    for j, rrow in enumerate(right.rows):
+        key = tuple(rrow[i] for i in right_idx)
+        if any(is_null(v) for v in key):
+            continue
+        buckets.setdefault(key, []).append(j)
+    pairs: list[tuple[int, int]] = []
+    matched_left: set[int] = set()
+    matched_right: set[int] = set()
+    for i, lrow in enumerate(left.rows):
+        key = tuple(lrow[i2] for i2 in left_idx)
+        if any(is_null(v) for v in key):
+            continue
+        for j in buckets.get(key, ()):
+            pairs.append((i, j))
+            matched_left.add(i)
+            matched_right.add(j)
+    return pairs, matched_left, matched_right
+
+
+def inner_join(
+    left: Relation, right: Relation, on: Sequence[tuple[str, str]]
+) -> Relation:
+    """⋈ : equi-join producing one denormalized relation."""
+    out = Relation(f"{left.name}⋈{right.name}", _merged_columns(left, right))
+    pairs, _ml, _mr = _hash_join_pairs(left, right, on)
+    for i, j in pairs:
+        out.rows.append(left.rows[i] + right.rows[j])
+    return out
+
+
+def left_outer_join(
+    left: Relation, right: Relation, on: Sequence[tuple[str, str]]
+) -> Relation:
+    """⟕ : inner matches plus NULL-padded unmatched left rows."""
+    out = Relation(
+        f"{left.name}⟕{right.name}", _merged_columns(left, right)
+    )
+    pairs, matched_left, _mr = _hash_join_pairs(left, right, on)
+    for i, j in pairs:
+        out.rows.append(left.rows[i] + right.rows[j])
+    pad = (NULL,) * len(right.columns)
+    for i, lrow in enumerate(left.rows):
+        if i not in matched_left:
+            out.rows.append(lrow + pad)  # the NULL padding Fig. 7 avoids
+    return out
+
+
+def right_outer_join(
+    left: Relation, right: Relation, on: Sequence[tuple[str, str]]
+) -> Relation:
+    """⟖ : inner matches plus NULL-padded unmatched right rows."""
+    out = Relation(
+        f"{left.name}⟖{right.name}", _merged_columns(left, right)
+    )
+    pairs, _ml, matched_right = _hash_join_pairs(left, right, on)
+    for i, j in pairs:
+        out.rows.append(left.rows[i] + right.rows[j])
+    pad = (NULL,) * len(left.columns)
+    for j, rrow in enumerate(right.rows):
+        if j not in matched_right:
+            out.rows.append(pad + rrow)
+    return out
+
+
+def full_outer_join(
+    left: Relation, right: Relation, on: Sequence[tuple[str, str]]
+) -> Relation:
+    """⟗ : inner matches plus NULL-padded unmatched rows of both sides."""
+    out = Relation(
+        f"{left.name}⟗{right.name}", _merged_columns(left, right)
+    )
+    pairs, matched_left, matched_right = _hash_join_pairs(left, right, on)
+    for i, j in pairs:
+        out.rows.append(left.rows[i] + right.rows[j])
+    right_pad = (NULL,) * len(right.columns)
+    for i, lrow in enumerate(left.rows):
+        if i not in matched_left:
+            out.rows.append(lrow + right_pad)
+    left_pad = (NULL,) * len(left.columns)
+    for j, rrow in enumerate(right.rows):
+        if j not in matched_right:
+            out.rows.append(left_pad + rrow)
+    return out
+
+
+def _compatible(left: Relation, right: Relation) -> None:
+    if len(left.columns) != len(right.columns):
+        raise RelationalError(
+            f"set operation arity mismatch: {left.columns} vs "
+            f"{right.columns}"
+        )
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """∪ with set semantics (SQL UNION, not UNION ALL)."""
+    _compatible(left, right)
+    out = Relation(left.name, left.columns)
+    seen: set[tuple] = set()
+    for row in list(left.rows) + list(right.rows):
+        if row not in seen:
+            seen.add(row)
+            out.rows.append(row)
+    return out
+
+
+def intersect(left: Relation, right: Relation) -> Relation:
+    """∩ with set semantics (NULLs compare equal, as SQL INTERSECT does)."""
+    _compatible(left, right)
+    right_set = set(right.rows)
+    out = Relation(left.name, left.columns)
+    seen: set[tuple] = set()
+    for row in left.rows:
+        if row in right_set and row not in seen:
+            seen.add(row)
+            out.rows.append(row)
+    return out
+
+
+def except_(left: Relation, right: Relation) -> Relation:
+    """− with set semantics (SQL EXCEPT)."""
+    _compatible(left, right)
+    right_set = set(right.rows)
+    out = Relation(left.name, left.columns)
+    seen: set[tuple] = set()
+    for row in left.rows:
+        if row not in right_set and row not in seen:
+            seen.add(row)
+            out.rows.append(row)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Aggregation (γ)
+# ---------------------------------------------------------------------------
+
+
+def _agg_count(values: list[Any]) -> int:
+    return len([v for v in values if not is_null(v)])
+
+
+def _agg_sum(values: list[Any]) -> Any:
+    defined = [v for v in values if not is_null(v)]
+    return sum(defined) if defined else NULL
+
+
+def _agg_avg(values: list[Any]) -> Any:
+    defined = [v for v in values if not is_null(v)]
+    return (sum(defined) / len(defined)) if defined else NULL
+
+
+def _agg_min(values: list[Any]) -> Any:
+    defined = [v for v in values if not is_null(v)]
+    return min(defined) if defined else NULL
+
+
+def _agg_max(values: list[Any]) -> Any:
+    defined = [v for v in values if not is_null(v)]
+    return max(defined) if defined else NULL
+
+
+SQL_AGGREGATES: dict[str, Callable[[list[Any]], Any]] = {
+    "count": _agg_count,
+    "sum": _agg_sum,
+    "avg": _agg_avg,
+    "min": _agg_min,
+    "max": _agg_max,
+}
+
+
+def group_aggregate(
+    rel: Relation,
+    by: Sequence[str],
+    aggs: Iterable[tuple[str, str, str | None]],
+) -> Relation:
+    """γ: group by columns, compute aggregates.
+
+    *aggs* entries are ``(output_name, function, column-or-None)`` where
+    ``None`` means ``COUNT(*)``. NULL group keys form their own group (SQL's
+    grouping equality).
+    """
+    agg_list = list(aggs)
+    by_idx = [rel.column_index(c) for c in by]
+    groups: dict[tuple, list[tuple]] = {}
+    order: list[tuple] = []
+    for row in rel.rows:
+        key = tuple(row[i] for i in by_idx)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    columns = list(by) + [name for name, _fn, _col in agg_list]
+    out = Relation(rel.name, columns)
+    for key in order:
+        rows = groups[key]
+        values: list[Any] = list(key)
+        for name, fn_name, column in agg_list:
+            fn = SQL_AGGREGATES.get(fn_name.lower())
+            if fn is None:
+                raise RelationalError(f"unknown aggregate {fn_name!r}")
+            if column is None:  # COUNT(*)
+                values.append(len(rows))
+            else:
+                index = rel.column_index(column)
+                values.append(fn([r[index] for r in rows]))
+        out.rows.append(tuple(values))
+    return out

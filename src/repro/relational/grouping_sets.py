@@ -1,0 +1,69 @@
+"""SQL GROUPING SETS / ROLLUP / CUBE — one NULL-filled output relation.
+
+This is the baseline for Fig. 8. SQL forces all semantically different
+groupings into a *single* relation: columns absent from a grouping are
+filled with NULL, and a ``grouping_id`` bitmap column (SQL's GROUPING())
+is needed to tell a "real" NULL from a "this column wasn't grouped" NULL —
+the exact pathology the paper's gset output avoids by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.relational.algebra import group_aggregate
+from repro.relational.nulls import NULL
+from repro.relational.relation import Relation
+
+__all__ = ["grouping_sets", "rollup_sets", "cube_sets"]
+
+
+def grouping_sets(
+    rel: Relation,
+    sets: Sequence[Sequence[str]],
+    aggs: Iterable[tuple[str, str, str | None]],
+) -> Relation:
+    """Evaluate all grouping sets into one NULL-padded relation.
+
+    Output columns: the union of all grouping columns (in first-seen
+    order), the aggregate columns, and ``grouping_id`` — bit *i* set means
+    output column *i* was **not** part of the grouping (SQL semantics).
+    """
+    agg_list = list(aggs)
+    all_by: list[str] = []
+    for s in sets:
+        for c in s:
+            if c not in all_by:
+                all_by.append(c)
+    columns = all_by + [name for name, _f, _c in agg_list] + ["grouping_id"]
+    out = Relation(f"gsets({rel.name})", columns)
+    for s in sets:
+        partial = group_aggregate(rel, list(s), agg_list)
+        grouping_id = 0
+        for i, c in enumerate(all_by):
+            if c not in s:
+                grouping_id |= 1 << i
+        for row in partial.rows:
+            row_dict = partial.row_dict(row)
+            values: list[Any] = [
+                row_dict[c] if c in s else NULL for c in all_by
+            ]
+            values += [row_dict[name] for name, _f, _c in agg_list]
+            values.append(grouping_id)
+            out.rows.append(tuple(values))
+    return out
+
+
+def rollup_sets(by: Sequence[str]) -> list[list[str]]:
+    """ROLLUP(a, b, ...) = prefixes, longest first, down to the grand
+    total."""
+    return [list(by[:n]) for n in range(len(by), -1, -1)]
+
+
+def cube_sets(by: Sequence[str]) -> list[list[str]]:
+    """CUBE(a, b, ...) = all subsets (order-preserving)."""
+    n = len(by)
+    out: list[list[str]] = []
+    for mask in range((1 << n) - 1, -1, -1):
+        out.append([by[i] for i in range(n) if mask & (1 << i)])
+    return out

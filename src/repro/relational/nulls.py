@@ -1,0 +1,133 @@
+"""SQL NULL and three-valued logic — the baseline's (mis)feature.
+
+The FDM has no NULL (undefinedness is not a value); the relational baseline
+implements the full SQL semantics so the contrast in Figs. 7/8 is measured
+against the real thing:
+
+* any comparison with NULL is UNKNOWN,
+* AND/OR/NOT follow Kleene logic,
+* WHERE keeps only TRUE (UNKNOWN filters out),
+* aggregates skip NULLs; COUNT(*) does not,
+* GROUP BY treats NULLs as equal (the "NULL grouping" special case),
+* set operations treat NULLs as equal too — SQL is not even internally
+  consistent about NULL equality, which is paper ref [15]'s old complaint.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["NULL", "UNKNOWN", "is_null", "sql_eq_grouping", "sql_compare",
+           "sql_and", "sql_or", "sql_not", "sql_truthy"]
+
+
+class _Null:
+    """The SQL NULL marker (distinct from Python None in user data)."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Null":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "NULL"
+
+    def __bool__(self) -> bool:
+        return False
+
+    def __hash__(self) -> int:
+        return hash("SQL-NULL")
+
+    def __eq__(self, other: Any) -> bool:
+        # Python-level equality is identity so NULLs can live in dicts and
+        # row tuples; *SQL-level* equality goes through sql_compare.
+        return other is self
+
+
+class _Unknown:
+    """The third truth value."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Unknown":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNKNOWN"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+NULL = _Null()
+UNKNOWN = _Unknown()
+
+
+def is_null(value: Any) -> bool:
+    """True for the SQL NULL marker (and Python None in user data)."""
+    return value is NULL or value is None
+
+
+def sql_eq_grouping(a: Any, b: Any) -> bool:
+    """Equality as GROUP BY / set operations see it: NULL equals NULL."""
+    if is_null(a) and is_null(b):
+        return True
+    if is_null(a) or is_null(b):
+        return False
+    return a == b
+
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+def sql_compare(op: str, a: Any, b: Any) -> Any:
+    """Three-valued comparison: NULL on either side → UNKNOWN."""
+    if is_null(a) or is_null(b):
+        return UNKNOWN
+    try:
+        return bool(_OPS[op](a, b))
+    except TypeError:
+        return False
+
+
+def sql_and(a: Any, b: Any) -> Any:
+    """Kleene AND: False dominates, UNKNOWN is contagious otherwise."""
+    if a is False or b is False:
+        return False
+    if a is UNKNOWN or b is UNKNOWN:
+        return UNKNOWN
+    return True
+
+
+def sql_or(a: Any, b: Any) -> Any:
+    """Kleene OR: True dominates, UNKNOWN is contagious otherwise."""
+    if a is True or b is True:
+        return True
+    if a is UNKNOWN or b is UNKNOWN:
+        return UNKNOWN
+    return False
+
+
+def sql_not(a: Any) -> Any:
+    """Kleene NOT: UNKNOWN stays UNKNOWN."""
+    if a is UNKNOWN:
+        return UNKNOWN
+    return not a
+
+
+def sql_truthy(a: Any) -> bool:
+    """WHERE semantics: only TRUE passes."""
+    return a is True

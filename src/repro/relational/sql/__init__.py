@@ -1,0 +1,6 @@
+"""The SQL subset engine (baseline comparator)."""
+
+from repro.relational.sql.engine import SQLDatabase
+from repro.relational.sql.parser import parse_script, parse_sql
+
+__all__ = ["SQLDatabase", "parse_script", "parse_sql"]

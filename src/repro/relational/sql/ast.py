@@ -1,0 +1,206 @@
+"""AST node types for the SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "Expr", "Col", "Lit", "Param", "Star", "Unary", "Bin", "Cmp", "Logic",
+    "NotE", "IsNull", "InE", "BetweenE", "LikeE", "FuncE",
+    "SelectItem", "TableRef", "JoinClause", "OrderItem", "GroupSpec",
+    "SelectStmt", "InsertStmt", "UpdateStmt", "DeleteStmt",
+    "CreateTableStmt", "DropTableStmt", "SetOpStmt",
+]
+
+
+# -- expressions -------------------------------------------------------------
+
+
+class Expr:
+    """Marker base class for SQL expression nodes."""
+    pass
+
+
+@dataclass
+class Col(Expr):
+    name: str
+    qualifier: Optional[str] = None
+
+    def label(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass
+class Lit(Expr):
+    value: Any
+
+
+@dataclass
+class Param(Expr):
+    index: int  # position among '?' placeholders
+
+
+@dataclass
+class Star(Expr):
+    qualifier: Optional[str] = None
+
+
+@dataclass
+class Unary(Expr):
+    operand: Expr
+
+
+@dataclass
+class Bin(Expr):
+    op: str  # + - * / %
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Cmp(Expr):
+    op: str  # = != <> < <= > >=
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class Logic(Expr):
+    op: str  # and / or
+    parts: list[Expr]
+
+
+@dataclass
+class NotE(Expr):
+    operand: Expr
+
+
+@dataclass
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass
+class InE(Expr):
+    operand: Expr
+    values: list[Expr]
+    negated: bool = False
+
+
+@dataclass
+class BetweenE(Expr):
+    operand: Expr
+    lo: Expr
+    hi: Expr
+    negated: bool = False
+
+
+@dataclass
+class LikeE(Expr):
+    operand: Expr
+    pattern: Expr
+    negated: bool = False
+
+
+@dataclass
+class FuncE(Expr):
+    name: str  # count/sum/avg/min/max/upper/lower/length/abs
+    args: list[Expr]
+    star: bool = False  # COUNT(*)
+    distinct: bool = False
+
+
+# -- clauses -----------------------------------------------------------------
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class JoinClause:
+    kind: str  # inner / left / right / full / cross
+    table: TableRef
+    on: Optional[Expr] = None
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass
+class GroupSpec:
+    """GROUP BY: plain columns, or grouping sets / rollup / cube."""
+
+    sets: list[list[Expr]] = field(default_factory=list)
+    mode: str = "plain"  # plain / sets / rollup / cube
+
+
+# -- statements ---------------------------------------------------------------
+
+
+@dataclass
+class SelectStmt:
+    items: list[SelectItem]
+    distinct: bool = False
+    table: Optional[TableRef] = None
+    joins: list[JoinClause] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group: Optional[GroupSpec] = None
+    having: Optional[Expr] = None
+    order: list[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+
+
+@dataclass
+class SetOpStmt:
+    op: str  # union / intersect / except
+    left: Any  # SelectStmt | SetOpStmt
+    right: Any
+
+
+@dataclass
+class InsertStmt:
+    table: str
+    columns: Optional[list[str]]
+    rows: list[list[Expr]]
+
+
+@dataclass
+class UpdateStmt:
+    table: str
+    assignments: list[tuple[str, Expr]]
+    where: Optional[Expr] = None
+
+
+@dataclass
+class DeleteStmt:
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass
+class CreateTableStmt:
+    table: str
+    columns: list[tuple[str, str]]  # (name, declared type)
+
+
+@dataclass
+class DropTableStmt:
+    table: str

@@ -1,0 +1,75 @@
+"""The SQL engine façade: parse + execute against an in-memory database.
+
+This is the baseline DBMS of every benchmark — and of the injection story
+(S2): ``execute(sql, params)`` is the *safe* path (prepared-statement
+placeholders); application code that builds `sql` by string concatenation
+re-creates CWE-89 faithfully, as `benchmarks/bench_s2_injection.py`
+demonstrates against this engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.relational.relation import Relation
+from repro.relational.sql.executor import SQLExecutor
+from repro.relational.sql.parser import parse_script, parse_sql
+
+__all__ = ["SQLDatabase"]
+
+
+class SQLDatabase:
+    """A tiny single-user SQL DBMS over in-memory relations."""
+
+    def __init__(self, name: str = "sqldb"):
+        self.name = name
+        self.tables: dict[str, Relation] = {}
+        self._executor = SQLExecutor(self.tables)
+
+    # -- data loading -----------------------------------------------------------
+
+    def load(self, relation: Relation) -> None:
+        """Register an existing relation under its own name."""
+        self.tables[relation.name] = relation
+
+    def load_dicts(
+        self,
+        name: str,
+        dicts: Iterable[dict[str, Any]],
+        columns: Sequence[str] | None = None,
+    ) -> Relation:
+        rel = Relation.from_dicts(name, dicts, columns=columns)
+        self.tables[name] = rel
+        return rel
+
+    # -- execution --------------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Any:
+        """Parse and run one statement.
+
+        Returns a :class:`Relation` for queries, an affected-row count for
+        DML/DDL. ``params`` bind ``?`` placeholders positionally — the safe
+        way to pass user input.
+        """
+        return self._executor.execute(parse_sql(sql), tuple(params))
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> Relation:
+        result = self.execute(sql, params)
+        if not isinstance(result, Relation):
+            raise TypeError(f"{sql!r} is not a query")
+        return result
+
+    def script(self, sql: str) -> list[Any]:
+        """Run a ';'-separated script; returns per-statement results."""
+        return [
+            self._executor.execute(stmt, ()) for stmt in parse_script(sql)
+        ]
+
+    def table(self, name: str) -> Relation:
+        return self.tables[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.tables
+
+    def __repr__(self) -> str:
+        return f"<SQLDatabase {self.name!r}: {sorted(self.tables)}>"

@@ -1,0 +1,121 @@
+"""Tokenizer for the SQL subset.
+
+Deliberately faithful to the parts of SQL that make injection possible:
+string literals with ``''`` escaping, ``--`` line comments, and statement
+separators — the classic payload ingredients. The FQL predicate language
+has none of these (see :mod:`repro.predicates.lexer`), which is half the
+point of benchmark S2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SQLSyntaxError
+
+__all__ = ["SQLToken", "tokenize_sql", "KEYWORDS"]
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "as", "and", "or", "not", "in", "is", "null", "like", "between",
+    "join", "inner", "left", "right", "full", "outer", "on", "cross",
+    "insert", "into", "values", "update", "set", "delete", "create",
+    "table", "drop", "distinct", "asc", "desc", "union", "intersect",
+    "except", "all", "grouping", "sets", "rollup", "cube", "true", "false",
+}
+
+_TWO_CHAR = {"<=", ">=", "<>", "!=", "=="}
+_OP_CHARS = set("=<>!+-*/%")
+
+
+@dataclass(frozen=True)
+class SQLToken:
+    kind: str  # KEYWORD IDENT NUMBER STRING OP PUNCT PARAM EOF
+    text: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def tokenize_sql(text: str) -> list[SQLToken]:
+    """Tokenize SQL text; raises :class:`SQLSyntaxError` on garbage."""
+    tokens: list[SQLToken] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and i + 1 < n and text[i + 1] == "-":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        if ch == "'":
+            j = i + 1
+            buf: list[str] = []
+            closed = False
+            while j < n:
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # '' escape
+                        buf.append("'")
+                        j += 2
+                        continue
+                    closed = True
+                    break
+                buf.append(text[j])
+                j += 1
+            if not closed:
+                raise SQLSyntaxError("unterminated string literal", text, i)
+            tokens.append(SQLToken("STRING", "".join(buf), i))
+            i = j + 1
+        elif ch == '"':
+            # double-quoted identifier: lets keyword-colliding names
+            # ("order") be used as table/column names, as in real SQL
+            j = text.find('"', i + 1)
+            if j < 0:
+                raise SQLSyntaxError("unterminated quoted identifier", text, i)
+            tokens.append(SQLToken("IDENT", text[i + 1 : j], i))
+            i = j + 1
+        elif ch.isdigit() or (
+            ch == "." and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (
+                text[j].isdigit() or (text[j] == "." and not seen_dot)
+            ):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(SQLToken("NUMBER", text[i:j], i))
+            i = j
+        elif ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = "KEYWORD" if word.lower() in KEYWORDS else "IDENT"
+            tokens.append(SQLToken(kind, word, i))
+            i = j
+        elif ch == "?":
+            tokens.append(SQLToken("PARAM", "?", i))
+            i += 1
+        elif ch in "(),.;*":
+            # '*' doubles as multiply and SELECT-star; parser disambiguates
+            kind = "PUNCT" if ch in "(),.;" else "OP"
+            tokens.append(SQLToken(kind, ch, i))
+            i += 1
+        elif ch in _OP_CHARS:
+            two = text[i : i + 2]
+            if two in _TWO_CHAR:
+                tokens.append(SQLToken("OP", two, i))
+                i += 2
+            else:
+                tokens.append(SQLToken("OP", ch, i))
+                i += 1
+        else:
+            raise SQLSyntaxError(f"unexpected character {ch!r}", text, i)
+    tokens.append(SQLToken("EOF", "", n))
+    return tokens

@@ -1,0 +1,521 @@
+"""Recursive-descent parser for the SQL subset.
+
+Supported statements::
+
+    SELECT [DISTINCT] items FROM t [AS a]
+        [{INNER|LEFT|RIGHT|FULL [OUTER]|CROSS} JOIN t2 [AS b] [ON expr]]*
+        [WHERE expr]
+        [GROUP BY cols | GROUPING SETS ((..),..) | ROLLUP(..) | CUBE(..)]
+        [HAVING expr] [ORDER BY e [ASC|DESC], ..] [LIMIT n]
+        [{UNION|INTERSECT|EXCEPT} SELECT ...]
+    INSERT INTO t [(cols)] VALUES (..), (..)
+    UPDATE t SET c = e, .. [WHERE expr]
+    DELETE FROM t [WHERE expr]
+    CREATE TABLE t (col type, ..)
+    DROP TABLE t
+
+``?`` placeholders parse to positional :class:`Param` nodes — the prepared
+statement facility the injection benchmark compares against string
+concatenation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import SQLSyntaxError
+from repro.relational.sql.ast import (
+    BetweenE,
+    Bin,
+    Cmp,
+    Col,
+    CreateTableStmt,
+    DeleteStmt,
+    DropTableStmt,
+    FuncE,
+    GroupSpec,
+    InE,
+    InsertStmt,
+    IsNull,
+    JoinClause,
+    LikeE,
+    Lit,
+    Logic,
+    NotE,
+    OrderItem,
+    Param,
+    SelectItem,
+    SelectStmt,
+    SetOpStmt,
+    Star,
+    TableRef,
+    Unary,
+    UpdateStmt,
+)
+from repro.relational.sql.lexer import SQLToken, tokenize_sql
+
+__all__ = ["parse_sql", "parse_script"]
+
+_AGGREGATES = {"count", "sum", "avg", "min", "max"}
+_SCALAR_FUNCS = {"upper", "lower", "length", "abs"}
+_CMP_OPS = {"=", "==", "!=", "<>", "<", "<=", ">", ">="}
+
+
+class _SQLParser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize_sql(text)
+        self.pos = 0
+        self.param_count = 0
+
+    # -- token helpers ---------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> SQLToken:
+        index = min(self.pos + ahead, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> SQLToken:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        return token.kind == "KEYWORD" and token.text.lower() in words
+
+    def eat_keyword(self, *words: str) -> Optional[SQLToken]:
+        if self.at_keyword(*words):
+            return self.advance()
+        return None
+
+    def expect_keyword(self, word: str) -> SQLToken:
+        token = self.eat_keyword(word)
+        if token is None:
+            actual = self.peek()
+            raise SQLSyntaxError(
+                f"expected {word.upper()}, found {actual.text or 'EOF'!r}",
+                self.text,
+                actual.position,
+            )
+        return token
+
+    def eat_punct(self, text: str) -> Optional[SQLToken]:
+        token = self.peek()
+        if token.kind == "PUNCT" and token.text == text:
+            return self.advance()
+        return None
+
+    def expect_punct(self, text: str) -> SQLToken:
+        token = self.eat_punct(text)
+        if token is None:
+            actual = self.peek()
+            raise SQLSyntaxError(
+                f"expected {text!r}, found {actual.text or 'EOF'!r}",
+                self.text,
+                actual.position,
+            )
+        return token
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind != "IDENT":
+            raise SQLSyntaxError(
+                f"expected identifier, found {token.text or 'EOF'!r}",
+                self.text,
+                token.position,
+            )
+        self.advance()
+        return token.text
+
+    def fail(self, message: str) -> None:
+        raise SQLSyntaxError(message, self.text, self.peek().position)
+
+    # -- statements --------------------------------------------------------------
+
+    def parse_statement(self):
+        if self.at_keyword("select"):
+            return self.select_chain()
+        if self.at_keyword("insert"):
+            return self.insert()
+        if self.at_keyword("update"):
+            return self.update()
+        if self.at_keyword("delete"):
+            return self.delete()
+        if self.at_keyword("create"):
+            return self.create_table()
+        if self.at_keyword("drop"):
+            return self.drop_table()
+        self.fail(f"unsupported statement start {self.peek().text!r}")
+
+    def select_chain(self):
+        left = self.select()
+        while self.at_keyword("union", "intersect", "except"):
+            op = self.advance().text.lower()
+            if self.eat_keyword("all"):
+                self.fail("UNION ALL is not supported (set semantics only)")
+            right = self.select()
+            left = SetOpStmt(op, left, right)
+        return left
+
+    def select(self) -> SelectStmt:
+        self.expect_keyword("select")
+        distinct = self.eat_keyword("distinct") is not None
+        items = [self.select_item()]
+        while self.eat_punct(","):
+            items.append(self.select_item())
+        stmt = SelectStmt(items=items, distinct=distinct)
+        if self.eat_keyword("from"):
+            stmt.table = self.table_ref()
+            while True:
+                join = self.join_clause()
+                if join is None:
+                    break
+                stmt.joins.append(join)
+        if self.eat_keyword("where"):
+            stmt.where = self.expr()
+        if self.eat_keyword("group"):
+            self.expect_keyword("by")
+            stmt.group = self.group_spec()
+        if self.eat_keyword("having"):
+            stmt.having = self.expr()
+        if self.eat_keyword("order"):
+            self.expect_keyword("by")
+            stmt.order.append(self.order_item())
+            while self.eat_punct(","):
+                stmt.order.append(self.order_item())
+        if self.eat_keyword("limit"):
+            token = self.peek()
+            if token.kind != "NUMBER":
+                self.fail("LIMIT expects a number")
+            self.advance()
+            stmt.limit = int(token.text)
+        return stmt
+
+    def select_item(self) -> SelectItem:
+        token = self.peek()
+        if token.kind == "OP" and token.text == "*":
+            self.advance()
+            return SelectItem(Star())
+        if (
+            token.kind == "IDENT"
+            and self.peek(1).text == "."
+            and self.peek(2).kind == "OP"
+            and self.peek(2).text == "*"
+        ):
+            qualifier = self.expect_ident()
+            self.expect_punct(".")
+            self.advance()  # '*'
+            return SelectItem(Star(qualifier))
+        expr = self.expr()
+        alias = None
+        if self.eat_keyword("as"):
+            alias = self.expect_ident()
+        elif self.peek().kind == "IDENT":
+            alias = self.expect_ident()
+        return SelectItem(expr, alias)
+
+    def table_ref(self) -> TableRef:
+        name = self.expect_ident()
+        alias = None
+        if self.eat_keyword("as"):
+            alias = self.expect_ident()
+        elif self.peek().kind == "IDENT":
+            alias = self.expect_ident()
+        return TableRef(name, alias)
+
+    def join_clause(self) -> Optional[JoinClause]:
+        kind = None
+        if self.eat_keyword("cross"):
+            kind = "cross"
+        elif self.eat_keyword("inner"):
+            kind = "inner"
+        elif self.at_keyword("left", "right", "full"):
+            kind = self.advance().text.lower()
+            self.eat_keyword("outer")
+        elif self.at_keyword("join"):
+            kind = "inner"
+        if kind is None:
+            return None
+        self.expect_keyword("join")
+        table = self.table_ref()
+        on = None
+        if kind != "cross":
+            self.expect_keyword("on")
+            on = self.expr()
+        return JoinClause(kind, table, on)
+
+    def group_spec(self) -> GroupSpec:
+        if self.eat_keyword("grouping"):
+            self.expect_keyword("sets")
+            self.expect_punct("(")
+            sets = [self.column_tuple()]
+            while self.eat_punct(","):
+                sets.append(self.column_tuple())
+            self.expect_punct(")")
+            return GroupSpec(sets=sets, mode="sets")
+        if self.eat_keyword("rollup"):
+            self.expect_punct("(")
+            columns = [self.expr()]
+            while self.eat_punct(","):
+                columns.append(self.expr())
+            self.expect_punct(")")
+            return GroupSpec(sets=[columns], mode="rollup")
+        if self.eat_keyword("cube"):
+            self.expect_punct("(")
+            columns = [self.expr()]
+            while self.eat_punct(","):
+                columns.append(self.expr())
+            self.expect_punct(")")
+            return GroupSpec(sets=[columns], mode="cube")
+        columns = [self.expr()]
+        while self.eat_punct(","):
+            columns.append(self.expr())
+        return GroupSpec(sets=[columns], mode="plain")
+
+    def column_tuple(self) -> list:
+        self.expect_punct("(")
+        columns = []
+        if not self.eat_punct(")"):
+            columns.append(self.expr())
+            while self.eat_punct(","):
+                columns.append(self.expr())
+            self.expect_punct(")")
+        return columns
+
+    def order_item(self) -> OrderItem:
+        expr = self.expr()
+        descending = False
+        if self.eat_keyword("desc"):
+            descending = True
+        else:
+            self.eat_keyword("asc")
+        return OrderItem(expr, descending)
+
+    def insert(self) -> InsertStmt:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        table = self.expect_ident()
+        columns = None
+        if self.eat_punct("("):
+            columns = [self.expect_ident()]
+            while self.eat_punct(","):
+                columns.append(self.expect_ident())
+            self.expect_punct(")")
+        self.expect_keyword("values")
+        rows = [self.value_tuple()]
+        while self.eat_punct(","):
+            rows.append(self.value_tuple())
+        return InsertStmt(table, columns, rows)
+
+    def value_tuple(self) -> list:
+        self.expect_punct("(")
+        values = [self.expr()]
+        while self.eat_punct(","):
+            values.append(self.expr())
+        self.expect_punct(")")
+        return values
+
+    def update(self) -> UpdateStmt:
+        self.expect_keyword("update")
+        table = self.expect_ident()
+        self.expect_keyword("set")
+        assignments = [self.assignment()]
+        while self.eat_punct(","):
+            assignments.append(self.assignment())
+        where = self.expr() if self.eat_keyword("where") else None
+        return UpdateStmt(table, assignments, where)
+
+    def assignment(self) -> tuple:
+        column = self.expect_ident()
+        token = self.peek()
+        if token.kind != "OP" or token.text not in ("=", "=="):
+            self.fail("expected '=' in SET clause")
+        self.advance()
+        return (column, self.expr())
+
+    def delete(self) -> DeleteStmt:
+        self.expect_keyword("delete")
+        self.expect_keyword("from")
+        table = self.expect_ident()
+        where = self.expr() if self.eat_keyword("where") else None
+        return DeleteStmt(table, where)
+
+    def create_table(self) -> CreateTableStmt:
+        self.expect_keyword("create")
+        self.expect_keyword("table")
+        table = self.expect_ident()
+        self.expect_punct("(")
+        columns = []
+        while True:
+            name = self.expect_ident()
+            type_name = ""
+            if self.peek().kind == "IDENT":
+                type_name = self.expect_ident()
+            columns.append((name, type_name))
+            if not self.eat_punct(","):
+                break
+        self.expect_punct(")")
+        return CreateTableStmt(table, columns)
+
+    def drop_table(self) -> DropTableStmt:
+        self.expect_keyword("drop")
+        self.expect_keyword("table")
+        return DropTableStmt(self.expect_ident())
+
+    # -- expressions ------------------------------------------------------------
+
+    def expr(self):
+        return self.or_expr()
+
+    def or_expr(self):
+        parts = [self.and_expr()]
+        while self.eat_keyword("or"):
+            parts.append(self.and_expr())
+        return parts[0] if len(parts) == 1 else Logic("or", parts)
+
+    def and_expr(self):
+        parts = [self.not_expr()]
+        while self.eat_keyword("and"):
+            parts.append(self.not_expr())
+        return parts[0] if len(parts) == 1 else Logic("and", parts)
+
+    def not_expr(self):
+        if self.eat_keyword("not"):
+            return NotE(self.not_expr())
+        return self.comparison()
+
+    def comparison(self):
+        left = self.additive()
+        token = self.peek()
+        if token.kind == "OP" and token.text in _CMP_OPS:
+            self.advance()
+            return Cmp(token.text, left, self.additive())
+        if self.eat_keyword("is"):
+            negated = self.eat_keyword("not") is not None
+            self.expect_keyword("null")
+            return IsNull(left, negated)
+        negated = False
+        if self.at_keyword("not") and self.peek(1).text.lower() in (
+            "in", "like", "between",
+        ):
+            self.advance()
+            negated = True
+        if self.eat_keyword("in"):
+            self.expect_punct("(")
+            values = [self.expr()]
+            while self.eat_punct(","):
+                values.append(self.expr())
+            self.expect_punct(")")
+            return InE(left, values, negated)
+        if self.eat_keyword("like"):
+            return LikeE(left, self.additive(), negated)
+        if self.eat_keyword("between"):
+            lo = self.additive()
+            self.expect_keyword("and")
+            hi = self.additive()
+            return BetweenE(left, lo, hi, negated)
+        return left
+
+    def additive(self):
+        left = self.multiplicative()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.text in ("+", "-"):
+                self.advance()
+                left = Bin(token.text, left, self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self):
+        left = self.unary()
+        while True:
+            token = self.peek()
+            if token.kind == "OP" and token.text in ("*", "/", "%"):
+                self.advance()
+                left = Bin(token.text, left, self.unary())
+            else:
+                return left
+
+    def unary(self):
+        token = self.peek()
+        if token.kind == "OP" and token.text == "-":
+            self.advance()
+            return Unary(self.unary())
+        return self.primary()
+
+    def primary(self):
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            return Lit(float(token.text) if "." in token.text else int(token.text))
+        if token.kind == "STRING":
+            self.advance()
+            return Lit(token.text)
+        if token.kind == "PARAM":
+            self.advance()
+            param = Param(self.param_count)
+            self.param_count += 1
+            return param
+        if token.kind == "KEYWORD" and token.text.lower() in (
+            "null", "true", "false",
+        ):
+            self.advance()
+            word = token.text.lower()
+            if word == "null":
+                from repro.relational.nulls import NULL
+
+                return Lit(NULL)
+            return Lit(word == "true")
+        if token.kind == "PUNCT" and token.text == "(":
+            self.advance()
+            inner = self.expr()
+            self.expect_punct(")")
+            return inner
+        if token.kind == "IDENT":
+            name = self.expect_ident()
+            lowered = name.lower()
+            if self.peek().text == "(" and (
+                lowered in _AGGREGATES or lowered in _SCALAR_FUNCS
+            ):
+                self.expect_punct("(")
+                if lowered == "count" and self.peek().text == "*":
+                    self.advance()
+                    self.expect_punct(")")
+                    return FuncE("count", [], star=True)
+                distinct = self.eat_keyword("distinct") is not None
+                args = []
+                if self.peek().text != ")":
+                    args.append(self.expr())
+                    while self.eat_punct(","):
+                        args.append(self.expr())
+                self.expect_punct(")")
+                return FuncE(lowered, args, distinct=distinct)
+            if self.eat_punct("."):
+                column = self.expect_ident()
+                return Col(column, qualifier=name)
+            return Col(name)
+        self.fail(f"unexpected token {token.text or 'EOF'!r}")
+
+
+def parse_sql(text: str):
+    """Parse a single SQL statement (trailing ';' tolerated)."""
+    parser = _SQLParser(text)
+    stmt = parser.parse_statement()
+    parser.eat_punct(";")
+    if parser.peek().kind != "EOF":
+        parser.fail(f"unexpected trailing input {parser.peek().text!r}")
+    return stmt
+
+
+def parse_script(text: str) -> list:
+    """Parse ';'-separated statements."""
+    parser = _SQLParser(text)
+    statements = []
+    while parser.peek().kind != "EOF":
+        statements.append(parser.parse_statement())
+        if not parser.eat_punct(";"):
+            break
+    if parser.peek().kind != "EOF":
+        parser.fail(f"unexpected trailing input {parser.peek().text!r}")
+    return statements

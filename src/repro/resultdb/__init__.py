@@ -1,0 +1,19 @@
+"""ResultDB semantics: subdatabase results and streaming (paper [35], §4.2).
+
+The SIGMOD'25 RESULTDB extension returns the *subdatabase* of tuples that
+contribute to a query's join result, as separate per-relation streams,
+instead of one denormalized table. Fig. 5 is "the FQL version of the
+SQL-extension proposed in [35]"; this package provides the reduction
+algorithm and the ONC-style streaming interface FQL results flow through.
+"""
+
+from repro.resultdb.reduce import reduced_key_sets, semijoin_reduce
+from repro.resultdb.streams import ResultStream, stream_database, stream_relation
+
+__all__ = [
+    "reduced_key_sets",
+    "semijoin_reduce",
+    "ResultStream",
+    "stream_database",
+    "stream_relation",
+]

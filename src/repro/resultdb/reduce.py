@@ -1,0 +1,118 @@
+"""Semi-join reduction of a subdatabase (the engine behind ``reduce_DB``).
+
+Given a join plan (atoms + equi-join edges), compute, per atom, the set of
+keys that survive a full reducer pass: repeatedly drop keys whose join
+value finds no partner on the other side of an edge, until a fixpoint.
+
+For **acyclic** join graphs — which relationship-function schemas produce
+naturally (a relationship function is a hyperedge touching its
+participants) — the fixpoint equals the exact set of tuples participating
+in at least one full join result (Yannakakis). For cyclic graphs it is a
+superset; `repro.fql.join.JoinPlan.participating_keys` remains the exact
+(but quadratic) reference, and the test suite asserts their agreement on
+acyclic inputs.
+
+Atoms not touched by any edge keep all their keys, unless some atom ends
+empty — an empty atom empties the whole join result, hence every atom.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import UndefinedInputError
+from repro.fql.join import JoinPlan, JoinSide
+
+__all__ = ["semijoin_reduce", "reduced_key_sets"]
+
+
+def _side_values(
+    side: JoinSide,
+    plan: JoinPlan,
+    keys: set,
+    cache: dict[tuple[str, Any], Any],
+) -> set:
+    """All join values *side* produces over the given surviving keys."""
+    out = set()
+    fn = plan.atoms[side.atom]
+    for key in keys:
+        token = (side.atom, key, repr(side.accessor))
+        if token in cache:
+            value = cache[token]
+        else:
+            try:
+                value = side.eval(key, fn(key))
+            except UndefinedInputError:
+                value = _NO_VALUE
+            cache[token] = value
+        if value is not _NO_VALUE:
+            out.add(value)
+    return out
+
+
+_NO_VALUE = object()
+
+
+def semijoin_reduce(plan: JoinPlan) -> dict[str, set]:
+    """Run the semi-join fixpoint; returns surviving keys per atom."""
+    keysets: dict[str, set] = {
+        name: set(fn.keys()) for name, fn in plan.atoms.items()
+    }
+    cache: dict[tuple[str, Any], Any] = {}
+    connected = {s.atom for a, b in plan.edges for s in (a, b)}
+
+    changed = True
+    while changed:
+        changed = False
+        for left, right in plan.edges:
+            left_fn = plan.atoms[left.atom]
+            right_values = _side_values(
+                right, plan, keysets[right.atom], cache
+            )
+            survivors = set()
+            for key in keysets[left.atom]:
+                token = (left.atom, key, repr(left.accessor))
+                if token in cache:
+                    value = cache[token]
+                else:
+                    try:
+                        value = left.eval(key, left_fn(key))
+                    except UndefinedInputError:
+                        value = _NO_VALUE
+                    cache[token] = value
+                if value is not _NO_VALUE and value in right_values:
+                    survivors.add(key)
+            if survivors != keysets[left.atom]:
+                keysets[left.atom] = survivors
+                changed = True
+            # symmetric direction
+            left_values = _side_values(left, plan, keysets[left.atom], cache)
+            right_fn = plan.atoms[right.atom]
+            survivors = set()
+            for key in keysets[right.atom]:
+                token = (right.atom, key, repr(right.accessor))
+                if token in cache:
+                    value = cache[token]
+                else:
+                    try:
+                        value = right.eval(key, right_fn(key))
+                    except UndefinedInputError:
+                        value = _NO_VALUE
+                    cache[token] = value
+                if value is not _NO_VALUE and value in left_values:
+                    survivors.add(key)
+            if survivors != keysets[right.atom]:
+                keysets[right.atom] = survivors
+                changed = True
+
+    # an empty connected atom empties the whole join — and with it
+    # every unconnected (cross-product) atom as well
+    if any(not keysets[name] for name in connected):
+        if connected:
+            return {name: set() for name in keysets}
+    return keysets
+
+
+def reduced_key_sets(plan: JoinPlan) -> dict[str, set]:
+    """Public entry point used by :func:`repro.fql.subdb.reduce_DB`."""
+    return semijoin_reduce(plan)

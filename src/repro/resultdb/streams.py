@@ -1,0 +1,102 @@
+"""Streaming result interfaces (paper §4.2).
+
+"The entire FQL expression or any suitable part of it may be pushed down to
+the database system which can then ... return a function (through some
+streaming interface: ONC, generators, vectorized, etc.)".
+
+:class:`ResultStream` wraps any enumerable FDM function in a classic
+open-next-close cursor that also supports Python iteration and vectorized
+(batched) consumption. ``stream_database`` returns *one stream per
+relation* — results are "not shoehorned into a single output stream, but
+are returned as separate streams" (paper §1 on [35]).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import OperatorError
+from repro.fdm.functions import FDMFunction
+
+__all__ = ["ResultStream", "stream_relation", "stream_database"]
+
+
+class ResultStream:
+    """An ONC (open-next-close) cursor over an enumerable FDM function."""
+
+    #: Sentinel returned by :meth:`next` when the stream is exhausted.
+    END = object()
+
+    def __init__(self, source: FDMFunction, batch_size: int | None = None):
+        if batch_size is not None and batch_size <= 0:
+            raise OperatorError("batch_size must be positive")
+        self._source = source
+        self._batch_size = batch_size
+        self._iter: Iterator[tuple[Any, Any]] | None = None
+        self._open = False
+
+    @property
+    def name(self) -> str:
+        return self._source.name
+
+    def open(self) -> "ResultStream":
+        self._iter = iter(self._source.items())
+        self._open = True
+        return self
+
+    def next(self) -> Any:
+        """The next (key, value) pair — or batch, in vectorized mode."""
+        if not self._open or self._iter is None:
+            raise OperatorError(
+                f"stream over {self.name!r} is not open; call open() first"
+            )
+        if self._batch_size is None:
+            return next(self._iter, self.END)
+        batch = []
+        for _ in range(self._batch_size):
+            item = next(self._iter, self.END)
+            if item is self.END:
+                break
+            batch.append(item)
+        return batch if batch else self.END
+
+    def close(self) -> None:
+        self._iter = None
+        self._open = False
+
+    # -- pythonic costumes --------------------------------------------------------
+
+    def __enter__(self) -> "ResultStream":
+        return self.open()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __iter__(self) -> Iterator[Any]:
+        if not self._open:
+            self.open()
+        while True:
+            item = self.next()
+            if item is self.END:
+                break
+            yield item
+        self.close()
+
+
+def stream_relation(
+    source: FDMFunction, batch_size: int | None = None
+) -> ResultStream:
+    """A cursor over one relation function."""
+    return ResultStream(source, batch_size=batch_size)
+
+
+def stream_database(
+    db: FDMFunction, batch_size: int | None = None
+) -> dict[str, ResultStream]:
+    """One independent stream per relation in the database — the separate
+    result streams of [35]."""
+    return {
+        name: ResultStream(fn, batch_size=batch_size)
+        for name, fn in db.items()
+        if isinstance(fn, FDMFunction) and fn.is_enumerable
+    }

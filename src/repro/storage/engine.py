@@ -1,0 +1,147 @@
+"""The storage engine: versioned tables + WAL + indexes + statistics.
+
+One engine backs one database function. The engine owns no transaction
+logic — the :mod:`repro.txn` manager validates and orders commits, then
+hands the engine a batch of writes to apply atomically (WAL first, then
+version chains, then index/statistics maintenance).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro._util import TOMBSTONE
+from repro.errors import StorageError, UnknownRelationError
+from repro.storage.index import HashIndex, IndexSet, SortedIndex
+from repro.storage.stats import TableStatistics
+from repro.storage.versioned import VersionedTable
+from repro.storage.wal import WALRecord, WriteAheadLog
+
+__all__ = ["StorageEngine"]
+
+#: A timestamp later than any real commit stamp.
+_LATEST = 2**62
+
+
+class StorageEngine:
+    """Owns tables, indexes, statistics, and the WAL for one database."""
+    def __init__(self, name: str = "engine", wal_path: str | None = None):
+        self.name = name
+        self.tables: dict[str, VersionedTable] = {}
+        self.indexes: dict[str, IndexSet] = {}
+        self.stats: dict[str, TableStatistics] = {}
+        self.wal = WriteAheadLog(wal_path)
+
+    # -- DDL (not versioned; see DESIGN.md) ---------------------------------------
+
+    def create_table(
+        self, name: str, key_name: str | tuple[str, ...] | None = None
+    ) -> VersionedTable:
+        if name in self.tables:
+            raise StorageError(f"table {name!r} already exists")
+        table = VersionedTable(name, key_name=key_name)
+        self.tables[name] = table
+        self.indexes[name] = IndexSet()
+        self.stats[name] = TableStatistics(name)
+        return table
+
+    def drop_table(self, name: str) -> None:
+        if name not in self.tables:
+            raise UnknownRelationError(name, self.name)
+        del self.tables[name]
+        del self.indexes[name]
+        del self.stats[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self.tables
+
+    def table(self, name: str) -> VersionedTable:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise UnknownRelationError(name, self.name) from None
+
+    def table_names(self) -> list[str]:
+        return list(self.tables)
+
+    def create_index(
+        self, table: str, attr: str, kind: str = "hash"
+    ) -> HashIndex | SortedIndex:
+        """Create and backfill a secondary index on latest-committed data."""
+        if table not in self.tables:
+            raise UnknownRelationError(table, self.name)
+        index = self.indexes[table].create(attr, kind)
+        for key, data in self.tables[table].scan_at(_LATEST):
+            index.update(key, TOMBSTONE, data)
+        return index
+
+    def drop_index(self, table: str, attr: str) -> None:
+        if table in self.indexes:
+            self.indexes[table].drop(attr)
+
+    # -- commit application ----------------------------------------------------------
+
+    def apply_commit(
+        self, commit_ts: int, writes: list[tuple[str, Any, Any]]
+    ) -> None:
+        """Durably apply one committed transaction's writes.
+
+        Order matters: WAL first (durability), then version chains, then
+        index and statistics maintenance.
+        """
+        self.wal.append(WALRecord(commit_ts, list(writes)))
+        for table_name, key, data in writes:
+            table = self.table(table_name)
+            old = table.read(key, _LATEST)
+            table.apply(key, data, commit_ts)
+            self.indexes[table_name].update(key, old, data)
+            self.stats[table_name].on_write(old, data)
+
+    # -- maintenance ------------------------------------------------------------------
+
+    def vacuum(self, watermark: int) -> int:
+        """GC dead versions below *watermark*; returns versions dropped."""
+        return sum(t.vacuum(watermark) for t in self.tables.values())
+
+    def version_count(self) -> int:
+        return sum(t.version_count() for t in self.tables.values())
+
+    # -- recovery ---------------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        wal: WriteAheadLog,
+        schemas: dict[str, str | tuple[str, ...] | None] | None = None,
+        name: str = "engine",
+    ) -> "StorageEngine":
+        """Rebuild an engine by replaying a WAL in commit order."""
+        engine = cls(name=name)
+        schemas = schemas or {}
+        for record in wal.records():
+            for table_name, key, data in record.writes:
+                if not engine.has_table(table_name):
+                    engine.create_table(
+                        table_name, key_name=schemas.get(table_name)
+                    )
+            engine._replay(record)
+        return engine
+
+    def _replay(self, record: WALRecord) -> None:
+        for table_name, key, data in record.writes:
+            table = self.table(table_name)
+            old = table.read(key, _LATEST)
+            table.apply(key, data, record.commit_ts)
+            self.indexes[table_name].update(key, old, data)
+            self.stats[table_name].on_write(old, data)
+
+    # -- introspection ------------------------------------------------------------------
+
+    def scan(self, table: str, ts: int) -> Iterator[tuple[Any, Any]]:
+        return self.table(table).scan_at(ts)
+
+    def __repr__(self) -> str:
+        return (
+            f"<StorageEngine {self.name!r}: {len(self.tables)} tables, "
+            f"{len(self.wal)} WAL records>"
+        )

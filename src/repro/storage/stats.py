@@ -1,0 +1,136 @@
+"""Table statistics for the optimizer's cardinality estimation.
+
+Maintained incrementally at commit time: row count, and per attribute the
+number of rows defining it, approximate distinct counts, numeric min/max,
+and a fixed-width histogram for numeric attributes. Estimation formulas
+are the textbook ones (uniformity within buckets, independence across
+predicates) — see :mod:`repro.optimizer.cardinality` for how they are
+consumed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro._util import TOMBSTONE
+
+__all__ = ["AttrStatistics", "TableStatistics", "HISTOGRAM_BUCKETS"]
+
+HISTOGRAM_BUCKETS = 16
+
+
+class AttrStatistics:
+    """Statistics for one attribute of one table."""
+
+    __slots__ = ("defined", "values", "numeric_min", "numeric_max")
+
+    def __init__(self) -> None:
+        self.defined = 0
+        self.values: dict[Any, int] = {}  # value-token → count
+        self.numeric_min: float | None = None
+        self.numeric_max: float | None = None
+
+    def add(self, value: Any) -> None:
+        self.defined += 1
+        token = _token(value)
+        self.values[token] = self.values.get(token, 0) + 1
+        if _is_numeric(value):
+            value = float(value)
+            if self.numeric_min is None or value < self.numeric_min:
+                self.numeric_min = value
+            if self.numeric_max is None or value > self.numeric_max:
+                self.numeric_max = value
+
+    def remove(self, value: Any) -> None:
+        self.defined = max(0, self.defined - 1)
+        token = _token(value)
+        count = self.values.get(token, 0)
+        if count <= 1:
+            self.values.pop(token, None)
+        else:
+            self.values[token] = count - 1
+        # min/max are not shrunk on delete (cheap upper bound; standard)
+
+    @property
+    def n_distinct(self) -> int:
+        return len(self.values)
+
+    def selectivity_eq(self, value: Any) -> float:
+        """Estimated fraction of defined rows equal to *value*."""
+        if self.defined == 0:
+            return 0.0
+        count = self.values.get(_token(value))
+        if count is not None:
+            return count / self.defined
+        if self.n_distinct:
+            return 1.0 / self.n_distinct
+        return 0.0
+
+    def selectivity_range(
+        self, lo: float | None, hi: float | None
+    ) -> float:
+        """Estimated fraction of defined rows inside [lo, hi]."""
+        if (
+            self.numeric_min is None
+            or self.numeric_max is None
+            or self.defined == 0
+        ):
+            return 1.0 / 3.0  # the classic guess for un-histogrammed ranges
+        span = self.numeric_max - self.numeric_min
+        if span <= 0:
+            inside = (lo is None or lo <= self.numeric_min) and (
+                hi is None or self.numeric_max <= hi
+            )
+            return 1.0 if inside else 0.0
+        lo_eff = self.numeric_min if lo is None else max(lo, self.numeric_min)
+        hi_eff = self.numeric_max if hi is None else min(hi, self.numeric_max)
+        if hi_eff < lo_eff:
+            return 0.0
+        return min(1.0, (hi_eff - lo_eff) / span)
+
+
+class TableStatistics:
+    """Row count plus per-attribute statistics."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.row_count = 0
+        self.attrs: dict[str, AttrStatistics] = {}
+
+    def on_write(self, old_data: Any, new_data: Any) -> None:
+        """Incremental maintenance for one committed write."""
+        if old_data is not TOMBSTONE and isinstance(old_data, dict):
+            self.row_count = max(0, self.row_count - 1)
+            for attr, value in old_data.items():
+                stats = self.attrs.get(attr)
+                if stats is not None:
+                    stats.remove(value)
+        elif old_data is not TOMBSTONE and old_data is not None:
+            self.row_count = max(0, self.row_count - 1)
+        if new_data is not TOMBSTONE and isinstance(new_data, dict):
+            self.row_count += 1
+            for attr, value in new_data.items():
+                self.attrs.setdefault(attr, AttrStatistics()).add(value)
+        elif new_data is not TOMBSTONE and new_data is not None:
+            self.row_count += 1
+
+    def attr(self, name: str) -> AttrStatistics | None:
+        return self.attrs.get(name)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Stats {self.name!r}: {self.row_count} rows, "
+            f"{len(self.attrs)} attrs>"
+        )
+
+
+def _is_numeric(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _token(value: Any) -> Any:
+    try:
+        hash(value)
+        return value
+    except TypeError:
+        return repr(value)

@@ -1,0 +1,140 @@
+"""Write-ahead log: durability for committed transactions.
+
+Every commit appends one record — ``(commit_ts, [(table, key, data), ...])``
+with ``data=None`` encoding a delete — *before* the versions are applied to
+the tables. Recovery replays records in commit order onto a fresh engine,
+reproducing exactly the committed state (aborted transactions never reach
+the log).
+
+The log lives in memory and optionally mirrors to a JSON-lines file; both
+paths share the same record format so tests can exercise recovery without
+touching disk.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Iterator
+
+from repro._util import TOMBSTONE
+from repro.errors import WALError
+
+__all__ = ["WALRecord", "WriteAheadLog"]
+
+
+class WALRecord:
+    """One committed transaction's effects."""
+
+    __slots__ = ("commit_ts", "writes")
+
+    def __init__(self, commit_ts: int, writes: list[tuple[str, Any, Any]]):
+        self.commit_ts = commit_ts
+        self.writes = writes  # (table, key, data-or-TOMBSTONE)
+
+    def to_json(self) -> str:
+        payload = {
+            "ts": self.commit_ts,
+            "writes": [
+                {
+                    "table": table,
+                    "key": _encode_key(key),
+                    "data": None if data is TOMBSTONE else data,
+                    "deleted": data is TOMBSTONE,
+                }
+                for table, key, data in self.writes
+            ],
+        }
+        return json.dumps(payload, default=_encode_opaque)
+
+    @classmethod
+    def from_json(cls, line: str) -> "WALRecord":
+        try:
+            payload = json.loads(line)
+            writes = [
+                (
+                    w["table"],
+                    _decode_key(w["key"]),
+                    TOMBSTONE if w["deleted"] else w["data"],
+                )
+                for w in payload["writes"]
+            ]
+            return cls(payload["ts"], writes)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WALError(f"corrupt WAL record: {exc}") from exc
+
+    def __repr__(self) -> str:
+        return f"<WAL @{self.commit_ts}: {len(self.writes)} writes>"
+
+
+def _encode_key(key: Any) -> Any:
+    if isinstance(key, tuple):
+        return {"__tuple__": [_encode_key(k) for k in key]}
+    return key
+
+
+def _decode_key(key: Any) -> Any:
+    if isinstance(key, dict) and "__tuple__" in key:
+        return tuple(_decode_key(k) for k in key["__tuple__"])
+    return key
+
+
+def _encode_opaque(value: Any) -> Any:
+    # Nested FDM functions and other non-JSON values degrade to reprs in
+    # the on-disk mirror; the in-memory log keeps the real objects.
+    return {"__repr__": repr(value)}
+
+
+class WriteAheadLog:
+    """Append-only log of committed transactions."""
+
+    def __init__(self, path: str | None = None):
+        self._records: list[WALRecord] = []
+        self._path = path
+        self._file = None
+        if path is not None:
+            self._file = open(path, "a", encoding="utf-8")
+
+    @property
+    def path(self) -> str | None:
+        return self._path
+
+    def append(self, record: WALRecord) -> None:
+        self._records.append(record)
+        if self._file is not None:
+            self._file.write(record.to_json() + "\n")
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def records(self) -> Iterator[WALRecord]:
+        return iter(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def last_commit_ts(self) -> int:
+        return self._records[-1].commit_ts if self._records else 0
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    @classmethod
+    def load(cls, path: str) -> "WriteAheadLog":
+        """Read a log back from disk (for recovery)."""
+        log = cls()
+        log._path = path
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    log._records.append(WALRecord.from_json(line))
+        return log
+
+    def truncate(self) -> None:
+        """Discard all records (after a checkpoint)."""
+        self._records.clear()
+        if self._file is not None and self._path is not None:
+            self._file.close()
+            self._file = open(self._path, "w", encoding="utf-8")

@@ -1,0 +1,23 @@
+"""Snapshot-isolated transactions (Fig. 11) and the module-level
+begin()/commit() costumes."""
+
+from repro.txn.context import (
+    begin,
+    commit,
+    get_default_database,
+    rollback,
+    set_default_database,
+    transaction,
+)
+from repro.txn.manager import Transaction, TransactionManager
+
+__all__ = [
+    "begin",
+    "commit",
+    "get_default_database",
+    "rollback",
+    "set_default_database",
+    "transaction",
+    "Transaction",
+    "TransactionManager",
+]

@@ -1,0 +1,76 @@
+"""Module-level transaction costumes (Fig. 11, verbatim):
+
+    begin()
+    accounts: RelationF = DB.accounts
+    accounts[42]['balance'] -= 100
+    accounts[84]['balance'] += 100
+    commit()
+
+The bare functions operate on the *default database* — the most recent
+:func:`repro.connect` result (or an explicit
+:func:`set_default_database`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.errors import TransactionStateError
+
+__all__ = [
+    "begin",
+    "commit",
+    "rollback",
+    "transaction",
+    "set_default_database",
+    "get_default_database",
+]
+
+_default_database: Any = None
+
+
+def set_default_database(db: Any) -> None:
+    """Make *db* the target of the bare begin()/commit() costumes."""
+    global _default_database
+    _default_database = db
+
+
+def get_default_database() -> Any:
+    """The database the bare costumes target; raises if none is set."""
+    if _default_database is None:
+        raise TransactionStateError(
+            "no default database; call repro.connect() first"
+        )
+    return _default_database
+
+
+def begin() -> Any:
+    """Start a transaction on the default database (Fig. 11)."""
+    return get_default_database().begin()
+
+
+def commit() -> None:
+    """Commit the current transaction on the default database (Fig. 11)."""
+    get_default_database().commit()
+
+
+def rollback() -> None:
+    """Abort the current transaction on the default database."""
+    get_default_database().rollback()
+
+
+@contextmanager
+def transaction() -> Iterator[Any]:
+    """``with transaction():`` — commit on success, roll back on error."""
+    db = get_default_database()
+    txn = db.begin()
+    try:
+        yield txn
+    except BaseException:
+        if txn.state == "active":
+            txn.rollback()
+        raise
+    else:
+        if txn.state == "active":
+            txn.commit()

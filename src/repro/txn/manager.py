@@ -1,0 +1,232 @@
+"""Snapshot-isolated transactions over the storage engine (Fig. 11).
+
+Semantics:
+
+* ``begin()`` takes a snapshot: the transaction reads the newest versions
+  committed at or before its start stamp, plus its own buffered writes.
+* Writers never block readers; readers never block anyone.
+* Commit is **first-committer-wins**: if any written key gained a newer
+  committed version since the snapshot, the transaction aborts with
+  :class:`TransactionConflictError` (classic write-write SI validation).
+* Aborts discard the buffer — nothing ever reached the engine or the WAL.
+
+Fig. 10's footnote distinguishes transaction-level from statement-level
+snapshots: operations outside an explicit transaction run in an implicit
+per-statement transaction (see :meth:`TransactionManager.autocommit`).
+
+Interleaving: the *current* transaction is tracked per thread as a stack.
+``pause()``/``resume()`` let a benchmark (or an application juggling two
+units of work) interleave transactions on one thread — which is also how
+the Fig. 11 contention benchmark drives conflicting writers
+deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro._util import TOMBSTONE
+from repro.errors import (
+    TransactionConflictError,
+    TransactionStateError,
+)
+from repro.storage.engine import StorageEngine
+
+__all__ = ["Transaction", "TransactionManager"]
+
+ACTIVE = "active"
+COMMITTED = "committed"
+ABORTED = "aborted"
+
+
+class Transaction:
+    """One unit of snapshot-isolated work."""
+
+    _ids = iter(range(1, 2**62))
+
+    def __init__(self, manager: "TransactionManager", start_ts: int):
+        self.manager = manager
+        self.txn_id = next(Transaction._ids)
+        self.start_ts = start_ts
+        self.state = ACTIVE
+        #: (table, key) → row dict or TOMBSTONE, in write order
+        self.writes: dict[tuple[str, Any], Any] = {}
+
+    # -- buffered access ---------------------------------------------------------
+
+    def get_write(self, table: str, key: Any) -> Any:
+        """Buffered value for (table, key): row, TOMBSTONE, or _NO_WRITE."""
+        return self.writes.get((table, key), _NO_WRITE)
+
+    def write(self, table: str, key: Any, data: Any) -> None:
+        self._check_active("write")
+        self.writes[(table, key)] = data
+
+    def delete(self, table: str, key: Any) -> None:
+        self._check_active("delete")
+        self.writes[(table, key)] = TOMBSTONE
+
+    def written_keys(self, table: str) -> Iterator[tuple[Any, Any]]:
+        for (t, key), data in self.writes.items():
+            if t == table:
+                yield key, data
+
+    def _check_active(self, what: str) -> None:
+        if self.state != ACTIVE:
+            raise TransactionStateError(
+                f"cannot {what} in a {self.state} transaction"
+            )
+
+    # -- lifecycle costumes ---------------------------------------------------------
+
+    def commit(self) -> None:
+        self.manager.commit(self)
+
+    def rollback(self) -> None:
+        self.manager.abort(self)
+
+    def pause(self) -> None:
+        """Deactivate without finishing (for interleaving)."""
+        self.manager._deactivate(self)
+
+    def resume(self) -> None:
+        """Reactivate a paused transaction on this thread."""
+        self._check_active("resume")
+        self.manager._activate(self)
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc_type is None and self.state == ACTIVE:
+            self.commit()
+        elif self.state == ACTIVE:
+            self.rollback()
+        return False
+
+    def __repr__(self) -> str:
+        return (
+            f"<Txn {self.txn_id} @{self.start_ts} {self.state}: "
+            f"{len(self.writes)} writes>"
+        )
+
+
+_NO_WRITE = object()
+
+
+class TransactionManager:
+    """Orders commits, validates conflicts, tracks per-thread currency."""
+
+    def __init__(self, engine: StorageEngine):
+        self.engine = engine
+        self._lock = threading.RLock()
+        self._clock = engine.wal.last_commit_ts()
+        self._active: dict[int, Transaction] = {}
+        self._local = threading.local()
+        self.commits = 0
+        self.aborts = 0
+
+    # -- clock ----------------------------------------------------------------------
+
+    def now(self) -> int:
+        """The newest committed stamp (what autocommit readers see)."""
+        return self._clock
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def begin(self, activate: bool = True) -> Transaction:
+        with self._lock:
+            txn = Transaction(self, start_ts=self._clock)
+            self._active[txn.txn_id] = txn
+        if activate:
+            self._activate(txn)
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        txn._check_active("commit")
+        with self._lock:
+            for (table_name, key) in txn.writes:
+                table = self.engine.table(table_name)
+                if table.latest_ts(key) > txn.start_ts:
+                    self._finish(txn, ABORTED)
+                    self.aborts += 1
+                    raise TransactionConflictError(
+                        txn.txn_id, key=key, table=table_name
+                    )
+            if txn.writes:
+                self._clock += 1
+                self.engine.apply_commit(
+                    self._clock,
+                    [(t, k, data) for (t, k), data in txn.writes.items()],
+                )
+            self._finish(txn, COMMITTED)
+            self.commits += 1
+
+    def abort(self, txn: Transaction) -> None:
+        txn._check_active("rollback")
+        with self._lock:
+            self._finish(txn, ABORTED)
+            self.aborts += 1
+
+    def _finish(self, txn: Transaction, state: str) -> None:
+        txn.state = state
+        self._active.pop(txn.txn_id, None)
+        self._deactivate(txn)
+
+    # -- per-thread currency ---------------------------------------------------------------
+
+    def _stack(self) -> list[Transaction]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _activate(self, txn: Transaction) -> None:
+        self._stack().append(txn)
+
+    def _deactivate(self, txn: Transaction) -> None:
+        stack = self._stack()
+        if txn in stack:
+            stack.remove(txn)
+
+    def current(self) -> Transaction | None:
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- statement-level snapshots (Fig. 10 footnote) -----------------------------------------
+
+    @contextmanager
+    def autocommit(self) -> Iterator[Transaction]:
+        """An implicit single-statement transaction, used when a DML
+        costume runs with no explicit transaction active."""
+        txn = self.begin(activate=True)
+        try:
+            yield txn
+        except BaseException:
+            if txn.state == ACTIVE:
+                self.abort(txn)
+            raise
+        else:
+            if txn.state == ACTIVE:
+                self.commit(txn)
+
+    # -- maintenance ---------------------------------------------------------------------------
+
+    def oldest_active_snapshot(self) -> int:
+        with self._lock:
+            if not self._active:
+                return self._clock
+            return min(t.start_ts for t in self._active.values())
+
+    def vacuum(self) -> int:
+        """GC versions no active snapshot can see."""
+        return self.engine.vacuum(self.oldest_active_snapshot())
+
+    def __repr__(self) -> str:
+        return (
+            f"<TM @{self._clock}: {len(self._active)} active, "
+            f"{self.commits} commits, {self.aborts} aborts>"
+        )

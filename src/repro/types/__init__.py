@@ -1,0 +1,19 @@
+"""Runtime type checking (paper ref [25]) and schema types for FDM."""
+
+from repro.types.schema import (
+    ANY_TYPE,
+    BOOL,
+    FLOAT,
+    INT,
+    STR,
+    AttrType,
+    Schema,
+    infer_schema,
+)
+from repro.types.typecheck import check_type, conforms, typechecked
+
+__all__ = [
+    "ANY_TYPE", "BOOL", "FLOAT", "INT", "STR", "AttrType", "Schema",
+    "infer_schema",
+    "check_type", "conforms", "typechecked",
+]

@@ -1,0 +1,197 @@
+"""Schema types for tuple and relation functions.
+
+FDM domains/codomains "may be constrained to a type and/or certain
+conditions" (Definition 1). A :class:`Schema` is such a constraint at the
+tuple level: attribute → type, with required/optional split (optional
+means the tuple may be *undefined* there — never NULL). Schemas can be
+declared, inferred from data, validated against, and attached to relation
+functions as codomain constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+from repro.errors import SchemaError
+from repro.fdm.domains import PredicateDomain
+from repro.fdm.functions import FDMFunction
+
+__all__ = ["AttrType", "Schema", "infer_schema", "INT", "FLOAT", "STR",
+           "BOOL", "ANY_TYPE"]
+
+
+class AttrType:
+    """A named attribute type with a membership test."""
+
+    __slots__ = ("name", "pytypes")
+
+    def __init__(self, name: str, pytypes: tuple[type, ...]):
+        self.name = name
+        self.pytypes = pytypes
+
+    def accepts(self, value: Any) -> bool:
+        if not self.pytypes:
+            return True
+        if bool not in self.pytypes and isinstance(value, bool):
+            return False
+        return isinstance(value, self.pytypes)
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, AttrType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("AttrType", self.name))
+
+
+INT = AttrType("int", (int,))
+FLOAT = AttrType("float", (int, float))
+STR = AttrType("str", (str,))
+BOOL = AttrType("bool", (bool,))
+ANY_TYPE = AttrType("any", ())
+
+_BY_PYTYPE = {int: INT, float: FLOAT, str: STR, bool: BOOL}
+
+
+def _as_attr_type(spec: Any) -> AttrType:
+    if isinstance(spec, AttrType):
+        return spec
+    if isinstance(spec, type) and spec in _BY_PYTYPE:
+        return _BY_PYTYPE[spec]
+    if spec is None or spec is Any:
+        return ANY_TYPE
+    raise SchemaError(f"cannot interpret {spec!r} as an attribute type")
+
+
+class Schema:
+    """Typed attribute constraints for tuple functions."""
+
+    def __init__(
+        self,
+        attrs: Mapping[str, Any],
+        required: Iterable[str] | None = None,
+    ):
+        self.attrs: dict[str, AttrType] = {
+            name: _as_attr_type(spec) for name, spec in attrs.items()
+        }
+        self.required: set[str] = (
+            set(self.attrs) if required is None else set(required)
+        )
+        unknown = self.required - set(self.attrs)
+        if unknown:
+            raise SchemaError(
+                f"required attributes {sorted(unknown)} are not in the schema"
+            )
+
+    # -- validation ---------------------------------------------------------------
+
+    def check_tuple(self, t: Any, where: str = "tuple") -> None:
+        """Raise :class:`SchemaError` unless *t* conforms.
+
+        Extra attributes are allowed (FDM tuples are open); missing
+        *required* attributes and wrongly-typed values are not.
+        """
+        if isinstance(t, FDMFunction):
+            defined = set(t.keys()) if t.is_enumerable else None
+            getter = t.get
+        elif isinstance(t, Mapping):
+            defined = set(t)
+            getter = t.get
+        else:
+            raise SchemaError(f"{where}: {t!r} is not tuple-shaped")
+        if defined is not None:
+            missing = self.required - defined
+            if missing:
+                raise SchemaError(
+                    f"{where}: missing required attribute(s) "
+                    f"{sorted(missing)}"
+                )
+        sentinel = object()
+        for attr, attr_type in self.attrs.items():
+            value = getter(attr, sentinel)
+            if value is sentinel:
+                if attr in self.required and defined is None:
+                    raise SchemaError(
+                        f"{where}: missing required attribute {attr!r}"
+                    )
+                continue
+            if value is None:
+                raise SchemaError(
+                    f"{where}: attribute {attr!r} is None — FDM has no "
+                    "NULL; leave the attribute undefined instead"
+                )
+            if isinstance(value, FDMFunction):
+                continue  # nested functions are typed by their own schemas
+            if not attr_type.accepts(value):
+                raise SchemaError(
+                    f"{where}: attribute {attr!r} expects {attr_type}, got "
+                    f"{type(value).__name__} ({value!r})"
+                )
+
+    def conforms(self, t: Any) -> bool:
+        try:
+            self.check_tuple(t)
+            return True
+        except SchemaError:
+            return False
+
+    def check_relation(self, rel: FDMFunction) -> int:
+        """Validate every tuple; returns the number checked."""
+        count = 0
+        for key, t in rel.items():
+            self.check_tuple(t, where=f"{rel.name}[{key!r}]")
+            count += 1
+        return count
+
+    def as_codomain(self) -> PredicateDomain:
+        """The schema as a codomain constraint (Definition 1)."""
+        return PredicateDomain(self.conforms, f"schema({sorted(self.attrs)})")
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"{name}{'' if name in self.required else '?'}: {t}"
+            for name, t in self.attrs.items()
+        )
+        return f"Schema({{{inner}}})"
+
+
+def infer_schema(rel: FDMFunction, sample: int | None = None) -> Schema:
+    """Infer a schema from a relation function's tuples.
+
+    Attributes present in every sampled tuple are required; types widen to
+    ``float`` over mixed int/float and to ``any`` over other mixes.
+    """
+    attr_types: dict[str, AttrType] = {}
+    seen_in: dict[str, int] = {}
+    scanned = 0
+    for _key, t in rel.items():
+        if sample is not None and scanned >= sample:
+            break
+        scanned += 1
+        if not isinstance(t, FDMFunction) or not t.is_enumerable:
+            continue
+        for attr, value in t.items():
+            seen_in[attr] = seen_in.get(attr, 0) + 1
+            if isinstance(value, FDMFunction):
+                inferred = ANY_TYPE
+            elif isinstance(value, bool):
+                inferred = BOOL
+            elif isinstance(value, int):
+                inferred = INT
+            elif isinstance(value, float):
+                inferred = FLOAT
+            elif isinstance(value, str):
+                inferred = STR
+            else:
+                inferred = ANY_TYPE
+            current = attr_types.get(attr)
+            if current is None or current == inferred:
+                attr_types[attr] = inferred
+            elif {current, inferred} <= {INT, FLOAT}:
+                attr_types[attr] = FLOAT
+            else:
+                attr_types[attr] = ANY_TYPE
+    required = {a for a, n in seen_in.items() if n == scanned and scanned}
+    return Schema(attr_types, required=required)

@@ -1,0 +1,184 @@
+"""Runtime checking of PL type hints on FQL costumes.
+
+The paper (Related Work, discussing Rel): "our approach can directly
+leverage the typing mechanisms of the embedding PL, e.g. the type hint
+system in Python which can even be checked at runtime [25]". Reference
+[25] is typeguard; this module is a from-scratch equivalent scoped to what
+FQL costumes need: ``check_type(value, annotation)`` plus a
+``@typechecked`` decorator that validates annotated parameters and return
+values on every call.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import types
+import typing
+from typing import Any, Callable
+
+from repro.errors import TypeCheckError
+
+__all__ = ["check_type", "typechecked", "conforms"]
+
+
+def conforms(value: Any, annotation: Any) -> bool:
+    """True if *value* satisfies *annotation* (no exception raised)."""
+    try:
+        check_type(value, annotation)
+        return True
+    except TypeCheckError:
+        return False
+
+
+def check_type(value: Any, annotation: Any, where: str = "value") -> Any:
+    """Validate *value* against a typing annotation; returns the value.
+
+    Supports: plain classes, ``Any``, ``None``, ``Optional``/``Union`` (and
+    PEP 604 ``X | Y``), parameterized ``list``/``set``/``frozenset``/
+    ``tuple``/``dict``, ``Callable``, and ``typing.Literal``. Unknown
+    constructs are accepted (checking is best-effort, like typeguard's).
+    """
+    if annotation is Any or annotation is inspect.Parameter.empty:
+        return value
+    if annotation is None or annotation is type(None):
+        if value is not None:
+            raise TypeCheckError(f"{where}: expected None, got {value!r}")
+        return value
+
+    origin = typing.get_origin(annotation)
+    args = typing.get_args(annotation)
+
+    if origin is None:
+        if isinstance(annotation, type):
+            if annotation is float:
+                if isinstance(value, (int, float)) and not isinstance(
+                    value, bool
+                ):
+                    return value
+                raise TypeCheckError(
+                    f"{where}: expected float, got "
+                    f"{type(value).__name__} ({value!r})"
+                )
+            if annotation is int and isinstance(value, bool):
+                raise TypeCheckError(
+                    f"{where}: expected int, got bool ({value!r})"
+                )
+            if not isinstance(value, annotation):
+                raise TypeCheckError(
+                    f"{where}: expected {annotation.__name__}, got "
+                    f"{type(value).__name__} ({value!r})"
+                )
+        return value
+
+    if origin is typing.Union or origin is types.UnionType:
+        # typing.Union covers Optional; types.UnionType covers PEP 604 X|Y
+        for arm in args:
+            try:
+                return check_type(value, arm, where)
+            except TypeCheckError:
+                continue
+        raise TypeCheckError(
+            f"{where}: {value!r} matches no arm of {annotation}"
+        )
+
+    if origin is typing.Literal:
+        if value not in args:
+            raise TypeCheckError(
+                f"{where}: {value!r} is not one of {args}"
+            )
+        return value
+
+    if origin in (list, set, frozenset):
+        if not isinstance(value, origin):
+            raise TypeCheckError(
+                f"{where}: expected {origin.__name__}, got "
+                f"{type(value).__name__}"
+            )
+        if args:
+            for i, item in enumerate(value):
+                check_type(item, args[0], f"{where}[{i}]")
+        return value
+
+    if origin is tuple:
+        if not isinstance(value, tuple):
+            raise TypeCheckError(
+                f"{where}: expected tuple, got {type(value).__name__}"
+            )
+        if args and args[-1] is Ellipsis:
+            for i, item in enumerate(value):
+                check_type(item, args[0], f"{where}[{i}]")
+        elif args:
+            if len(value) != len(args):
+                raise TypeCheckError(
+                    f"{where}: expected {len(args)}-tuple, got "
+                    f"{len(value)}-tuple"
+                )
+            for i, (item, arm) in enumerate(zip(value, args)):
+                check_type(item, arm, f"{where}[{i}]")
+        return value
+
+    if origin is dict:
+        if not isinstance(value, dict):
+            raise TypeCheckError(
+                f"{where}: expected dict, got {type(value).__name__}"
+            )
+        if args:
+            for k, v in value.items():
+                check_type(k, args[0], f"{where} key")
+                check_type(v, args[1], f"{where}[{k!r}]")
+        return value
+
+    if origin in (Callable, typing.get_origin(Callable[..., Any])):
+        if not callable(value):
+            raise TypeCheckError(f"{where}: expected a callable")
+        return value
+
+    if isinstance(origin, type):
+        if not isinstance(value, origin):
+            raise TypeCheckError(
+                f"{where}: expected {origin.__name__}, got "
+                f"{type(value).__name__}"
+            )
+        return value
+    return value  # exotic annotation: accept
+
+
+def typechecked(fn: Callable[..., Any]) -> Callable[..., Any]:
+    """Decorator: validate annotated parameters and return value at call
+    time, raising :class:`TypeCheckError` on mismatch.
+
+    >>> @typechecked
+    ... def f(x: int) -> int:
+    ...     return x * 2
+    >>> f(2)
+    4
+    """
+    signature = inspect.signature(fn)
+    hints = typing.get_type_hints(fn)
+
+    @functools.wraps(fn)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        bound = signature.bind(*args, **kwargs)
+        bound.apply_defaults()
+        for name, value in bound.arguments.items():
+            if name in hints:
+                parameter = signature.parameters[name]
+                if parameter.kind is inspect.Parameter.VAR_POSITIONAL:
+                    for i, item in enumerate(value):
+                        check_type(
+                            item, hints[name], f"{fn.__name__}(*{name}[{i}])"
+                        )
+                elif parameter.kind is inspect.Parameter.VAR_KEYWORD:
+                    for k, item in value.items():
+                        check_type(
+                            item, hints[name], f"{fn.__name__}({k}=)"
+                        )
+                else:
+                    check_type(value, hints[name], f"{fn.__name__}({name}=)")
+        result = fn(*bound.args, **bound.kwargs)
+        if "return" in hints:
+            check_type(result, hints["return"], f"{fn.__name__}() return")
+        return result
+
+    return wrapper

@@ -1,0 +1,16 @@
+"""Seeded synthetic workloads (retail / banking / sensors) for examples,
+tests, and the benchmark harness."""
+
+from repro.workloads.banking import BankingData, Transfer, generate_banking
+from repro.workloads.retail import RetailData, generate_retail, zipf_sampler
+from repro.workloads.sensors import (
+    computed_sensor_relation,
+    sampled_sensor_relation,
+    sensor_signal,
+)
+
+__all__ = [
+    "BankingData", "Transfer", "generate_banking",
+    "RetailData", "generate_retail", "zipf_sampler",
+    "computed_sensor_relation", "sampled_sensor_relation", "sensor_signal",
+]

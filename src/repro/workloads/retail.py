@@ -1,0 +1,185 @@
+"""Seeded retail workload: the paper's running example at any scale.
+
+Customers, products, and an N:M order relationship with Zipf-skewed
+fan-out (``theta=0`` uniform → ``theta≈1`` heavy head). Deterministic per
+seed, so every benchmark run regenerates identical data without network or
+trace files — the substitution DESIGN.md documents for "production
+workloads".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.fdm.databases import MaterialDatabaseFunction, database
+from repro.fdm.relations import relation_from_rows
+from repro.fdm.relationships import relationship
+
+__all__ = ["RetailData", "generate_retail", "zipf_sampler"]
+
+_FIRST_NAMES = [
+    "Alice", "Bob", "Carol", "Dave", "Eve", "Frank", "Grace", "Heidi",
+    "Ivan", "Judy", "Ken", "Lena", "Mallory", "Nick", "Olivia", "Peggy",
+    "Quinn", "Rita", "Sybil", "Trent", "Uma", "Victor", "Wendy", "Xena",
+]
+_STATES = ["NY", "CA", "TX", "WA", "MA", "IL", "FL", "OR"]
+_CATEGORIES = ["tech", "furniture", "toys", "books", "garden", "sports"]
+_PRODUCT_STEMS = [
+    "laptop", "phone", "desk", "lamp", "chair", "puzzle", "novel",
+    "shovel", "racket", "monitor", "couch", "kite", "atlas", "trowel",
+]
+
+
+def zipf_sampler(n: int, theta: float, rng: random.Random):
+    """A sampler of ranks 1..n with Zipf exponent *theta* (0 = uniform)."""
+    if theta <= 0:
+        return lambda: rng.randrange(1, n + 1)
+    weights = [1.0 / (rank**theta) for rank in range(1, n + 1)]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w / total
+        cumulative.append(acc)
+
+    def sample() -> int:
+        u = rng.random()
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo + 1
+
+    return sample
+
+
+@dataclass
+class RetailData:
+    """Generated rows plus builders for every substrate."""
+
+    customers: list[dict[str, Any]] = field(default_factory=list)
+    products: list[dict[str, Any]] = field(default_factory=list)
+    orders: dict[tuple[int, int], dict[str, Any]] = field(
+        default_factory=dict
+    )
+
+    # -- builders ------------------------------------------------------------------
+
+    def to_fdm_database(self) -> MaterialDatabaseFunction:
+        """In-memory FDM database (customers/products relations + order
+        relationship with shared-domain foreign keys)."""
+        db = database(name="retail")
+        db["customers"] = relation_from_rows(
+            self.customers, key="cid", name="customers"
+        )
+        db["products"] = relation_from_rows(
+            self.products, key="pid", name="products"
+        )
+        db["order"] = relationship(
+            "order",
+            {"cid": db("customers"), "pid": db("products")},
+            self.orders,
+        )
+        return db
+
+    def to_stored_database(self, name: str = "retail") -> Any:
+        """Transactional stored database (MVCC engine underneath)."""
+        from repro.database import FunctionalDatabase
+
+        db = FunctionalDatabase(name=name)
+        db["customers"] = {
+            row["cid"]: {k: v for k, v in row.items() if k != "cid"}
+            for row in self.customers
+        }
+        db.engine.table("customers").key_name = "cid"
+        db["products"] = {
+            row["pid"]: {k: v for k, v in row.items() if k != "pid"}
+            for row in self.products
+        }
+        db.engine.table("products").key_name = "pid"
+        db.add_relationship(
+            "order",
+            {"cid": "customers", "pid": "products"},
+            self.orders,
+        )
+        return db
+
+    def to_sql_database(self) -> Any:
+        """The relational baseline loaded with the same data."""
+        from repro.relational import SQLDatabase
+
+        db = SQLDatabase("retail")
+        db.load_dicts(
+            "customers", self.customers,
+            columns=["cid", "name", "age", "state"],
+        )
+        db.load_dicts(
+            "products", self.products,
+            columns=["pid", "name", "category", "price"],
+        )
+        db.load_dicts(
+            "orders",
+            [
+                {"cid": cid, "pid": pid, **attrs}
+                for (cid, pid), attrs in self.orders.items()
+            ],
+            columns=["cid", "pid", "date", "qty"],
+        )
+        return db
+
+
+def generate_retail(
+    n_customers: int = 1000,
+    n_products: int = 100,
+    n_orders: int = 5000,
+    skew: float = 0.0,
+    seed: int = 42,
+    order_coverage: float = 1.0,
+) -> RetailData:
+    """Generate a retail instance.
+
+    ``skew`` is the Zipf theta over customers *and* products (hot
+    customers buy hot products). ``order_coverage`` < 1 confines orders to
+    a prefix of customers/products, guaranteeing unmatched tuples for the
+    outer-join experiments.
+    """
+    rng = random.Random(seed)
+    data = RetailData()
+    for cid in range(1, n_customers + 1):
+        data.customers.append(
+            {
+                "cid": cid,
+                "name": f"{rng.choice(_FIRST_NAMES)}-{cid}",
+                "age": rng.randint(18, 90),
+                "state": rng.choice(_STATES),
+            }
+        )
+    for pid in range(1, n_products + 1):
+        data.products.append(
+            {
+                "pid": pid,
+                "name": f"{rng.choice(_PRODUCT_STEMS)}-{pid}",
+                "category": rng.choice(_CATEGORIES),
+                "price": rng.randint(5, 2000),
+            }
+        )
+    customer_limit = max(1, int(n_customers * order_coverage))
+    product_limit = max(1, int(n_products * order_coverage))
+    sample_customer = zipf_sampler(customer_limit, skew, rng)
+    sample_product = zipf_sampler(product_limit, skew, rng)
+    attempts = 0
+    while len(data.orders) < n_orders and attempts < n_orders * 20:
+        attempts += 1
+        key = (sample_customer(), sample_product())
+        if key in data.orders:
+            continue
+        data.orders[key] = {
+            "date": f"2026-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}",
+            "qty": rng.randint(1, 9),
+        }
+    return data

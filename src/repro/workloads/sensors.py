@@ -1,0 +1,64 @@
+"""Sensor workload: computed relations over continuous domains (bench S3).
+
+The paper's §2.4 allows a relation function to represent "a data space
+that is not just a discrete set but a continuous subspace": a sensor whose
+reading is *defined at every timestamp in an interval* is exactly that. We
+provide a deterministic synthetic signal (so point lookups are
+reproducible) and a sampled/stored twin, letting one FQL pipeline run
+unchanged over computed and stored data (contribution 3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.fdm.domains import IntervalDomain
+from repro.fdm.relations import (
+    ComputedRelationFunction,
+    MaterialRelationFunction,
+)
+
+__all__ = ["sensor_signal", "computed_sensor_relation",
+           "sampled_sensor_relation"]
+
+
+def sensor_signal(t: float, seed: int = 7) -> dict[str, Any]:
+    """A deterministic pseudo-sensor reading at time *t* (seconds)."""
+    base = 20.0 + 5.0 * math.sin(t / 60.0 + seed)
+    jitter = math.sin(t * 12.9898 + seed * 78.233) * 0.5
+    return {
+        "temperature": round(base + jitter, 4),
+        "humidity": round(55.0 + 10.0 * math.cos(t / 90.0 + seed), 4),
+        "status": "ok" if abs(jitter) < 0.45 else "noisy",
+    }
+
+
+def computed_sensor_relation(
+    start: float = 0.0,
+    end: float = 3600.0,
+    seed: int = 7,
+    name: str = "sensor",
+) -> ComputedRelationFunction:
+    """The continuous data space: defined at *every* t in [start; end]."""
+    return ComputedRelationFunction(
+        lambda t: sensor_signal(t, seed=seed),
+        domain=IntervalDomain(start, end),
+        name=name,
+    )
+
+
+def sampled_sensor_relation(
+    start: float = 0.0,
+    end: float = 3600.0,
+    step: float = 1.0,
+    seed: int = 7,
+    name: str = "sensor_samples",
+) -> MaterialRelationFunction:
+    """The stored twin: the same signal, sampled every *step* seconds."""
+    rel = MaterialRelationFunction(name=name, key_name="t")
+    t = start
+    while t <= end:
+        rel[round(t, 6)] = sensor_signal(t, seed=seed)
+        t += step
+    return rel

@@ -1,0 +1,152 @@
+"""Catalog declarations: unique/check/FK constraints and whole-database
+validation (paper contribution 4)."""
+
+import pytest
+
+import repro
+from repro.catalog import (
+    Catalog,
+    CheckConstraint,
+    ForeignKeyDecl,
+    UniqueConstraint,
+)
+from repro.errors import CatalogError, ConstraintViolationError
+from repro.fdm import database, relation
+from repro.types import INT, STR, Schema
+
+
+@pytest.fixture
+def db():
+    customers = relation(
+        {
+            1: {"name": "Alice", "age": 47, "email": "a@x"},
+            2: {"name": "Bob", "age": 25, "email": "b@x"},
+        },
+        name="customers",
+        key_name="cid",
+    )
+    orders = relation(
+        {100: {"cid": 1, "total": 10}, 101: {"cid": 2, "total": 20}},
+        name="orders",
+    )
+    return database({"customers": customers, "orders": orders}, name="DB")
+
+
+class TestUniqueConstraint:
+    def test_holds_and_breaks(self, db):
+        unique_email = UniqueConstraint("email")
+        customers = db("customers")
+        assert unique_email.holds(customers)
+        customers[3] = {"name": "Carol", "age": 62, "email": "a@x"}
+        assert not unique_email.holds(customers)
+        with pytest.raises(ConstraintViolationError, match="unique"):
+            unique_email.check(customers)
+
+    def test_composite(self, db):
+        c = UniqueConstraint(["name", "age"])
+        customers = db("customers")
+        assert c.holds(customers)
+        customers[3] = {"name": "Alice", "age": 47, "email": "c@x"}
+        assert not c.holds(customers)
+
+    def test_undefined_attrs_are_exempt(self, db):
+        customers = db("customers")
+        customers[3] = {"name": "NoMail", "age": 1}
+        assert UniqueConstraint("email").holds(customers)
+
+
+class TestCheckConstraint:
+    def test_textual_predicate(self, db):
+        adult = CheckConstraint("age >= 18")
+        assert adult.holds(db("customers"))
+        db("customers")[3] = {"name": "Kid", "age": 5, "email": "k@x"}
+        violations = list(adult.violations(db("customers")))
+        assert len(violations) == 1 and "[3]" in violations[0]
+
+    def test_opaque_predicate(self, db):
+        c = CheckConstraint(lambda t: len(t("name")) > 2, name="long-names")
+        assert c.holds(db("customers"))
+
+
+class TestForeignKeyDecl:
+    def test_attr_fk(self, db):
+        fk = ForeignKeyDecl(db("customers"), attr="cid")
+        assert fk.holds(db("orders"))
+        db("orders")[102] = {"cid": 999, "total": 5}
+        assert not fk.holds(db("orders"))
+
+    def test_key_component_fk(self, db):
+        pairs = relation(
+            {(1, "a"): {"v": 1}, (2, "b"): {"v": 2}}, name="pairs"
+        )
+        fk = ForeignKeyDecl(db("customers"), attr=0)
+        assert fk.holds(pairs)
+        pairs[(9, "z")] = {"v": 3}
+        assert not fk.holds(pairs)
+
+
+class TestCatalog:
+    def test_declare_and_validate(self, db):
+        cat = Catalog("retail")
+        cat.declare(
+            "customers",
+            schema=Schema({"name": STR, "age": INT, "email": STR},
+                          required={"name", "age"}),
+            key_name="cid",
+        ).constrain(UniqueConstraint("email")).constrain(
+            CheckConstraint("age >= 0")
+        )
+        cat.declare("orders").constrain(
+            ForeignKeyDecl(db("customers"), attr="cid")
+        )
+        assert cat.is_valid(db)
+        cat.validate(db)  # no raise
+
+    def test_violations_reported(self, db):
+        cat = Catalog()
+        cat.declare("customers").constrain(CheckConstraint("age >= 30"))
+        violations = list(cat.violations(db))
+        assert len(violations) == 1  # Bob is 25
+
+    def test_missing_relation(self, db):
+        cat = Catalog()
+        cat.declare("nope")
+        assert not cat.is_valid(db)
+        assert any("missing" in v for v in cat.violations(db))
+
+    def test_schema_violation_reported(self, db):
+        cat = Catalog()
+        cat.declare("customers", schema=Schema({"age": INT}))
+        db("customers")[3] = {"name": "X", "age": "old"}
+        assert any("age" in v for v in cat.violations(db))
+
+    def test_double_declare(self):
+        cat = Catalog()
+        cat.declare("t")
+        with pytest.raises(CatalogError):
+            cat.declare("t")
+        with pytest.raises(CatalogError):
+            cat.decl("unknown")
+
+    def test_apply_indexes_to_stored(self):
+        cat = Catalog()
+        cat.declare("customers").index("age", "sorted").index("state")
+        stored = repro.FunctionalDatabase(name="cat-db")
+        stored["customers"] = {
+            1: {"age": 30, "state": "NY"}, 2: {"age": 40, "state": "CA"},
+        }
+        created = cat.apply_indexes(stored)
+        assert created == 2
+        assert stored("customers").has_index("age", kind="sorted")
+        assert stored("customers").has_index("state", kind="hash")
+
+    def test_catalog_guards_a_transaction_boundary(self, db):
+        """A usage pattern: validate before 'publishing' a database."""
+        cat = Catalog()
+        cat.declare("customers").constrain(
+            CheckConstraint("age >= 18", name="adults-only")
+        )
+        staged = repro.fql.deep_copy(db)
+        staged("customers")[99] = {"name": "Kid", "age": 3, "email": "x@x"}
+        assert cat.is_valid(db)
+        assert not cat.is_valid(staged)

@@ -1,0 +1,396 @@
+"""Edge cases and failure-path coverage across the library."""
+
+import pytest
+
+from repro import fql
+from repro.errors import (
+    DomainError,
+    NotEnumerableError,
+    OperatorError,
+    ReadOnlyFunctionError,
+    SchemaError,
+    UndefinedInputError,
+)
+from repro.fdm import (
+    ANY,
+    DiscreteDomain,
+    Entry,
+    IntervalDomain,
+    ProductDomain,
+    as_domain,
+    database,
+    relation,
+    tuple_function,
+)
+from repro.fql import (
+    Collect,
+    Count,
+    CountDistinct,
+    First,
+    Median,
+    StdDev,
+)
+
+
+class TestEntry:
+    def test_pair_indexing(self):
+        t = tuple_function(a=1)
+        e = Entry("key", t)
+        assert e[0] == "key" and e[1] is t
+        assert e["a"] == 1  # non-pair index delegates to the value
+
+    def test_forwarding(self):
+        t = tuple_function(age=5)
+        e = Entry("k", t)
+        assert e("age") == 5
+        assert e.age == 5
+        assert "age" in e
+        k, v = e
+        assert k == "k" and v is t
+
+    def test_immutability(self):
+        e = Entry("k", tuple_function(a=1))
+        with pytest.raises(AttributeError):
+            e.key = "other"
+
+
+class TestDomains:
+    def test_as_domain_dispatch(self):
+        assert as_domain(None) is ANY
+        assert 3 in as_domain({1, 2, 3})
+        assert 3 in as_domain(int)
+        assert 3 in as_domain(range(1, 5))
+        assert 3 in as_domain(lambda x: x > 0)
+        with pytest.raises(DomainError):
+            as_domain(42)
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(DomainError):
+            IntervalDomain(10, 5)
+
+    def test_interval_open_bounds(self):
+        dom = IntervalDomain(0, 10, lo_open=True, hi_open=True)
+        assert 0 not in dom and 10 not in dom and 5 in dom
+
+    def test_product_domain(self):
+        dom = ProductDomain([DiscreteDomain({1, 2}), DiscreteDomain({"a"})])
+        assert (1, "a") in dom
+        assert (1, "b") not in dom
+        assert (1,) not in dom
+        assert dom.size() == 2
+        assert set(dom.iter_values()) == {(1, "a"), (2, "a")}
+
+    def test_difference_domain(self):
+        dom = DiscreteDomain({1, 2, 3}) - DiscreteDomain({2})
+        assert set(dom.iter_values()) == {1, 3}
+
+    def test_validate(self):
+        with pytest.raises(DomainError):
+            DiscreteDomain({1}).validate(2)
+
+
+class TestReadOnlyAndErrors:
+    def test_derived_functions_reject_writes(self):
+        rel = relation({1: {"a": 1}})
+        filtered = fql.filter(rel, a__gt=0)
+        with pytest.raises(ReadOnlyFunctionError):
+            filtered[2] = {"a": 2}
+        with pytest.raises(ReadOnlyFunctionError):
+            del filtered[1]
+        with pytest.raises(ReadOnlyFunctionError):
+            filtered.add({"a": 3})
+
+    def test_relation_rejects_garbage_rows(self):
+        rel = relation(name="r")
+        with pytest.raises(SchemaError):
+            rel[1] = 42
+
+    def test_database_rejects_non_string_names(self):
+        db = database(name="db")
+        with pytest.raises(SchemaError):
+            db[42] = relation({})
+
+    def test_calling_with_no_args(self):
+        rel = relation({1: {"a": 1}})
+        with pytest.raises(TypeError):
+            rel()
+
+    def test_len_of_unbounded_function(self):
+        from repro.fdm import ComputedRelationFunction
+
+        space = ComputedRelationFunction(
+            lambda x: {"v": x}, domain=IntervalDomain(0, 1), name="s"
+        )
+        with pytest.raises(NotEnumerableError):
+            len(space)
+
+
+class TestOverlayDatabase:
+    def test_hide_and_restore(self):
+        base = database({"a": relation({1: {"x": 1}})}, name="base")
+        view = fql.subdatabase(base)
+        del view["a"]
+        assert not view.defined_at("a")
+        assert base.defined_at("a")  # base untouched
+        view["a"] = relation({2: {"y": 2}})
+        assert set(view("a").keys()) == {2}
+
+    def test_delete_unknown(self):
+        base = database(name="base")
+        view = fql.subdatabase(base)
+        from repro.errors import UnknownRelationError
+
+        with pytest.raises(UnknownRelationError):
+            del view["nope"]
+
+    def test_len_and_keys_with_overlay(self):
+        base = database({"a": relation({}), "b": relation({})})
+        view = fql.subdatabase(base)
+        view["c"] = relation({})
+        del view["a"]
+        assert set(view.keys()) == {"b", "c"}
+        assert len(view) == 2
+
+
+class TestAggregateEdgeCases:
+    @pytest.fixture
+    def rel(self):
+        return relation(
+            {
+                1: {"v": 5, "g": "a"},
+                2: {"v": 5, "g": "a"},
+                3: {"v": 8, "g": "b"},
+                4: {"g": "b"},  # no v
+            },
+            name="r",
+        )
+
+    def test_count_distinct(self, rel):
+        assert CountDistinct("v").compute(rel.tuples()) == 2
+
+    def test_collect(self, rel):
+        assert sorted(Collect("v").compute(rel.tuples())) == [5, 5, 8]
+
+    def test_first(self, rel):
+        assert First("v").compute(rel.tuples()) == 5
+
+    def test_median(self, rel):
+        assert Median("v").compute(rel.tuples()) == 5
+
+    def test_stddev(self, rel):
+        value = StdDev("v").compute(rel.tuples())
+        assert value == pytest.approx(1.4142, abs=1e-3)
+
+    def test_empty_group_results(self):
+        empty: list = []
+        assert Count().compute(empty) == 0
+        assert Median("v").compute(empty) is None
+        assert StdDev("v").compute(empty) is None
+        assert First("v").compute(empty) is None
+
+    def test_callable_extractor(self, rel):
+        doubled = Collect(lambda t: t("v") * 2)
+        assert sorted(doubled.compute(rel.tuples())) == [10, 10, 16]
+
+    def test_aggregate_requires_aggregate_objects(self, rel):
+        with pytest.raises(OperatorError):
+            fql.aggregate(fql.group(by=["g"], input=rel), n=42)
+
+    def test_bare_min_requires_attr(self, rel):
+        from repro.fql import Min
+
+        with pytest.raises(OperatorError):
+            Min().compute(rel.tuples())
+
+
+class TestGroupingEdgeCases:
+    def test_group_by_missing_attr_drops_tuples(self):
+        rel = relation({1: {"g": "a"}, 2: {"other": 1}})
+        groups = fql.group(by=["g"], input=rel)
+        assert set(groups.keys()) == {"a"}
+
+    def test_global_group(self):
+        rel = relation({1: {"v": 1}, 2: {"v": 2}})
+        agg = fql.group_and_aggregate(by=[], n=Count(), input=rel)
+        assert agg(())("n") == 2
+
+    def test_spec_and_by_are_exclusive(self):
+        rel = relation({1: {"v": 1}})
+        with pytest.raises(OperatorError):
+            fql.group_and_aggregate(
+                [dict(by=["v"])], by=["v"], n=Count(), input=rel
+            )
+
+    def test_spec_rejects_non_aggregates(self):
+        rel = relation({1: {"v": 1}})
+        with pytest.raises(OperatorError):
+            fql.group_and_aggregate(
+                [dict(by=["v"], n="not-an-aggregate")], input=rel
+            )
+
+    def test_default_spec_names(self):
+        rel = relation({1: {"v": 1, "w": 2}})
+        gset = fql.group_and_aggregate(
+            [dict(by=["v"]), dict(by=[])], n=Count(), input=rel
+        )
+        assert set(gset.keys()) == {"v_n", "global_n"}
+
+
+class TestJoinEdgeCases:
+    def test_on_side_errors(self):
+        db = database({"a": relation({1: {"x": 1}})})
+        with pytest.raises(OperatorError):
+            fql.join(db, on=[["a.x"]])  # one-sided
+        with pytest.raises(OperatorError):
+            fql.join(db, on=[["a.x", "nope.y"]])  # unknown relation
+        with pytest.raises(OperatorError):
+            fql.join(db, on=[["no-dot", "a.x"]])
+
+    def test_join_empty_relation_is_empty(self):
+        db = database(
+            {"a": relation({}), "b": relation({1: {"x": 1}})}
+        )
+        result = fql.join(db, on=[["a.x", "b.x"]])
+        assert len(result) == 0
+
+    def test_join_on_tuple_attr_builds_hash(self):
+        left = relation({1: {"ref": 10}, 2: {"ref": 11}}, name="left")
+        right = relation(
+            {10: {"val": "x"}, 11: {"val": "y"}}, name="right",
+            key_name="rid",
+        )
+        db = database({"left": left, "right": right})
+        result = fql.join(db, on=[["left.ref", "right.rid"]])
+        assert len(result) == 2
+        vals = {t("val") for t in result.tuples()}
+        assert vals == {"x", "y"}
+
+    def test_join_undefined_attr_drops_row(self):
+        left = relation({1: {"ref": 10}, 2: {}}, name="left")
+        right = relation({10: {"val": "x"}}, name="right", key_name="rid")
+        db = database({"left": left, "right": right})
+        result = fql.join(db, on=[["left.ref", "right.rid"]])
+        assert len(result) == 1  # row 2 silently fails the inner join
+
+
+class TestOrderLimitEdgeCases:
+    def test_order_with_undefined_sort_key_goes_last(self):
+        rel = relation({1: {"v": 5}, 2: {}, 3: {"v": 1}})
+        ordered = fql.order_by(rel, "v")
+        assert list(ordered.keys()) == [3, 1, 2]
+
+    def test_order_mixed_types_no_crash(self):
+        rel = relation({1: {"v": 5}, 2: {"v": "x"}})
+        assert len(list(fql.order_by(rel, "v").keys())) == 2
+
+    def test_negative_limit_rejected(self):
+        rel = relation({1: {"v": 1}})
+        with pytest.raises(OperatorError):
+            fql.limit(rel, -1)
+
+    def test_limit_point_semantics(self):
+        rel = relation({1: {"v": 1}, 2: {"v": 2}})
+        limited = fql.limit(rel, 1)
+        first_key = next(iter(limited.keys()))
+        assert limited.defined_at(first_key)
+        other = 2 if first_key == 1 else 1
+        assert not limited.defined_at(other)
+        with pytest.raises(UndefinedInputError):
+            limited(other)
+
+
+class TestStreamEdgeCases:
+    def test_next_before_open(self):
+        from repro.resultdb import stream_relation
+
+        stream = stream_relation(relation({1: {"a": 1}}))
+        with pytest.raises(OperatorError):
+            stream.next()
+
+    def test_bad_batch_size(self):
+        from repro.resultdb import stream_relation
+
+        with pytest.raises(OperatorError):
+            stream_relation(relation({}), batch_size=0)
+
+    def test_end_is_stable(self):
+        from repro.resultdb import stream_relation
+
+        stream = stream_relation(relation({1: {"a": 1}})).open()
+        stream.next()
+        assert stream.next() is stream.END
+        assert stream.next() is stream.END
+
+
+class TestProjectEdgeCases:
+    def test_project_missing_attr_raises_on_access(self):
+        rel = relation({1: {"a": 1}})
+        projected = fql.project(rel, ["nope"])
+        with pytest.raises(UndefinedInputError):
+            projected(1)
+
+    def test_project_empty_attrs_rejected(self):
+        with pytest.raises(OperatorError):
+            fql.project(relation({}), [])
+
+    def test_extend_requires_attrs(self):
+        with pytest.raises(OperatorError):
+            fql.extend(relation({}))
+
+    def test_rename_requires_mapping(self):
+        with pytest.raises(OperatorError):
+            fql.rename(relation({}))
+
+    def test_extend_constant(self):
+        rel = relation({1: {"a": 1}})
+        # non-string constants attach directly ...
+        extended = fql.extend(rel, answer=42)
+        assert extended(1)("answer") == 42
+        # ... string specs are *expressions* (here: a quoted literal);
+        # a bare word would be an attribute reference
+        labeled = fql.extend(rel, origin="'synthetic'")
+        assert labeled(1)("origin") == "synthetic"
+        dangling = fql.extend(rel, broken="synthetic")  # bare attr ref
+        with pytest.raises(UndefinedInputError):
+            dangling(1)("broken")
+
+    def test_map_tuples_auto_wraps_mappings(self):
+        rel = relation({1: {"a": 1}})
+        mapped = fql.map_tuples(rel, lambda t: {"b": t("a") + 1})
+        assert mapped(1)("b") == 2
+
+
+class TestFilterDispatchEdgeCases:
+    def test_two_inputs_rejected(self):
+        r1, r2 = relation({}), relation({})
+        from repro.errors import AmbiguousArgumentError
+
+        with pytest.raises(AmbiguousArgumentError):
+            fql.filter(r1, r2, a__gt=1)
+
+    def test_two_texts_rejected(self):
+        from repro.errors import AmbiguousArgumentError
+
+        with pytest.raises(AmbiguousArgumentError):
+            fql.filter("a > 1", "b > 2", relation({}))
+
+    def test_broken_up_costume_needs_all_three(self):
+        from repro.predicates.operators import gt
+
+        with pytest.raises(OperatorError):
+            fql.filter(relation({}), att="age", c=42)
+        with pytest.raises(OperatorError):
+            fql.filter(relation({}), att="age", op="gt", c=42)  # not an op
+        assert fql.filter(relation({}), att="a", op=gt, c=1) is not None
+
+    def test_unparseable_arg(self):
+        with pytest.raises(OperatorError):
+            fql.filter(relation({}), 42)
+
+    def test_prebuilt_predicate_with_late_params(self):
+        from repro.predicates import parse_predicate
+
+        rel = relation({1: {"age": 50}, 2: {"age": 10}})
+        pred = parse_predicate("age > $min")
+        out = fql.filter(pred, rel, params={"min": 40})
+        assert set(out.keys()) == {1}

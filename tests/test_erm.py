@@ -1,0 +1,183 @@
+"""ER model and both compilers (Fig. 1: ERM vs FDM, plus the classic RM
+mapping as baseline)."""
+
+import pytest
+
+from repro.errors import ConstraintViolationError, ERMValidationError
+from repro.erm import (
+    MANY,
+    ONE,
+    Attribute,
+    ERModel,
+    compile_to_fdm,
+    compile_to_rm,
+    retail_model,
+)
+from repro.relational.nulls import NULL
+
+
+RETAIL_DATA = {
+    "customers": [
+        {"cid": 1, "name": "Alice", "age": 47},
+        {"cid": 2, "name": "Bob", "age": 25},
+    ],
+    "products": [
+        {"pid": 10, "name": "laptop", "category": "tech"},
+        {"pid": 11, "name": "desk", "category": "furniture"},
+    ],
+    "order": {
+        (1, 10): {"date": "2026-01-05"},
+        (2, 11): {"date": "2026-02-01"},
+    },
+}
+
+
+class TestModel:
+    def test_retail_model_validates(self):
+        model = retail_model()
+        assert {e.name for e in model.entities} == {"customers", "products"}
+        assert model.get_relationship("order").is_many_to_many()
+
+    def test_validation_catches_unknown_entity(self):
+        model = ERModel("bad")
+        model.entity("a", [Attribute("id", int)], key="id")
+        model.relationship(
+            "r", {"x": ("a", MANY), "y": ("nope", MANY)}
+        )
+        with pytest.raises(ERMValidationError):
+            model.validate()
+
+    def test_validation_catches_bad_key(self):
+        model = ERModel("bad")
+        model.entity("a", [Attribute("id", int)], key="other")
+        with pytest.raises(ERMValidationError):
+            model.validate()
+
+    def test_row_validation(self):
+        model = retail_model()
+        entity = model.get_entity("customers")
+        with pytest.raises(ERMValidationError):
+            entity.validate_row({"cid": 1, "name": "x"})  # missing age
+        with pytest.raises(ERMValidationError):
+            entity.validate_row({"cid": 1, "name": "x", "age": "old"})
+
+
+class TestCompileToFDM:
+    def test_entities_become_relation_functions(self):
+        db = compile_to_fdm(retail_model(), RETAIL_DATA)
+        assert db("customers")(1)("name") == "Alice"
+        # key attrs are NOT tuple attributes (Fig. 1 note)
+        assert not db("customers")(1).defined_at("cid")
+
+    def test_relationship_shares_domains(self):
+        db = compile_to_fdm(retail_model(), RETAIL_DATA)
+        order = db("order")
+        assert order((1, 10))("date") == "2026-01-05"
+        with pytest.raises(ConstraintViolationError):
+            order[(999, 10)] = {"date": "2026-03-01"}  # FK via domains
+
+    def test_one_cardinality_enforced(self):
+        model = ERModel("hr")
+        model.entity("employees", [Attribute("eid", int),
+                                   Attribute("name", str)], key="eid")
+        model.entity("desks", [Attribute("did", int)], key="did")
+        model.relationship(
+            "sits_at", {"eid": ("employees", MANY), "did": ("desks", ONE)}
+        )
+        db = compile_to_fdm(
+            model,
+            {
+                "employees": [{"eid": 1, "name": "A"}, {"eid": 2, "name": "B"}],
+                "desks": [{"did": 100}, {"did": 101}],
+            },
+        )
+        sits = db("sits_at")
+        sits[(1, 100)] = {}
+        with pytest.raises(ConstraintViolationError):
+            sits[(1, 101)] = {}  # employee 1 already sits somewhere
+        sits[(2, 100)] = {}  # sharing a desk is fine (eid is MANY)
+
+    def test_missing_required_relationship_attr(self):
+        data = dict(RETAIL_DATA)
+        data["order"] = {(1, 10): {}}
+        with pytest.raises(ERMValidationError):
+            compile_to_fdm(retail_model(), data)
+
+
+class TestCompileToRM:
+    def test_nm_becomes_junction_table(self):
+        schema = compile_to_rm(retail_model())
+        assert "order" in schema.tables
+        assert schema.tables["order"] == ["cid", "pid", "date"]
+        assert schema.foreign_keys[("order", "cid")] == ("customers", "cid")
+
+    def test_one_to_many_embeds_fk(self):
+        model = ERModel("blog")
+        model.entity("users", [Attribute("uid", int)], key="uid")
+        model.entity("posts", [Attribute("pid", int),
+                               Attribute("title", str)], key="pid")
+        model.relationship(
+            "wrote", {"uid": ("users", ONE), "pid": ("posts", MANY)}
+        )
+        schema = compile_to_rm(model)
+        assert "wrote" not in schema.tables
+        assert "wrote_uid" in schema.tables["posts"]
+        assert schema.embedded["wrote"] == "posts"
+
+    def test_ddl_renders(self):
+        ddl = compile_to_rm(retail_model()).ddl()
+        assert "CREATE TABLE customers" in ddl
+        # 'order' collides with a SQL keyword, so the DDL must quote it
+        assert 'CREATE TABLE "order"' in ddl
+        assert "cid int" in ddl
+
+    def test_data_loading_and_query(self):
+        schema = compile_to_rm(retail_model())
+        sql_db = schema.to_sql_database(RETAIL_DATA)
+        # note the quoting: the figure's relationship is named 'order',
+        # which collides with a SQL keyword — an impedance FDM never hits
+        result = sql_db.query(
+            'SELECT name FROM customers '
+            'JOIN "order" ON customers.cid = "order".cid WHERE pid = 10'
+        )
+        assert result.rows == [("Alice",)]
+
+    def test_embedded_fk_fills_null_for_unrelated(self):
+        model = ERModel("blog")
+        model.entity("users", [Attribute("uid", int)], key="uid")
+        model.entity("posts", [Attribute("pid", int)], key="pid")
+        model.relationship(
+            "wrote", {"uid": ("users", ONE), "pid": ("posts", MANY)}
+        )
+        schema = compile_to_rm(model)
+        relations = schema.to_relations(
+            {
+                "users": [{"uid": 1}],
+                "posts": [{"pid": 5}, {"pid": 6}],
+                "wrote": {(1, 5): {}},
+            }
+        )
+        posts = relations["posts"]
+        by_pid = {r[posts.column_index("pid")]: r for r in posts.rows}
+        assert by_pid[5][posts.column_index("wrote_uid")] == 1
+        assert by_pid[6][posts.column_index("wrote_uid")] is NULL
+
+    def test_both_compilers_agree_on_join_semantics(self):
+        from repro import fql
+
+        model = retail_model()
+        fdm_db = compile_to_fdm(model, RETAIL_DATA)
+        sql_db = compile_to_rm(model).to_sql_database(RETAIL_DATA)
+        fdm_names = sorted(
+            t("name") for t in fql.join(fdm_db).tuples()
+            if t.defined_at("age")  # pick the customer name copy
+        )
+        sql_names = sorted(
+            r[0]
+            for r in sql_db.query(
+                'SELECT customers.name FROM customers '
+                'JOIN "order" ON customers.cid = "order".cid '
+                'JOIN products ON "order".pid = products.pid'
+            )
+        )
+        assert len(fdm_names) == len(sql_names) == 2

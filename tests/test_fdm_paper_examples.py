@@ -1,0 +1,200 @@
+"""The paper's §2 running examples, executed literally.
+
+Every test in this module corresponds to a concrete expression in the
+paper's text: t1/t3, R1, R2/R3 alternative views, the computed relation R4
+(including ``R4(10)('foo') == 420``), the database function of §2.5, and
+the level-blurring examples of §2.6.
+"""
+
+import pytest
+
+from repro.fdm import (
+    ComputedRelationFunction,
+    ComputedTupleFunction,
+    FallbackFunction,
+    IntervalDomain,
+    TupleFunction,
+    alternative_view,
+    database,
+    relation,
+    tuple_function,
+)
+from repro.errors import (
+    DuplicateKeyError,
+    NotEnumerableError,
+    UndefinedInputError,
+    UnknownRelationError,
+)
+
+
+@pytest.fixture
+def t1():
+    return tuple_function(name="Alice", foo=12)
+
+
+@pytest.fixture
+def t3():
+    return tuple_function(name="Bob", foo=25)
+
+
+@pytest.fixture
+def r1(t1, t3):
+    return relation({1: t1, 3: t3}, name="R1")
+
+
+class TestTupleFunctions:
+    def test_lookup_is_function_call(self, t1):
+        # "looking up an attribute value is equivalent to calling a tuple
+        # function with the attribute name, e.g. t1('foo') = 12"
+        assert t1("foo") == 12
+        assert t1("name") == "Alice"
+
+    def test_domain_and_codomain(self, t1):
+        assert set(t1.keys()) == {"name", "foo"}
+        assert t1.defined_at("foo")
+        assert not t1.defined_at("bar")
+
+    def test_no_nulls_only_undefinedness(self, t1):
+        with pytest.raises(UndefinedInputError):
+            t1("age")
+        assert t1.get("age") is None  # explicit opt-in default, not NULL
+
+    def test_alternative_syntaxes(self, t1):
+        assert t1["foo"] == 12
+        assert t1.foo == 12
+
+    def test_computed_attribute_indistinguishable(self, t1):
+        # t(attr) := 42 * t1('foo') if attr == 'bar' else t1(attr)
+        t = ComputedTupleFunction(
+            lambda attr: 42 * t1("foo") if attr == "bar" else t1(attr),
+            attrs=["name", "foo", "bar"],
+        )
+        assert t("bar") == 42 * 12
+        assert t("name") == "Alice"
+        assert set(t.keys()) == {"name", "foo", "bar"}
+
+    def test_value_semantics(self, t1):
+        assert t1 == tuple_function(foo=12, name="Alice")
+        assert t1 != tuple_function(foo=13, name="Alice")
+        assert hash(t1) == hash(tuple_function(foo=12, name="Alice"))
+
+    def test_replace_and_project(self, t1):
+        t = t1.replace(foo=99)
+        assert t("foo") == 99 and t1("foo") == 12
+        assert set(t1.project(["name"]).keys()) == {"name"}
+
+
+class TestRelationFunctions:
+    def test_calls_return_tuple_functions(self, r1, t1, t3):
+        # "a call to R1(1) returns t1, a call to R1(3) returns t3"
+        assert r1(1) == t1
+        assert r1(3) == t3
+
+    def test_undefined_outside_domain(self, r1):
+        # "Calls to bar ∉ {1, 3} are not defined."
+        with pytest.raises(UndefinedInputError):
+            r1(2)
+        assert not r1.defined_at(2)
+
+    def test_nested_call_expression(self, r1):
+        assert r1(3)("foo") == 25
+
+    def test_unique_alternative_view(self, r1):
+        # R2(foo: int) := t_foo — Definition 1 provides uniqueness
+        r2 = alternative_view(r1, "foo", unique=True, name="R2")
+        assert r2(12)("name") == "Alice"
+        assert r2(25)("name") == "Bob"
+
+    def test_duplicates_require_explicit_nesting(self, r1):
+        # t4 shares foo=25 with t3; unique view must fail ...
+        r = relation(dict(r1.as_dict()), name="R")
+        r[4] = {"name": "Thomas", "foo": 25}
+        with pytest.raises(DuplicateKeyError):
+            alternative_view(r, "foo", unique=True)
+        # ... and R3(foo) -> {TF} nests the result
+        r3 = alternative_view(r, "foo", unique=False, name="R3")
+        group = r3(25)
+        assert {t("name") for t in group.tuples()} == {"Bob", "Thomas"}
+        assert r3(12).count() == 1
+
+    def test_computed_relation_r4(self, r1):
+        # R4: stored tuples for bar in {1,3}, a λ-tuple otherwise
+        def rnd_str(seed):
+            return f"rnd-{seed}"
+
+        lam = ComputedRelationFunction(
+            lambda bar: {"name": rnd_str(bar), "foo": 42 * bar},
+            domain=int,
+            name="λ",
+        )
+        r4 = FallbackFunction(r1, lam, name="R4")
+        assert r4(10)("foo") == 420  # paper: R4(10)('foo') = 420
+        assert r4(3)("foo") == 25  # paper: R4(3)('foo') = 25
+        assert r4(10)("name") == "rnd-10"
+        assert r4.defined_at(10) and r4.defined_at(1)
+
+    def test_continuous_domain_is_a_data_space(self):
+        # R(bar: X) where X = [7; 12] ∩ R+ — point lookups everywhere,
+        # but no enumeration.
+        r = ComputedRelationFunction(
+            lambda x: {"sq": x * x},
+            domain=IntervalDomain(7, 12),
+            name="space",
+        )
+        assert r(7.5)("sq") == 7.5 * 7.5
+        assert not r.defined_at(6.9)
+        with pytest.raises(NotEnumerableError):
+            list(r.keys())
+
+    def test_dot_and_bracket_syntax(self, r1):
+        assert r1[1].name == "Alice"
+
+
+class TestDatabaseFunctions:
+    def test_db_returns_relation_functions(self, r1, t1):
+        # DB(rel_name) := {('myTab': t4), ('Table1': R1), ...}
+        t4 = tuple_function(name="Thomas", foo=25)
+        db = database({"myTab": t4, "Table1": r1}, name="DB")
+        assert db("Table1") is r1
+        assert db("Table1")(1) == t1
+        # level blurring: a tuple function stored directly in the DB
+        assert db("myTab")("name") == "Thomas"
+
+    def test_unknown_relation(self):
+        db = database(name="DB")
+        with pytest.raises(UnknownRelationError):
+            db("nope")
+
+    def test_dot_syntax_and_assignment(self, r1):
+        db = database(name="DB")
+        db.Table1 = r1  # in-place FQL usage (§4.4)
+        assert db.Table1 is r1
+        db["Table2"] = {7: {"x": 1}}
+        assert db.Table2(7)("x") == 1
+        del db["Table2"]
+        assert not db.defined_at("Table2")
+
+
+class TestLevelBlurring:
+    def test_higher_order_tuple(self, t1):
+        # t3(attr) := {('name': 'Bob'), ('foo': t1)} — §2.6
+        t3 = tuple_function(name="Bob", foo=t1)
+        assert t3("foo")("name") == "Alice"
+
+    def test_tuple_holding_a_relation(self, r1):
+        # t5: attribute 'foo' returns a relation function
+        t5 = tuple_function(name="Tom", foo=r1)
+        assert t5("foo")(3)("foo") == 25
+
+    def test_promote_t5_into_a_database(self, r1):
+        t5 = tuple_function(name="Tom", foo=r1)
+        db = database({"t5_as_table": t5})
+        assert db("t5_as_table")("foo")(1)("name") == "Alice"
+
+    def test_set_of_databases_is_a_function(self, r1):
+        from repro.fdm import database_set
+
+        db1 = database({"Table1": r1}, name="db1")
+        db2 = database({"Table1": r1}, name="db2")
+        multi = database_set({"prod": db1, "staging": db2})
+        assert multi("prod")("Table1")(1)("foo") == 12

@@ -1,0 +1,534 @@
+"""FQL operator semantics, figure by figure (Figs. 4–9).
+
+The fixtures model the paper's running example (Fig. 1): customers and
+products as relation functions keyed by cid/pid, and order(cid, pid) as a
+relationship function carrying a date attribute.
+"""
+
+import pytest
+
+from repro import fql
+from repro.errors import (
+    MergeConflictError,
+    OperatorError,
+    UndefinedInputError,
+    UnknownRelationError,
+)
+from repro.fdm import (
+    database,
+    extensionally_equal,
+    relation,
+    relationship,
+    tuple_function,
+)
+from repro.fql import (
+    Avg,
+    Count,
+    Max,
+    Min,
+    Sum,
+)
+from repro.predicates.operators import gt
+
+
+@pytest.fixture
+def customers():
+    return relation(
+        {
+            1: {"name": "Alice", "age": 47, "state": "NY"},
+            2: {"name": "Bob", "age": 25, "state": "CA"},
+            3: {"name": "Carol", "age": 62, "state": "NY"},
+            4: {"name": "Dave", "age": 47, "state": "TX"},
+            5: {"name": "Eve", "age": 25, "state": "NY"},
+        },
+        name="customers",
+        key_name="cid",
+    )
+
+
+@pytest.fixture
+def products():
+    return relation(
+        {
+            10: {"name": "laptop", "category": "tech", "price": 1200},
+            11: {"name": "phone", "category": "tech", "price": 800},
+            12: {"name": "desk", "category": "furniture", "price": 300},
+            13: {"name": "lamp", "category": "furniture", "price": 40},
+        },
+        name="products",
+        key_name="pid",
+    )
+
+
+@pytest.fixture
+def order(customers, products):
+    return relationship(
+        "order",
+        {"cid": customers, "pid": products},
+        {
+            (1, 10): {"date": "2026-01-05"},
+            (1, 11): {"date": "2026-01-07"},
+            (2, 11): {"date": "2026-02-01"},
+            (3, 12): {"date": "2026-02-14"},
+            (5, 10): {"date": "2026-03-01"},
+        },
+    )
+
+
+@pytest.fixture
+def db(customers, products, order):
+    return database(
+        {"customers": customers, "products": products, "order": order},
+        name="DB",
+    )
+
+
+class TestFig4aFilterCostumes:
+    """Six syntaxes, one semantics."""
+
+    def _all_variants(self, customers):
+        return [
+            # function syntax
+            fql.filter(lambda prof: prof("age") > 42, customers),
+            # dot syntax
+            fql.filter(lambda prof: prof.age > 42, customers),
+            # Django ORM style
+            fql.filter(customers, age__gt=42),
+            # broken-up predicate
+            fql.filter(customers, att="age", op=gt, c=42),
+            # textual predicate with free parameters
+            fql.filter("age>$foo", {"foo": 42}, customers),
+            # input= keyword spelling
+            fql.filter("age > 42", input=customers),
+        ]
+
+    def test_all_costumes_agree(self, customers):
+        variants = self._all_variants(customers)
+        expected_keys = {1, 3, 4}
+        for variant in variants:
+            assert set(variant.keys()) == expected_keys
+        for a in variants:
+            for b in variants:
+                assert extensionally_equal(a, b)
+
+    def test_result_is_a_relation_function(self, customers):
+        older = fql.filter(customers, age__gt=42)
+        assert older.kind == "relation"
+        assert older(1)("name") == "Alice"
+        assert not older.defined_at(2)
+        with pytest.raises(UndefinedInputError):
+            older(2)
+
+    def test_filter_is_a_view(self, customers):
+        older = fql.filter(customers, age__gt=42)
+        assert older.count() == 3
+        customers[6] = {"name": "Frank", "age": 80}
+        assert older.count() == 4  # dynamic view sees new data
+
+    def test_composition(self, customers):
+        ny_old = fql.filter(fql.filter(customers, age__gt=42), state="NY")
+        assert set(ny_old.keys()) == {1, 3}
+
+    def test_errors(self, customers):
+        with pytest.raises(OperatorError):
+            fql.filter(customers)  # no predicate
+        with pytest.raises(OperatorError):
+            fql.filter(age__gt=42)  # no input
+
+
+class TestLevelPolymorphicFilter:
+    def test_filter_a_database(self, db):
+        wanted = ["order", "products"]
+        sub = fql.filter(lambda kv: kv[0] in wanted, db)
+        assert set(sub.keys()) == {"order", "products"}
+
+    def test_filter_a_tuple(self):
+        t = tuple_function(a=1, b=20, c=3)
+        small = fql.filter(lambda kv: kv[1] < 10, t)
+        assert set(small.keys()) == {"a", "c"}
+
+    def test_filter_database_by_key_lookup(self, db):
+        sub = fql.filter(db, key__in=["customers"])
+        assert set(sub.keys()) == {"customers"}
+
+
+class TestFig4bGroupingUnrolled:
+    def test_group_returns_database_of_relations(self, customers):
+        groups = fql.group(lambda prof: prof.age, customers)
+        assert groups.kind == "database"
+        assert set(groups.keys()) == {47, 25, 62}
+        g47 = groups(47)
+        assert set(g47.keys()) == {1, 4}
+        assert g47(1)("name") == "Alice"
+
+    def test_group_by_attrs(self, customers):
+        groups = fql.group(by=["age"], input=customers)
+        assert set(groups.keys()) == {47, 25, 62}
+
+    def test_aggregate(self, customers):
+        groups = fql.group(by=["age"], input=customers)
+        aggregates = fql.aggregate(groups, count=Count())
+        assert aggregates(47)("count") == 2
+        assert aggregates(62)("count") == 1
+        # group key is an attribute of the output tuple
+        assert aggregates(47)("age") == 47
+
+    def test_having_is_just_filter(self, customers):
+        groups = fql.group(by=["age"], input=customers)
+        aggregates = fql.aggregate(groups, count=Count())
+        large = fql.filter(lambda g: g.count > 1, aggregates)
+        assert set(large.keys()) == {47, 25}
+
+    def test_groups_are_first_class(self, customers):
+        # filter the groups themselves before aggregating — impossible to
+        # express directly in SQL
+        groups = fql.group(by=["state"], input=customers)
+        ny = groups("NY")
+        older_ny = fql.filter(ny, age__gt=30)
+        assert set(older_ny.keys()) == {1, 3}
+
+
+class TestFig4cGroupAndAggregate:
+    def test_fused(self, customers):
+        aggregated = fql.group_and_aggregate(
+            by=["age"], count=Count(), input=customers
+        )
+        assert aggregated.kind == "relation"
+        assert aggregated(47)("count") == 2
+        large = fql.filter(lambda g: g.age > 9, aggregated)
+        assert set(large.keys()) == {47, 25, 62}
+
+    def test_fused_equals_unrolled(self, customers):
+        fused = fql.group_and_aggregate(
+            by=["age"], count=Count(), input=customers
+        )
+        unrolled = fql.aggregate(
+            fql.group(by=["age"], input=customers), count=Count()
+        )
+        assert extensionally_equal(fused, unrolled)
+
+    def test_multiple_aggregates(self, customers):
+        result = fql.group_and_aggregate(
+            by=["state"],
+            n=Count(),
+            oldest=Max("age"),
+            youngest=Min("age"),
+            avg_age=Avg("age"),
+            input=customers,
+        )
+        ny = result("NY")
+        assert ny("n") == 3
+        assert ny("oldest") == 62
+        assert ny("youngest") == 25
+        assert ny("avg_age") == pytest.approx((47 + 62 + 25) / 3)
+
+    def test_multi_attr_grouping(self, customers):
+        result = fql.group_and_aggregate(
+            by=["state", "age"], count=Count(), input=customers
+        )
+        assert result(("NY", 25))("count") == 1
+        assert result(("NY", 25))("state") == "NY"
+        assert result(("NY", 25))("age") == 25
+
+
+class TestFig8GroupingSets:
+    def test_separate_relations_per_grouping(self, customers):
+        gset = fql.group_and_aggregate(
+            [
+                dict(by=["age"], count=Count(), name="age_cc"),
+                dict(by=["age", "name"], count=Count(), name="age_name_cc"),
+                dict(by=[], min=Min("age"), name="global_min"),
+            ],
+            input=customers,
+        )
+        assert set(gset.keys()) == {"age_cc", "age_name_cc", "global_min"}
+        age_cc = gset.age_cc
+        assert age_cc(47)("count") == 2
+        age_name = gset.age_name_cc
+        assert age_name((47, "Alice"))("count") == 1
+        global_min = gset.global_min
+        assert global_min(())("min") == 25
+
+    def test_no_nulls_anywhere(self, customers):
+        gset = fql.group_and_aggregate(
+            [
+                dict(by=["age"], name="by_age"),
+                dict(by=[], name="total"),
+            ],
+            count=Count(),
+            input=customers,
+        )
+        for rel_name in gset.keys():
+            for t in gset(rel_name).tuples():
+                for attr in t.keys():
+                    assert t(attr) is not None
+
+    def test_rollup(self, customers):
+        specs = fql.rollup(["state", "age"])
+        assert [s["by"] for s in specs] == [["state", "age"], ["state"], []]
+        gset = fql.group_and_aggregate(specs, count=Count(), input=customers)
+        names = list(gset.keys())
+        assert len(names) == 3
+
+    def test_cube(self, customers):
+        specs = fql.cube(["state", "age"])
+        assert sorted(tuple(s["by"]) for s in specs) == sorted(
+            [("state", "age"), ("state",), ("age",), ()]
+        )
+
+
+class TestFig5Subdatabase:
+    def test_figure_5_verbatim(self, db):
+        relations = ["order", "products"]
+        sub = fql.filter(lambda kv: kv[0] in relations, db)
+        # add customers_NY to subdatabase (assignment into the view):
+        sub.customers = fql.filter(db.customers, state="NY")
+        assert set(sub.keys()) == {"order", "products", "customers"}
+        assert set(sub.customers.keys()) == {1, 3, 5}
+        # DB itself is untouched
+        assert set(db.customers.keys()) == {1, 2, 3, 4, 5}
+
+    def test_reduce_db(self, db):
+        sub = fql.subdatabase(db, relations=["customers", "order", "products"])
+        sub["customers"] = fql.filter(db.customers, state="NY")
+        reduced = fql.reduce_DB(sub)
+        # only NY customers' orders survive: orders by 1, 3, 5
+        assert set(reduced("order").keys()) == {(1, 10), (1, 11), (3, 12),
+                                                (5, 10)}
+        # only products they ordered survive
+        assert set(reduced("products").keys()) == {10, 11, 12}
+        # customer 2 (CA) was filtered, 4 (TX) never ordered
+        assert set(reduced("customers").keys()) == {1, 3, 5}
+
+    def test_reduce_empty_propagates(self, db):
+        sub = fql.subdatabase(db, relations=["customers", "order", "products"])
+        sub["customers"] = fql.filter(db.customers, state="NOWHERE")
+        reduced = fql.reduce_DB(sub)
+        assert len(reduced("order")) == 0
+        assert len(reduced("products")) == 0
+
+    def test_unknown_relation(self, db):
+        with pytest.raises(UnknownRelationError):
+            fql.subdatabase(db, relations=["nope"])
+
+
+class TestFig6Join:
+    def test_schema_driven_join(self, db):
+        result = fql.join(db)
+        assert result.kind == "relation"
+        rows = result.to_rows()
+        assert len(rows) == 5  # one per order
+        by_date = {r["date"]: r for r in rows}
+        r = by_date["2026-01-05"]
+        # customer attrs, product attrs, order attrs, and the keys
+        assert r["cid"] == 1 and r["pid"] == 10
+        assert r["age"] == 47
+        assert r["price"] == 1200
+        # colliding 'name' attributes are disambiguated, not dropped
+        names = {r["name"], r.get("products_name") or r.get("customers_name")}
+        assert "Alice" in names and "laptop" in names
+
+    def test_explicit_on(self, db):
+        implicit = fql.join(db)
+        explicit = fql.join(
+            db,
+            on=[["customers.cid", "order.cid"], ["order.pid", "products.pid"]],
+        )
+        assert {k for k in implicit.keys()} == {k for k in explicit.keys()}
+
+    def test_point_lookup_into_join(self, db):
+        result = fql.join(db)
+        key = next(iter(result.keys()))
+        t = result(key)
+        assert t is not None and "date" in set(t.keys())
+        assert result.defined_at(key)
+
+    def test_join_then_filter(self, db):
+        result = fql.filter(fql.join(db), category="tech")
+        assert all(t("category") == "tech" for t in result.tuples())
+        assert len(result) == 4
+
+    def test_cross_product_when_no_edges(self, customers, products):
+        db2 = database({"customers": customers, "products": products})
+        result = fql.join(db2)
+        assert len(result) == len(customers) * len(products)
+
+
+class TestFig7OuterMarking:
+    def test_inner_outer_partition(self, db):
+        sub = fql.subdatabase(db, outer="products")
+        marked = sub.products
+        sold = marked.inner
+        unsold = marked.outer
+        assert set(sold.keys()) == {10, 11, 12}
+        assert set(unsold.keys()) == {13}  # lamp was never ordered
+        # partitions are disjoint and complete
+        assert set(sold.keys()) | set(unsold.keys()) == set(
+            db.products.keys()
+        )
+        assert set(sold.keys()) & set(unsold.keys()) == set()
+
+    def test_multiple_marked_relations(self, db):
+        sub = fql.subdatabase(db, outer=["products", "customers"])
+        assert set(sub.customers.outer.keys()) == {4}  # Dave never ordered
+        assert set(sub.customers.inner.keys()) == {1, 2, 3, 5}
+
+    def test_no_nulls_in_either_partition(self, db):
+        sub = fql.subdatabase(db, outer="products")
+        for part in (sub.products.inner, sub.products.outer):
+            for t in part.tuples():
+                for attr in t.keys():
+                    assert t(attr) is not None
+
+    def test_marked_relation_still_acts_whole(self, db):
+        sub = fql.subdatabase(db, outer="products")
+        assert len(sub.products) == 4
+        assert sub.products(13)("name") == "lamp"
+
+
+class TestFig9DatabaseSetOps:
+    def test_figure_9_workflow(self, db):
+        db_copy = fql.deep_copy(db)
+        # change the copy: insert, update, delete, add a table
+        db_copy.customers[6] = {"name": "Frank", "age": 33}
+        db_copy.customers[1]["age"] = 48
+        del db_copy.customers[2]
+        db_copy["suppliers"] = {100: {"name": "Acme"}}
+
+        diff = fql.difference(db, db_copy)
+        assert set(diff("added").keys()) == {"suppliers"}
+        assert set(diff("removed").keys()) == set()
+        changed = diff("changed")
+        assert set(changed.keys()) == {"customers"}
+        cust_diff = changed("customers")
+        assert set(cust_diff("added").keys()) == {6}
+        assert set(cust_diff("removed").keys()) == {2}
+        assert set(cust_diff("changed").keys()) == {1}
+        attr_diff = cust_diff("changed")(1)
+        assert set(attr_diff("changed").keys()) == {"age"}
+        assert attr_diff("changed")("age")("old") == 47
+        assert attr_diff("changed")("age")("new") == 48
+
+    def test_intersect_databases(self, db):
+        db_copy = fql.deep_copy(db)
+        db_copy.customers[6] = {"name": "Frank", "age": 33}
+        del db_copy.customers[2]
+        both = fql.intersect(db, db_copy)
+        assert set(both.keys()) == {"customers", "products", "order"}
+        assert set(both("customers").keys()) == {1, 3, 4, 5}
+
+    def test_minus_databases(self, db):
+        db_copy = fql.deep_copy(db)
+        del db_copy.customers[2]
+        only_in_db = fql.minus(db, db_copy)
+        assert set(only_in_db.keys()) == {"customers"}
+        assert set(only_in_db("customers").keys()) == {2}
+        # self-minus is empty
+        assert len(fql.minus(db, fql.deep_copy(db))) == 0
+
+    def test_union_databases(self, db):
+        db_copy = fql.deep_copy(db)
+        db_copy.customers[6] = {"name": "Frank", "age": 33}
+        db_copy["suppliers"] = {100: {"name": "Acme"}}
+        merged = fql.union(db, db_copy)
+        assert set(merged.keys()) == {
+            "customers", "products", "order", "suppliers"
+        }
+        assert set(merged("customers").keys()) == {1, 2, 3, 4, 5, 6}
+
+    def test_union_conflict_policy(self):
+        r1 = relation({1: {"x": 1}}, name="r1")
+        r2 = relation({1: {"x": 2}}, name="r2")
+        # differing nested functions merge lazily; the scalar conflict
+        # surfaces at attribute access
+        with pytest.raises(MergeConflictError):
+            fql.union(r1, r2)(1)("x")
+        assert fql.union(r1, r2, on_conflict="left")(1)("x") == 1
+        assert fql.union(r1, r2, on_conflict="right")(1)("x") == 2
+
+    def test_set_ops_on_tuples_too(self):
+        t1 = tuple_function(a=1, b=2)
+        t2 = tuple_function(b=2, c=3)
+        assert set(fql.union(t1, t2).keys()) == {"a", "b", "c"}
+        assert set(fql.intersect(t1, t2).keys()) == {"b"}
+        assert set(fql.minus(t1, t2).keys()) == {"a"}
+
+    def test_deep_copy_is_independent(self, db):
+        db_copy = fql.deep_copy(db)
+        db_copy.customers[1]["age"] = 99
+        assert db.customers(1)("age") == 47
+        # relationship participants re-point to the copied relations
+        order_copy = db_copy("order")
+        order_copy[(4, 13)] = {"date": "2026-06-01"}
+        assert not db("order").defined_at((4, 13))
+
+
+class TestExtensionOperators:
+    def test_project(self, customers):
+        names = fql.project(customers, ["name"])
+        assert set(names(1).keys()) == {"name"}
+        assert len(names) == 5  # keys preserved: no accidental dedup
+
+    def test_extend_computed(self, customers):
+        with_decade = fql.extend(customers, decade=lambda t: t("age") // 10)
+        assert with_decade(1)("decade") == 4
+        assert with_decade(1)("name") == "Alice"
+
+    def test_extend_textual_expression(self, customers):
+        doubled = fql.extend(customers, double_age="age * 2")
+        assert doubled(3)("double_age") == 124
+
+    def test_extended_attr_indistinguishable(self, customers):
+        # paper contribution 3: downstream operators can't tell computed
+        # from stored
+        extended = fql.extend(customers, double_age="age * 2")
+        old = fql.filter(extended, double_age__gt=90)
+        assert set(old.keys()) == {1, 3, 4}
+
+    def test_rename(self, customers):
+        renamed = fql.rename(customers, age="years")
+        assert renamed(1)("years") == 47
+        assert not renamed(1).defined_at("age")
+
+    def test_order_by_and_limit(self, customers):
+        by_age = fql.order_by(customers, "age")
+        ages = [t("age") for t in by_age.tuples()]
+        assert ages == sorted(ages)
+        top2 = fql.top(customers, 2, by="age")
+        assert {t("name") for t in top2.tuples()} == {"Carol", "Alice"} | (
+            {"Dave"} if len(top2) > 2 else set()
+        ) or len(top2) == 2
+
+    def test_limit(self, customers):
+        assert len(fql.limit(customers, 3)) == 3
+        assert len(fql.limit(customers, 0)) == 0
+        assert len(fql.limit(customers, 99)) == 5
+
+
+class TestStreams:
+    def test_onc_cursor(self, customers):
+        from repro.resultdb import stream_relation
+
+        stream = stream_relation(customers).open()
+        seen = 0
+        while True:
+            item = stream.next()
+            if item is stream.END:
+                break
+            seen += 1
+        stream.close()
+        assert seen == 5
+
+    def test_vectorized_batches(self, customers):
+        from repro.resultdb import stream_relation
+
+        with stream_relation(customers, batch_size=2) as stream:
+            batch = stream.next()
+            assert len(batch) == 2
+
+    def test_separate_streams_per_relation(self, db):
+        from repro.resultdb import stream_database
+
+        streams = stream_database(db)
+        assert set(streams) == {"customers", "products", "order"}
+        assert sum(1 for _ in streams["order"]) == 5

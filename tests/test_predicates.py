@@ -1,0 +1,281 @@
+"""Predicate language: parsing, evaluation, binding, and injection safety."""
+
+import pytest
+
+from repro.errors import (
+    PredicateError,
+    PredicateSyntaxError,
+    UnboundParameterError,
+    UnknownAttributeError,
+)
+from repro.fdm import Entry, tuple_function
+from repro.predicates import (
+    AttrRef,
+    Comparison,
+    Literal,
+    OpaquePredicate,
+    as_predicate,
+    kwargs_to_predicate,
+    lookup_to_predicate,
+    parse_predicate,
+)
+from repro.predicates.operators import between, eq, gt, isin, startswith
+
+
+ALICE = tuple_function(name="Alice", age=47, city="NY")
+BOB = tuple_function(name="Bob", age=25, city="LA")
+
+
+class TestParsing:
+    def test_simple_comparison(self):
+        p = parse_predicate("age > 42")
+        assert p(ALICE) and not p(BOB)
+
+    def test_all_comparators(self):
+        assert parse_predicate("age >= 47")(ALICE)
+        assert parse_predicate("age <= 47")(ALICE)
+        assert parse_predicate("age = 47")(ALICE)  # SQL-style single =
+        assert parse_predicate("age == 47")(ALICE)
+        assert parse_predicate("age != 25")(ALICE)
+        assert parse_predicate("age <> 25")(ALICE)
+        assert parse_predicate("age < 50")(ALICE)
+
+    def test_boolean_combinators_and_precedence(self):
+        p = parse_predicate("age > 42 and city == 'NY' or name == 'Bob'")
+        assert p(ALICE) and p(BOB)
+        # 'and' binds tighter than 'or'
+        p2 = parse_predicate("name == 'Bob' or age > 42 and city == 'LA'")
+        assert p2(BOB) and not p2(ALICE)
+
+    def test_not(self):
+        p = parse_predicate("not age > 42")
+        assert p(BOB) and not p(ALICE)
+
+    def test_parenthesized_predicates(self):
+        p = parse_predicate("(age > 42 or age < 30) and city != 'SF'")
+        assert p(ALICE) and p(BOB)
+
+    def test_arithmetic(self):
+        assert parse_predicate("age * 2 > 90")(ALICE)
+        assert parse_predicate("age + 5 == 30")(BOB)
+        assert parse_predicate("(age - 7) / 10 == 4")(ALICE)
+        assert parse_predicate("age % 2 == 1")(ALICE)
+        assert parse_predicate("-age < 0")(ALICE)
+
+    def test_membership(self):
+        p = parse_predicate("city in ['NY', 'SF']")
+        assert p(ALICE) and not p(BOB)
+        p2 = parse_predicate("city not in ['NY', 'SF']")
+        assert p2(BOB) and not p2(ALICE)
+
+    def test_between(self):
+        p = parse_predicate("age between 30 and 50")
+        assert p(ALICE) and not p(BOB)
+
+    def test_string_functions(self):
+        assert parse_predicate("startswith(name, 'Al') == true")(ALICE)
+        assert parse_predicate("lower(city) == 'ny'")(ALICE)
+        assert parse_predicate("len(name) == 5")(ALICE)
+
+    def test_true_false_literals(self):
+        assert parse_predicate("true")(ALICE)
+        assert not parse_predicate("false")(ALICE)
+
+    def test_float_and_scientific_numbers(self):
+        t = tuple_function(x=0.5)
+        assert parse_predicate("x == 0.5")(t)
+        assert parse_predicate("x < 1e3")(t)
+
+    def test_string_escapes(self):
+        t = tuple_function(s="it's")
+        assert parse_predicate(r"s == 'it\'s'")(t)
+
+    def test_key_reference(self):
+        p = parse_predicate("__key__ in ['order', 'products']")
+        assert p(Entry("order", ALICE))
+        assert not p(Entry("customers", ALICE))
+
+    def test_nested_attribute_path(self):
+        address = tuple_function(city="NY", zip="10001")
+        person = tuple_function(name="Eve", address=address)
+        assert parse_predicate("address.city == 'NY'")(person)
+
+    def test_syntax_errors(self):
+        for bad in ["age >", "age > > 2", "(age > 1", "age @ 3", "'open",
+                    "age", "age > $", "foo(1)", "in age"]:
+            with pytest.raises(PredicateSyntaxError):
+                parse_predicate(bad)
+
+    def test_roundtrip_to_source(self):
+        source = "age > 42 and city in ['NY', 'LA']"
+        p = parse_predicate(source)
+        p2 = parse_predicate(p.to_source())
+        assert p2(ALICE) == p(ALICE)
+        assert p2(BOB) == p(BOB)
+
+
+class TestParameters:
+    def test_binding(self):
+        p = parse_predicate("age > $min", {"min": 42})
+        assert p(ALICE) and not p(BOB)
+
+    def test_unbound_parameter_raises(self):
+        p = parse_predicate("age > $min")
+        with pytest.raises(UnboundParameterError):
+            p(ALICE)
+
+    def test_late_binding(self):
+        p = parse_predicate("age > $min")
+        assert p.param_names() == {"min"}
+        bound = p.bind({"min": 42})
+        assert bound(ALICE)
+        # original remains unbound (immutability)
+        with pytest.raises(UnboundParameterError):
+            p(ALICE)
+
+    def test_list_parameter(self):
+        p = parse_predicate("city in $cities", {"cities": ["NY"]})
+        assert p(ALICE) and not p(BOB)
+
+
+class TestInjectionImpossibility:
+    """Paper contribution 10: parameters are values, never syntax."""
+
+    PAYLOADS = [
+        "42 OR 1=1",
+        "' OR '1'='1",
+        "42; DROP TABLE customers; --",
+        "$other",
+        "age",
+        "__key__",
+        "1) or (1=1",
+        "x' UNION SELECT * FROM secrets --",
+    ]
+
+    @pytest.mark.parametrize("payload", PAYLOADS)
+    def test_payload_is_compared_as_a_value(self, payload):
+        # Whatever the payload, it is bound as a *string value*; an integer
+        # comparison with a string simply does not hold.
+        p = parse_predicate("age > $min", {"min": payload})
+        assert not p(ALICE)
+        assert not p(BOB)
+
+    @pytest.mark.parametrize("payload", PAYLOADS)
+    def test_payload_in_equality_matches_only_itself(self, payload):
+        p = parse_predicate("name == $n", {"n": payload})
+        assert not p(ALICE)
+        evil = tuple_function(name=payload, age=1)
+        assert p(evil)  # matches exactly the literal payload, nothing else
+
+    def test_structure_cannot_come_from_params(self):
+        # A parameter cannot introduce an OR: the tree is fixed at parse
+        # time and has exactly one comparison.
+        p = parse_predicate("name == $n")
+        assert isinstance(p, Comparison)
+        bound = p.bind({"n": "' OR '1'='1"})
+        assert isinstance(bound, Comparison)
+        assert isinstance(bound.right, Literal)
+
+
+class TestDjangoLookups:
+    def test_basic_ops(self):
+        assert lookup_to_predicate("age__gt", 42)(ALICE)
+        assert lookup_to_predicate("age__gte", 47)(ALICE)
+        assert lookup_to_predicate("age__lt", 30)(BOB)
+        assert lookup_to_predicate("age__lte", 25)(BOB)
+        assert lookup_to_predicate("age__ne", 25)(ALICE)
+        assert lookup_to_predicate("name", "Alice")(ALICE)  # bare = eq
+        assert lookup_to_predicate("name__exact", "Alice")(ALICE)
+
+    def test_membership_and_between(self):
+        assert lookup_to_predicate("city__in", ["NY", "SF"])(ALICE)
+        assert lookup_to_predicate("city__notin", ["NY"])(BOB)
+        assert lookup_to_predicate("age__between", (30, 50))(ALICE)
+
+    def test_string_lookups(self):
+        assert lookup_to_predicate("name__contains", "lic")(ALICE)
+        assert lookup_to_predicate("name__icontains", "ALI")(ALICE)
+        assert lookup_to_predicate("name__startswith", "Al")(ALICE)
+        assert lookup_to_predicate("name__endswith", "ce")(ALICE)
+        assert lookup_to_predicate("name__iexact", "alice")(ALICE)
+
+    def test_kwargs_anded(self):
+        p = kwargs_to_predicate({"age__gt": 30, "city": "NY"})
+        assert p(ALICE) and not p(BOB)
+
+    def test_key_lookup(self):
+        p = kwargs_to_predicate({"key__in": ["order"]})
+        assert p(Entry("order", ALICE))
+        assert not p(Entry("other", ALICE))
+
+    def test_nested_path(self):
+        address = tuple_function(city="NY")
+        person = tuple_function(address=address, age=1)
+        assert kwargs_to_predicate({"address__city": "NY"})(person)
+
+    def test_empty_kwargs_is_true(self):
+        assert kwargs_to_predicate({})(ALICE)
+
+    def test_bad_between(self):
+        with pytest.raises(PredicateError):
+            lookup_to_predicate("age__between", 42)
+
+
+class TestOperatorObjects:
+    def test_broken_up_costume(self):
+        assert gt("age", 42)(ALICE)
+        assert eq("name", "Bob")(BOB)
+        assert isin("city", ["NY"])(ALICE)
+        assert between("age", (20, 30))(BOB)
+        assert startswith("name", "Bo")(BOB)
+
+    def test_transparency(self):
+        p = gt("age", 42)
+        assert p.is_transparent
+        assert p.attrs() == {"age"}
+
+
+class TestSemantics:
+    def test_undefined_attribute_does_not_match(self):
+        t = tuple_function(name="NoAge")
+        assert not parse_predicate("age > 42")(t)
+        assert not parse_predicate("not age > 42")(t)
+
+    def test_strict_mode_raises(self):
+        t = tuple_function(name="NoAge")
+        p = parse_predicate("age > 42")
+        with pytest.raises(UnknownAttributeError):
+            p(t, strict=True)
+
+    def test_type_mismatch_does_not_match(self):
+        t = tuple_function(age="not-a-number")
+        assert not parse_predicate("age > 42")(t)
+
+    def test_opaque_wrapping(self):
+        p = as_predicate(lambda prof: prof("age") > 42)
+        assert isinstance(p, OpaquePredicate)
+        assert not p.is_transparent
+        assert p(ALICE) and not p(BOB)
+
+    def test_as_predicate_dispatch(self):
+        assert as_predicate("age > 42")(ALICE)
+        assert as_predicate(True)(ALICE)
+        assert not as_predicate(False)(ALICE)
+        p = parse_predicate("age > 0")
+        assert as_predicate(p) is p
+
+    def test_combinators(self):
+        p = parse_predicate("age > 42") & parse_predicate("city == 'NY'")
+        assert p(ALICE) and not p(BOB)
+        q = parse_predicate("age > 42") | parse_predicate("city == 'LA'")
+        assert q(ALICE) and q(BOB)
+        r = ~parse_predicate("age > 42")
+        assert r(BOB) and not r(ALICE)
+
+    def test_attrs_analysis(self):
+        p = parse_predicate("age > 42 and city == 'NY' or len(name) > 3")
+        assert p.attrs() == {"age", "city", "name"}
+
+    def test_references_key(self):
+        assert parse_predicate("__key__ == 3").references_key()
+        assert not parse_predicate("age > 3").references_key()

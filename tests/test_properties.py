@@ -1,0 +1,382 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Covered: domain algebra, tuple-function value semantics, filter laws,
+set-operation algebra at database level, grouping partition laws,
+predicate parser round-trips, optimizer semantics preservation, reduce_DB
+agreement with join participation, and MVCC money conservation under
+random interleavings.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+import repro
+from repro import fql
+from repro.errors import TransactionConflictError
+from repro.fdm import (
+    DiscreteDomain,
+    IntervalDomain,
+    database,
+    extensionally_equal,
+    relation,
+    relationship,
+    tuple_function,
+)
+from repro.optimizer import optimize
+from repro.predicates import parse_predicate
+
+# -- strategies ---------------------------------------------------------------
+
+attr_values = st.one_of(
+    st.integers(min_value=-50, max_value=50),
+    st.sampled_from(["x", "y", "z", "NY", "CA"]),
+)
+
+tuple_dicts = st.dictionaries(
+    st.sampled_from(["a", "b", "c", "d"]), attr_values, min_size=0,
+    max_size=4,
+)
+
+relations_st = st.dictionaries(
+    st.integers(min_value=0, max_value=20), tuple_dicts, max_size=12
+)
+
+
+def _rel(mapping, name="R"):
+    return relation(dict(mapping), name=name)
+
+
+# -- domains -------------------------------------------------------------------
+
+
+@given(st.sets(st.integers(-30, 30)), st.sets(st.integers(-30, 30)),
+       st.integers(-30, 30))
+def test_domain_algebra_membership(xs, ys, probe):
+    dx, dy = DiscreteDomain(xs), DiscreteDomain(ys)
+    assert ((probe in dx) and (probe in dy)) == (probe in (dx & dy))
+    assert ((probe in dx) or (probe in dy)) == (probe in (dx | dy))
+    assert ((probe in dx) and (probe not in dy)) == (probe in (dx - dy))
+
+
+@given(st.integers(-100, 100), st.integers(0, 50), st.integers(-150, 150))
+def test_interval_domain_membership(lo, width, probe):
+    dom = IntervalDomain(lo, lo + width, integral=True)
+    assert (probe in dom) == (lo <= probe <= lo + width)
+    assert sorted(dom.iter_values()) == list(range(lo, lo + width + 1))
+
+
+# -- tuple functions --------------------------------------------------------------
+
+
+@given(tuple_dicts)
+def test_tuple_function_value_semantics(data):
+    t1 = tuple_function(**data)
+    t2 = tuple_function(**dict(reversed(list(data.items()))))
+    assert t1 == t2
+    assert hash(t1) == hash(t2)
+    for attr, value in data.items():
+        assert t1(attr) == value
+
+
+@given(tuple_dicts, st.sampled_from(["a", "b", "c"]), attr_values)
+def test_tuple_replace_is_functional(data, attr, value):
+    t = tuple_function(**data)
+    replaced = t.replace(**{attr: value})
+    assert replaced(attr) == value
+    for other in data:
+        if other != attr:
+            assert replaced(other) == t(other)
+    if attr in data:
+        assert t(attr) == data[attr]  # original untouched
+
+
+# -- filter laws --------------------------------------------------------------------
+
+
+@given(relations_st, st.integers(-20, 20), st.integers(-20, 20))
+def test_filter_conjunction_equals_composition(mapping, c1, c2):
+    rel = _rel(mapping)
+    p = parse_predicate(f"a > {c1} and b < {c2}")
+    both = fql.filter(p, rel)
+    composed = fql.filter(
+        parse_predicate(f"b < {c2}"),
+        fql.filter(parse_predicate(f"a > {c1}"), rel),
+    )
+    assert extensionally_equal(both, composed)
+
+
+@given(relations_st, st.integers(-20, 20))
+def test_filter_exclude_partition(mapping, c):
+    # FDM semantics: a predicate over an *undefined* attribute selects
+    # nothing — and so does its negation (asserting ¬(a>c) still requires
+    # knowing a). filter/exclude therefore partition the tuples that
+    # DEFINE the attribute comparably; the rest fall outside both.
+    # (A type-mismatched comparison does not hold, so its negation does:
+    # string-valued 'a' lands in `dropped`.)
+    rel = _rel(mapping)
+    kept = set(fql.filter(rel, a__gt=c).keys())
+    dropped = set(fql.exclude(rel, a__gt=c).keys())
+    defined = {k for k in rel.keys() if rel(k).defined_at("a")}
+    assert kept | dropped == defined
+    assert kept & dropped == set()
+
+
+@given(relations_st, st.integers(-20, 20))
+def test_filter_is_a_subfunction(mapping, c):
+    rel = _rel(mapping)
+    filtered = fql.filter(rel, a__lt=c)
+    for key in filtered.keys():
+        assert extensionally_equal(filtered(key).snapshot()
+                                   if hasattr(filtered(key), "snapshot")
+                                   else filtered(key), rel(key))
+
+
+# -- set operations --------------------------------------------------------------------
+
+
+@given(relations_st, relations_st)
+def test_setop_key_algebra(m1, m2):
+    # avoid merge conflicts: values are a function of the key
+    a = _rel({k: {"v": k * 2} for k in m1}, name="A")
+    b = _rel({k: {"v": k * 2} for k in m2}, name="B")
+    ka, kb = set(a.keys()), set(b.keys())
+    assert set(fql.union(a, b).keys()) == ka | kb
+    assert set(fql.intersect(a, b).keys()) == ka & kb
+    assert set(fql.minus(a, b).keys()) == ka - kb
+    # A = (A ∩ B) ∪ (A ∖ B)
+    recomposed = fql.union(fql.intersect(a, b), fql.minus(a, b))
+    assert extensionally_equal(recomposed, a)
+
+
+@given(relations_st, relations_st)
+def test_difference_classifies_every_key(m1, m2):
+    old = _rel(m1, name="old")
+    new = _rel(m2, name="new")
+    diff = fql.difference(old, new)
+    added = set(diff("added").keys())
+    removed = set(diff("removed").keys())
+    changed = set(diff("changed").keys())
+    ko, kn = set(old.keys()), set(new.keys())
+    assert added == kn - ko
+    assert removed == ko - kn
+    assert changed <= (ko & kn)
+    untouched = (ko & kn) - changed
+    for key in untouched:
+        assert extensionally_equal(
+            old(key).snapshot() if hasattr(old(key), "snapshot")
+            else old(key),
+            new(key).snapshot() if hasattr(new(key), "snapshot")
+            else new(key),
+        )
+
+
+@given(relations_st)
+def test_self_minus_is_empty_and_self_union_is_identity(mapping):
+    rel = _rel(mapping)
+    assert len(fql.minus(rel, rel)) == 0
+    assert extensionally_equal(fql.union(rel, rel), rel)
+    assert extensionally_equal(fql.intersect(rel, rel), rel)
+
+
+# -- grouping -----------------------------------------------------------------------------
+
+
+@given(st.dictionaries(
+    st.integers(0, 30),
+    st.fixed_dictionaries({"g": st.integers(0, 4),
+                           "v": st.integers(0, 100)}),
+    min_size=1, max_size=20,
+))
+def test_groups_partition_the_relation(mapping):
+    rel = _rel(mapping)
+    groups = fql.group(by=["g"], input=rel)
+    seen: set = set()
+    for group_key in groups.keys():
+        member_keys = set(groups(group_key).keys())
+        assert not (member_keys & seen)
+        seen |= member_keys
+        for key in member_keys:
+            assert rel(key)("g") == group_key
+    assert seen == set(rel.keys())
+
+
+@given(st.dictionaries(
+    st.integers(0, 30),
+    st.fixed_dictionaries({"g": st.integers(0, 4),
+                           "v": st.integers(0, 100)}),
+    min_size=1, max_size=20,
+))
+def test_aggregate_counts_sum_to_total(mapping):
+    rel = _rel(mapping)
+    agg = fql.group_and_aggregate(
+        by=["g"], n=fql.Count(), total=fql.Sum("v"), input=rel
+    )
+    assert sum(t("n") for t in agg.tuples()) == len(rel)
+    assert sum(t("total") for t in agg.tuples()) == sum(
+        t("v") for t in rel.tuples()
+    )
+
+
+# -- predicate parser ---------------------------------------------------------------------
+
+
+comparison_sources = st.builds(
+    lambda attr, op, lit: f"{attr} {op} {lit}",
+    st.sampled_from(["a", "b", "c"]),
+    st.sampled_from(["<", "<=", ">", ">=", "==", "!="]),
+    st.integers(-30, 30),
+)
+predicate_sources = st.recursive(
+    comparison_sources,
+    lambda children: st.one_of(
+        st.builds(lambda p, q: f"({p}) and ({q})", children, children),
+        st.builds(lambda p, q: f"({p}) or ({q})", children, children),
+        st.builds(lambda p: f"not ({p})", children),
+    ),
+    max_leaves=6,
+)
+
+
+@given(predicate_sources, st.dictionaries(
+    st.sampled_from(["a", "b", "c"]), st.integers(-30, 30),
+    min_size=3, max_size=3,
+))
+def test_parser_roundtrip_preserves_semantics(source, data):
+    t = tuple_function(**data)
+    p1 = parse_predicate(source)
+    p2 = parse_predicate(p1.to_source())
+    assert p1(t) == p2(t)
+
+
+@given(st.text(min_size=0, max_size=40))
+def test_payloads_bind_as_values_never_structure(payload):
+    from repro.predicates import Comparison, Literal
+
+    p = parse_predicate("a == $x").bind({"x": payload})
+    assert isinstance(p, Comparison)
+    assert isinstance(p.right, Literal)
+    assert p.right.value == payload
+    assert p(tuple_function(a=payload))
+    if payload != "decoy":
+        assert not p(tuple_function(a="decoy"))
+
+
+# -- optimizer ------------------------------------------------------------------------------
+
+
+@settings(max_examples=30)
+@given(relations_st, st.integers(-20, 20), st.integers(-20, 20))
+def test_optimize_preserves_extension_filters(mapping, c1, c2):
+    rel = _rel(mapping)
+    expr = fql.filter(fql.filter(rel, a__gt=c1), b__lt=c2)
+    assert extensionally_equal(expr, optimize(expr))
+
+
+@settings(max_examples=20)
+@given(st.dictionaries(
+    st.integers(0, 30),
+    st.fixed_dictionaries({"g": st.integers(0, 3),
+                           "v": st.integers(0, 50)}),
+    min_size=1, max_size=15,
+), st.integers(0, 3))
+def test_optimize_preserves_extension_grouping(mapping, cutoff):
+    rel = _rel(mapping)
+    expr = fql.filter(
+        fql.aggregate(fql.group(by=["g"], input=rel), n=fql.Count()),
+        g__gt=cutoff,
+    )
+    assert extensionally_equal(expr, optimize(expr))
+
+
+# -- reduce_DB vs join participation ----------------------------------------------------------
+
+
+@settings(max_examples=25)
+@given(
+    st.sets(st.integers(1, 12), min_size=1, max_size=8),
+    st.sets(st.integers(1, 8), min_size=1, max_size=6),
+    st.sets(st.tuples(st.integers(1, 12), st.integers(1, 8)), max_size=15),
+)
+def test_reduce_equals_participation(cids, pids, pairs):
+    customers = relation(
+        {c: {"n": c} for c in cids}, name="customers", key_name="cid"
+    )
+    products = relation(
+        {p: {"m": p} for p in pids}, name="products", key_name="pid"
+    )
+    valid_pairs = {
+        (c, p): {"q": 1} for c, p in pairs if c in cids and p in pids
+    }
+    order = relationship(
+        "order", {"cid": customers, "pid": products}, valid_pairs
+    )
+    db = database(
+        {"customers": customers, "products": products, "order": order}
+    )
+    from repro.fql.join import JoinPlan
+
+    reduced = fql.reduce_DB(db)
+    reference = JoinPlan.from_database(db).participating_keys()
+    for name, expected in reference.items():
+        assert set(reduced(name).keys()) == expected
+
+
+# -- MVCC ----------------------------------------------------------------------------------------
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_money_conservation_under_random_interleavings(seed):
+    rng = random.Random(seed)
+    db = repro.FunctionalDatabase(name=f"prop-bank-{seed}")
+    n = 8
+    db["accounts"] = {i: {"balance": 100} for i in range(1, n + 1)}
+    accounts = db.accounts
+    open_txns = []
+    for _step in range(30):
+        action = rng.random()
+        if action < 0.5 or not open_txns:
+            txn = db.begin()
+            src, dst = rng.sample(range(1, n + 1), 2)
+            amount = rng.randint(1, 20)
+            accounts[src]["balance"] -= amount
+            accounts[dst]["balance"] += amount
+            txn.pause()
+            open_txns.append(txn)
+        else:
+            txn = open_txns.pop(rng.randrange(len(open_txns)))
+            txn.resume()
+            try:
+                if rng.random() < 0.8:
+                    txn.commit()
+                else:
+                    txn.rollback()
+            except TransactionConflictError:
+                pass
+    for txn in open_txns:
+        txn.resume()
+        try:
+            txn.commit()
+        except TransactionConflictError:
+            pass
+    assert sum(t("balance") for t in accounts.tuples()) == n * 100
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(0, 2**32 - 1))
+def test_snapshot_reads_are_stable(seed):
+    rng = random.Random(seed)
+    db = repro.FunctionalDatabase(name=f"prop-snap-{seed}")
+    db["t"] = {i: {"v": i} for i in range(1, 6)}
+    rel = db.t
+    reader = db.begin()
+    before = {k: rel(k)("v") for k in rel.keys()}
+    reader.pause()
+    for _ in range(10):
+        with db.transaction():
+            rel[rng.randint(1, 5)]["v"] = rng.randint(0, 999)
+    reader.resume()
+    after = {k: rel(k)("v") for k in rel.keys()}
+    assert before == after
+    reader.commit()

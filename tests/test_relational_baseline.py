@@ -1,0 +1,188 @@
+"""Relational baseline: NULL 3VL, algebra, grouping sets — the semantics
+the FDM is measured against."""
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.relational import (
+    NULL,
+    Relation,
+    UNKNOWN,
+    cube_sets,
+    except_,
+    full_outer_join,
+    group_aggregate,
+    grouping_sets,
+    inner_join,
+    intersect,
+    left_outer_join,
+    project,
+    rollup_sets,
+    select,
+    union,
+)
+from repro.relational.nulls import (
+    sql_and,
+    sql_compare,
+    sql_not,
+    sql_or,
+    sql_truthy,
+)
+
+
+@pytest.fixture
+def customers():
+    return Relation.from_dicts(
+        "customers",
+        [
+            {"cid": 1, "name": "Alice", "age": 47},
+            {"cid": 2, "name": "Bob", "age": 25},
+            {"cid": 3, "name": "Carol"},  # age becomes NULL
+        ],
+        columns=["cid", "name", "age"],
+    )
+
+
+@pytest.fixture
+def orders():
+    return Relation.from_dicts(
+        "orders",
+        [
+            {"oid": 1, "cid": 1, "amount": 10},
+            {"oid": 2, "cid": 1, "amount": 20},
+            {"oid": 3, "cid": 9, "amount": 5},  # dangling customer
+        ],
+        columns=["oid", "cid", "amount"],
+    )
+
+
+class TestThreeValuedLogic:
+    def test_null_comparisons_are_unknown(self):
+        assert sql_compare("=", NULL, 1) is UNKNOWN
+        assert sql_compare("=", NULL, NULL) is UNKNOWN  # the classic
+        assert sql_compare("<", 1, NULL) is UNKNOWN
+
+    def test_kleene_tables(self):
+        assert sql_and(True, UNKNOWN) is UNKNOWN
+        assert sql_and(False, UNKNOWN) is False
+        assert sql_or(True, UNKNOWN) is True
+        assert sql_or(False, UNKNOWN) is UNKNOWN
+        assert sql_not(UNKNOWN) is UNKNOWN
+
+    def test_where_keeps_only_true(self):
+        assert sql_truthy(True)
+        assert not sql_truthy(UNKNOWN)
+        assert not sql_truthy(False)
+
+    def test_missing_attrs_become_null(self, customers):
+        assert customers.null_count() == 1
+        # NULL age row is invisible to both a predicate and its negation —
+        # SQL's famous trap
+        old = select(customers, lambda r: sql_compare(">", r["age"], 30))
+        young = select(
+            customers, lambda r: sql_not(sql_compare(">", r["age"], 30))
+        )
+        assert len(old) + len(young) == 2  # Carol vanished from both
+
+
+class TestAlgebra:
+    def test_project_distinct(self, customers):
+        ages = project(customers, ["age"])
+        assert len(ages) == 3  # 47, 25, NULL
+        no_distinct = project(customers, ["age"], distinct=False)
+        assert len(no_distinct) == 3
+
+    def test_inner_join_drops_dangling_and_nulls(self, customers, orders):
+        j = inner_join(customers, orders, on=[("cid", "cid")])
+        assert len(j) == 2  # only Alice's orders match
+        assert j.null_count() == 0
+
+    def test_left_outer_pads_with_null(self, customers, orders):
+        j = left_outer_join(customers, orders, on=[("cid", "cid")])
+        # Alice×2, Bob padded, Carol padded
+        assert len(j) == 4
+        assert j.null_count() > 0
+
+    def test_full_outer(self, customers, orders):
+        j = full_outer_join(customers, orders, on=[("cid", "cid")])
+        assert len(j) == 5  # 2 matches + Bob + Carol + dangling order
+        pad_rows = [r for r in j.rows if NULL in r]
+        assert len(pad_rows) == 3
+
+    def test_null_join_keys_never_match(self):
+        left = Relation("l", ["k"], [[NULL], [1]])
+        right = Relation("r", ["k"], [[NULL], [1]])
+        j = inner_join(left, right, on=[("k", "k")])
+        assert len(j) == 1  # NULL = NULL is UNKNOWN in joins
+
+    def test_set_ops(self, customers):
+        a = project(customers, ["name"])
+        b = Relation("other", ["name"], [("Alice",), ("Zoe",)])
+        assert {r[0] for r in union(a, b)} == {"Alice", "Bob", "Carol", "Zoe"}
+        assert {r[0] for r in intersect(a, b)} == {"Alice"}
+        assert {r[0] for r in except_(a, b)} == {"Bob", "Carol"}
+
+    def test_group_aggregate_skips_nulls(self, customers):
+        g = group_aggregate(
+            customers,
+            by=[],
+            aggs=[("n", "count", "age"), ("rows", "count", None),
+                  ("avg_age", "avg", "age")],
+        )
+        row = g.row_dict(g.rows[0])
+        assert row["n"] == 2  # COUNT(age) skips Carol's NULL
+        assert row["rows"] == 3  # COUNT(*) does not
+        assert row["avg_age"] == pytest.approx(36.0)
+
+    def test_arity_mismatch(self, customers):
+        two_cols = Relation("t", ["a", "b"], [(1, 2)])
+        with pytest.raises(RelationalError):
+            union(customers, two_cols)
+
+
+class TestGroupingSets:
+    @pytest.fixture
+    def sales(self):
+        return Relation.from_dicts(
+            "sales",
+            [
+                {"state": "NY", "cat": "tech", "amount": 10},
+                {"state": "NY", "cat": "toys", "amount": 20},
+                {"state": "CA", "cat": "tech", "amount": 30},
+            ],
+        )
+
+    def test_null_filling(self, sales):
+        result = grouping_sets(
+            sales,
+            sets=[["state", "cat"], ["state"], []],
+            aggs=[("total", "sum", "amount")],
+        )
+        # 3 + 2 + 1 result rows in ONE relation
+        assert len(result) == 6
+        # the padding is substantial: 'cat' NULL in 2 rows, both NULL in 1
+        assert result.null_count() == 2 + 2 * 1
+        assert "grouping_id" in result.columns
+
+    def test_grouping_id_disambiguates(self, sales):
+        # inject a *real* NULL state; grouping_id is then the only way to
+        # tell it apart from the rollup row — SQL's own pathology
+        sales.append([NULL, "toys", 5])
+        result = grouping_sets(
+            sales, sets=[["state"], []], aggs=[("n", "count", None)]
+        )
+        null_state_rows = [
+            r for r in result.rows
+            if r[result.column_index("state")] is NULL
+        ]
+        assert len(null_state_rows) == 2  # real NULL group + grand total
+        ids = {
+            r[result.column_index("grouping_id")] for r in null_state_rows
+        }
+        assert ids == {0, 1}  # distinguishable only via grouping_id
+
+    def test_rollup_and_cube_sets(self):
+        assert rollup_sets(["a", "b"]) == [["a", "b"], ["a"], []]
+        assert sorted(map(tuple, cube_sets(["a", "b"]))) == sorted(
+            [("a", "b"), ("a",), ("b",), ()]
+        )

@@ -1,0 +1,331 @@
+"""The SQL subset engine: parsing, execution, NULL traps, prepared
+statements, and the injectability that motivates paper contribution 10."""
+
+import pytest
+
+from repro.errors import SQLExecutionError, SQLSyntaxError
+from repro.relational import NULL, SQLDatabase
+
+
+@pytest.fixture
+def db():
+    db = SQLDatabase()
+    db.load_dicts(
+        "customers",
+        [
+            {"cid": 1, "name": "Alice", "age": 47, "state": "NY"},
+            {"cid": 2, "name": "Bob", "age": 25, "state": "CA"},
+            {"cid": 3, "name": "Carol", "age": 62, "state": "NY"},
+        ],
+    )
+    db.load_dicts(
+        "orders",
+        [
+            {"oid": 1, "cid": 1, "amount": 10},
+            {"oid": 2, "cid": 1, "amount": 20},
+            {"oid": 3, "cid": 2, "amount": 5},
+        ],
+    )
+    return db
+
+
+class TestSelect:
+    def test_star(self, db):
+        result = db.query("SELECT * FROM customers")
+        assert len(result) == 3
+        assert result.columns == ["cid", "name", "age", "state"]
+
+    def test_where(self, db):
+        result = db.query("SELECT name FROM customers WHERE age > 42")
+        assert {r[0] for r in result} == {"Alice", "Carol"}
+
+    def test_expressions_and_aliases(self, db):
+        result = db.query(
+            "SELECT name, age * 2 AS dbl FROM customers WHERE cid = 1"
+        )
+        assert result.columns == ["name", "dbl"]
+        assert result.rows[0] == ("Alice", 94)
+
+    def test_and_or_not_in_between_like(self, db):
+        q = db.query
+        assert len(q("SELECT * FROM customers WHERE age > 30 AND state = 'NY'")) == 2
+        assert len(q("SELECT * FROM customers WHERE age < 30 OR age > 60")) == 2
+        assert len(q("SELECT * FROM customers WHERE NOT age > 30")) == 1
+        assert len(q("SELECT * FROM customers WHERE state IN ('NY', 'TX')")) == 2
+        assert len(q("SELECT * FROM customers WHERE age BETWEEN 25 AND 47")) == 2
+        assert len(q("SELECT * FROM customers WHERE name LIKE 'A%'")) == 1
+        assert len(q("SELECT * FROM customers WHERE name LIKE '_ob'")) == 1
+
+    def test_order_and_limit(self, db):
+        result = db.query(
+            "SELECT name FROM customers ORDER BY age DESC LIMIT 2"
+        )
+        assert [r[0] for r in result] == ["Carol", "Alice"]
+
+    def test_distinct(self, db):
+        result = db.query("SELECT DISTINCT state FROM customers")
+        assert len(result) == 2
+
+    def test_scalar_functions(self, db):
+        result = db.query(
+            "SELECT upper(name) AS u FROM customers WHERE cid = 2"
+        )
+        assert result.rows[0][0] == "BOB"
+
+    def test_select_without_from(self, db):
+        result = db.query("SELECT 1 + 2 AS three")
+        assert result.rows == [(3,)]
+
+
+class TestJoins:
+    def test_inner_join(self, db):
+        result = db.query(
+            "SELECT name, amount FROM customers "
+            "JOIN orders ON customers.cid = orders.cid"
+        )
+        assert len(result) == 3
+        assert result.null_count() == 0
+
+    def test_left_join_pads_null(self, db):
+        result = db.query(
+            "SELECT name, amount FROM customers "
+            "LEFT JOIN orders ON customers.cid = orders.cid"
+        )
+        assert len(result) == 4  # Carol padded
+        assert result.null_count() == 1
+
+    def test_full_join(self, db):
+        db.execute("INSERT INTO orders (oid, cid, amount) VALUES (4, 9, 1)")
+        result = db.query(
+            "SELECT name, amount FROM customers "
+            "FULL JOIN orders ON customers.cid = orders.cid"
+        )
+        assert len(result) == 5
+        assert result.null_count() == 2
+
+    def test_three_way_and_aliases(self, db):
+        db.load_dicts("tags", [{"cid": 1, "tag": "vip"}])
+        result = db.query(
+            "SELECT c.name, o.amount, t.tag FROM customers c "
+            "JOIN orders o ON c.cid = o.cid "
+            "JOIN tags t ON c.cid = t.cid"
+        )
+        assert len(result) == 2
+
+    def test_cross_join(self, db):
+        result = db.query("SELECT * FROM customers CROSS JOIN orders")
+        assert len(result) == 9
+
+
+class TestAggregation:
+    def test_global_aggregates(self, db):
+        result = db.query(
+            "SELECT count(*) AS n, avg(age) AS a, max(age) AS m "
+            "FROM customers"
+        )
+        assert result.rows[0] == (3, pytest.approx(44.666666), 62)
+
+    def test_group_by_having(self, db):
+        result = db.query(
+            "SELECT state, count(*) AS n FROM customers "
+            "GROUP BY state HAVING count(*) > 1"
+        )
+        assert result.rows == [("NY", 2)]
+
+    def test_count_distinct(self, db):
+        result = db.query(
+            "SELECT count(DISTINCT state) AS s FROM customers"
+        )
+        assert result.rows[0][0] == 2
+
+    def test_grouping_sets_null_fill(self, db):
+        result = db.query(
+            "SELECT state, count(*) AS n FROM customers "
+            "GROUP BY GROUPING SETS ((state), ())"
+        )
+        assert len(result) == 3  # NY, CA, grand total
+        assert "grouping_id" in result.columns
+        assert result.null_count() == 1  # the padded grand-total state
+
+    def test_rollup(self, db):
+        result = db.query(
+            "SELECT state, count(*) AS n FROM customers GROUP BY ROLLUP(state)"
+        )
+        assert len(result) == 3
+
+    def test_aggregates_skip_nulls(self, db):
+        db.execute(
+            "INSERT INTO customers (cid, name) VALUES (4, 'NoAge')"
+        )
+        result = db.query(
+            "SELECT count(*) AS rows, count(age) AS ages FROM customers"
+        )
+        assert result.rows[0] == (4, 3)
+
+
+class TestSetOps:
+    def test_union_intersect_except(self, db):
+        u = db.query(
+            "SELECT state FROM customers UNION SELECT 'TX' FROM customers"
+        )
+        assert {r[0] for r in u} == {"NY", "CA", "TX"}
+        i = db.query(
+            "SELECT state FROM customers WHERE age > 30 "
+            "INTERSECT SELECT state FROM customers WHERE age < 30"
+        )
+        assert len(i) == 0
+        e = db.query(
+            "SELECT state FROM customers "
+            "EXCEPT SELECT state FROM customers WHERE age < 30"
+        )
+        assert {r[0] for r in e} == {"NY"}
+
+
+class TestDML:
+    def test_insert_update_delete(self, db):
+        assert db.execute(
+            "INSERT INTO customers (cid, name, age, state) "
+            "VALUES (4, 'Dave', 33, 'TX'), (5, 'Eve', 29, 'NY')"
+        ) == 2
+        assert db.execute("UPDATE customers SET age = 30 WHERE cid = 5") == 1
+        assert db.query(
+            "SELECT age FROM customers WHERE cid = 5"
+        ).rows[0][0] == 30
+        assert db.execute("DELETE FROM customers WHERE state = 'TX'") == 1
+        assert len(db.table("customers")) == 4
+
+    def test_create_and_drop(self, db):
+        db.execute("CREATE TABLE t (a int, b text)")
+        db.execute("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert len(db.query("SELECT * FROM t")) == 1
+        db.execute("DROP TABLE t")
+        with pytest.raises(SQLExecutionError):
+            db.query("SELECT * FROM t")
+
+    def test_partial_insert_pads_null(self, db):
+        db.execute("INSERT INTO customers (cid, name) VALUES (9, 'X')")
+        row = db.query("SELECT age FROM customers WHERE cid = 9").rows[0]
+        assert row[0] is NULL
+
+
+class TestNullTraps:
+    def test_null_never_equals_null(self, db):
+        db.execute("INSERT INTO customers (cid, name) VALUES (7, 'N')")
+        result = db.query("SELECT * FROM customers WHERE age = age")
+        assert len(result) == 3  # the NULL-age row fails its own equality
+
+    def test_not_in_with_null_selects_nothing(self, db):
+        result = db.query(
+            "SELECT * FROM customers WHERE age NOT IN (25, NULL)"
+        )
+        assert len(result) == 0  # the classic NOT IN + NULL surprise
+
+    def test_is_null(self, db):
+        db.execute("INSERT INTO customers (cid, name) VALUES (7, 'N')")
+        assert len(db.query(
+            "SELECT * FROM customers WHERE age IS NULL"
+        )) == 1
+        assert len(db.query(
+            "SELECT * FROM customers WHERE age IS NOT NULL"
+        )) == 3
+
+
+class TestPreparedStatements:
+    def test_params_bind_positionally(self, db):
+        result = db.query(
+            "SELECT name FROM customers WHERE age > ? AND state = ?",
+            (30, "NY"),
+        )
+        assert {r[0] for r in result} == {"Alice", "Carol"}
+
+    def test_missing_param(self, db):
+        with pytest.raises(SQLExecutionError):
+            db.query("SELECT * FROM customers WHERE age > ?")
+
+
+class TestInjectability:
+    """The baseline is injectable when app code concatenates strings —
+    exactly CWE-89; the S2 benchmark quantifies this against FQL."""
+
+    def test_classic_or_1_eq_1(self, db):
+        user_input = "' OR '1'='1"
+        sql = (
+            "SELECT name FROM customers WHERE name = '" + user_input + "'"
+        )
+        leaked = db.query(sql)
+        assert len(leaked) == 3  # full table leaked
+
+    def test_comment_truncation(self, db):
+        user_input = "x' OR 1=1 --"
+        sql = f"SELECT name FROM customers WHERE name = '{user_input}'"
+        assert len(db.query(sql)) == 3
+
+    def test_prepared_statement_is_safe(self, db):
+        for payload in ("' OR '1'='1", "x' OR 1=1 --"):
+            result = db.query(
+                "SELECT name FROM customers WHERE name = ?", (payload,)
+            )
+            assert len(result) == 0  # payload treated as a value
+
+    def test_syntax_errors(self, db):
+        for bad in ("SELEC * FROM t", "SELECT * FROM", "SELECT 'open",
+                    "INSERT INTO t VALUES", "SELECT * FROM t WHERE"):
+            with pytest.raises((SQLSyntaxError, SQLExecutionError)):
+                db.execute(bad)
+
+
+class TestNonEquiAndMisc:
+    def test_non_equi_join_scans(self, db):
+        result = db.query(
+            "SELECT customers.name FROM customers "
+            "JOIN orders ON customers.age > orders.amount"
+        )
+        # every (customer, order) pair with age > amount
+        expected = sum(
+            1
+            for c in db.table("customers").to_dicts()
+            for o in db.table("orders").to_dicts()
+            if c["age"] > o["amount"]
+        )
+        assert len(result) == expected
+
+    def test_left_join_non_equi(self, db):
+        result = db.query(
+            "SELECT customers.name, oid FROM customers "
+            "LEFT JOIN orders ON customers.cid = orders.cid "
+            "AND orders.amount > 15"
+        )
+        # Alice matches order 2 (20); Bob and Carol padded
+        assert len(result) == 3
+        assert result.null_count() == 2
+
+    def test_order_by_expression(self, db):
+        result = db.query(
+            "SELECT name FROM customers ORDER BY age * -1"
+        )
+        assert [r[0] for r in result] == ["Carol", "Alice", "Bob"]
+
+    def test_quoted_identifiers(self, db):
+        db.execute('CREATE TABLE "order" (a int)')
+        db.execute('INSERT INTO "order" (a) VALUES (1)')
+        assert len(db.query('SELECT * FROM "order"')) == 1
+
+    def test_comments_are_skipped(self, db):
+        result = db.query(
+            "SELECT name FROM customers -- trailing comment\n"
+            "WHERE age > 42"
+        )
+        assert len(result) == 2
+
+    def test_duplicate_output_labels_uniquified(self, db):
+        result = db.query("SELECT name, name FROM customers WHERE cid = 1")
+        assert result.columns == ["name", "name_2"]
+
+    def test_script_execution(self, db):
+        results = db.script(
+            "CREATE TABLE t (a int); "
+            "INSERT INTO t (a) VALUES (1), (2); "
+            "SELECT count(*) AS n FROM t"
+        )
+        assert results[1] == 2
+        assert results[2].rows == [(2,)]

@@ -1,0 +1,242 @@
+"""Runtime type checking (paper ref [25]), schema types, and the seeded
+workload generators."""
+
+from typing import Optional
+
+import pytest
+
+from repro.errors import SchemaError, TypeCheckError
+from repro.fdm import relation, tuple_function
+from repro.types import (
+    ANY_TYPE,
+    FLOAT,
+    INT,
+    STR,
+    Schema,
+    check_type,
+    conforms,
+    infer_schema,
+    typechecked,
+)
+from repro.workloads import (
+    computed_sensor_relation,
+    generate_banking,
+    generate_retail,
+    sampled_sensor_relation,
+    zipf_sampler,
+)
+
+
+class TestCheckType:
+    def test_primitives(self):
+        check_type(1, int)
+        check_type("x", str)
+        check_type(1.5, float)
+        check_type(1, float)  # int is acceptable where float is expected
+        with pytest.raises(TypeCheckError):
+            check_type("x", int)
+        with pytest.raises(TypeCheckError):
+            check_type(True, int)  # bools are not ints here
+
+    def test_optional_and_union(self):
+        check_type(None, Optional[int])
+        check_type(3, Optional[int])
+        check_type(3, int | str)
+        with pytest.raises(TypeCheckError):
+            check_type(3.5, int | str)
+
+    def test_containers(self):
+        check_type([1, 2], list[int])
+        with pytest.raises(TypeCheckError):
+            check_type([1, "x"], list[int])
+        check_type({"a": 1}, dict[str, int])
+        with pytest.raises(TypeCheckError):
+            check_type({"a": "b"}, dict[str, int])
+        check_type((1, "x"), tuple[int, str])
+        with pytest.raises(TypeCheckError):
+            check_type((1,), tuple[int, str])
+        check_type((1, 2, 3), tuple[int, ...])
+
+    def test_fdm_classes(self):
+        from repro.fdm import RelationFunction, TupleFunction
+
+        check_type(tuple_function(a=1), TupleFunction)
+        check_type(relation({1: {"a": 1}}), RelationFunction)
+        with pytest.raises(TypeCheckError):
+            check_type(tuple_function(a=1), RelationFunction)
+
+    def test_conforms(self):
+        assert conforms(1, int)
+        assert not conforms("x", int)
+
+
+class TestTypechecked:
+    def test_validates_args_and_return(self):
+        @typechecked
+        def double(x: int) -> int:
+            return x * 2
+
+        assert double(2) == 4
+        with pytest.raises(TypeCheckError):
+            double("two")
+
+    def test_validates_return(self):
+        @typechecked
+        def broken(x: int) -> str:
+            return x  # type: ignore[return-value]
+
+        with pytest.raises(TypeCheckError):
+            broken(1)
+
+    def test_costume_signature(self):
+        # the paper's Fig. 4 costume style: typed FQL in the host PL
+        from repro import fql
+        from repro.fdm import FDMFunction
+
+        @typechecked
+        def older_than(rel: FDMFunction, min_age: int) -> FDMFunction:
+            return fql.filter(rel, age__gt=min_age)
+
+        customers = relation({1: {"age": 47}, 2: {"age": 25}})
+        assert set(older_than(customers, 30).keys()) == {1}
+        with pytest.raises(TypeCheckError):
+            older_than(customers, "30")
+
+
+class TestSchema:
+    def test_check_tuple(self):
+        schema = Schema({"name": STR, "age": INT}, required={"name"})
+        schema.check_tuple(tuple_function(name="A", age=3))
+        schema.check_tuple(tuple_function(name="A"))  # age optional
+        with pytest.raises(SchemaError):
+            schema.check_tuple(tuple_function(age=3))  # name required
+        with pytest.raises(SchemaError):
+            schema.check_tuple(tuple_function(name="A", age="old"))
+
+    def test_no_none_values(self):
+        schema = Schema({"age": INT})
+        with pytest.raises(SchemaError):
+            schema.check_tuple({"age": None})
+
+    def test_check_relation(self):
+        schema = Schema({"age": INT})
+        rel = relation({1: {"age": 4}, 2: {"age": 7}})
+        assert schema.check_relation(rel) == 2
+
+    def test_infer(self):
+        rel = relation(
+            {1: {"a": 1, "b": "x"}, 2: {"a": 2.5, "b": "y", "c": True}}
+        )
+        schema = infer_schema(rel)
+        assert schema.attrs["a"] == FLOAT  # widened int→float
+        assert schema.attrs["b"] == STR
+        assert schema.required == {"a", "b"}  # c is not in every tuple
+
+    def test_as_codomain(self):
+        schema = Schema({"age": INT})
+        domain = schema.as_codomain()
+        assert tuple_function(age=1) in domain
+        assert tuple_function(age="x") not in domain
+
+    def test_infer_mixed_is_any(self):
+        rel = relation({1: {"a": 1}, 2: {"a": "x"}})
+        assert infer_schema(rel).attrs["a"] == ANY_TYPE
+
+
+class TestRetailWorkload:
+    def test_deterministic(self):
+        a = generate_retail(50, 10, 100, seed=7)
+        b = generate_retail(50, 10, 100, seed=7)
+        assert a.customers == b.customers
+        assert a.orders == b.orders
+        c = generate_retail(50, 10, 100, seed=8)
+        assert a.orders != c.orders
+
+    def test_sizes(self):
+        data = generate_retail(100, 20, 300, seed=1)
+        assert len(data.customers) == 100
+        assert len(data.products) == 20
+        assert len(data.orders) == 300
+
+    def test_skew_concentrates(self):
+        import random
+
+        rng = random.Random(0)
+        sampler = zipf_sampler(100, 1.2, rng)
+        draws = [sampler() for _ in range(3000)]
+        top_share = sum(1 for d in draws if d <= 10) / len(draws)
+        assert top_share > 0.5
+
+        rng2 = random.Random(0)
+        uniform = zipf_sampler(100, 0.0, rng2)
+        draws2 = [uniform() for _ in range(3000)]
+        assert sum(1 for d in draws2 if d <= 10) / len(draws2) < 0.2
+
+    def test_all_three_substrates_agree(self):
+        from repro import fql
+
+        data = generate_retail(30, 10, 50, seed=3)
+        fdm_db = data.to_fdm_database()
+        stored_db = data.to_stored_database(name="retail-test")
+        sql_db = data.to_sql_database()
+        n_fdm = len(fql.join(fdm_db))
+        n_stored = len(fql.join(stored_db))
+        n_sql = len(
+            sql_db.query(
+                "SELECT * FROM customers "
+                "JOIN orders ON customers.cid = orders.cid "
+                "JOIN products ON orders.pid = products.pid"
+            )
+        )
+        assert n_fdm == n_stored == n_sql == 50
+
+    def test_order_coverage_leaves_unmatched(self):
+        data = generate_retail(100, 50, 80, seed=5, order_coverage=0.5)
+        ordered_pids = {pid for _cid, pid in data.orders}
+        assert max(ordered_pids) <= 25
+
+
+class TestBankingWorkload:
+    def test_conservation_baseline(self):
+        data = generate_banking(100, 200, initial_balance=500, seed=2)
+        assert data.total_balance == 100 * 500
+        assert len(data.transfers) == 200
+        assert all(t.src != t.dst for t in data.transfers)
+
+    def test_hot_set_contention(self):
+        data = generate_banking(
+            1000, 500, hot_fraction=0.9, hot_set_size=2, seed=2
+        )
+        hot_hits = sum(
+            1 for t in data.transfers if t.src <= 2 and t.dst <= 2
+        )
+        assert hot_hits > 300
+
+
+class TestSensorWorkload:
+    def test_computed_is_a_data_space(self):
+        sensor = computed_sensor_relation(0, 100)
+        assert sensor.defined_at(12.34)
+        assert not sensor.defined_at(101)
+        t = sensor(12.34)
+        assert isinstance(t("temperature"), float)
+
+    def test_sampled_twin_matches_signal(self):
+        sensor = computed_sensor_relation(0, 10)
+        samples = sampled_sensor_relation(0, 10, step=1.0)
+        assert len(samples) == 11
+        assert samples(3.0)("temperature") == sensor(3.0)("temperature")
+
+    def test_same_pipeline_runs_on_both(self):
+        from repro import fql
+
+        samples = sampled_sensor_relation(0, 60, step=1.0)
+        sensor = computed_sensor_relation(0, 60)
+        hot_stored = fql.filter(samples, temperature__gt=21.0)
+        assert hot_stored.count() >= 0  # enumerable
+        hot_computed = fql.filter(sensor, temperature__gt=21.0)
+        # point lookups work on the continuous filtered space
+        for t in (0.0, 30.0, 59.5):
+            assert hot_computed.defined_at(t) == (
+                sensor(t)("temperature") > 21.0
+            )
