@@ -101,6 +101,23 @@ def test_opaque_costume_cannot_optimize(benchmark, stored_retail):
     assert keys == _expected_keys(stored_retail)
 
 
+@pytest.mark.benchmark(group="fig04a-exec")
+def test_exec_naive_filter(benchmark, stored_retail, exec_naive):
+    """The per-key path (REPRO_EXEC=naive): the pre-executor baseline."""
+    expr = fql.filter(stored_retail.customers, age__gt=MIN_AGE)
+    keys = benchmark(lambda: set(expr.keys()))
+    assert keys == _expected_keys(stored_retail)
+
+
+@pytest.mark.benchmark(group="fig04a-exec")
+def test_exec_batched_filter(benchmark, stored_retail, exec_batch):
+    """Same query through the batched pipeline (plan-cache warm)."""
+    expr = fql.filter(stored_retail.customers, age__gt=MIN_AGE)
+    set(expr.keys())  # warm the plan cache
+    keys = benchmark(lambda: set(expr.keys()))
+    assert keys == _expected_keys(stored_retail)
+
+
 @pytest.mark.benchmark(group="fig04a-optimized")
 def test_sql_baseline_filter(benchmark, sql_retail, stored_retail):
     def run():

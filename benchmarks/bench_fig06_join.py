@@ -50,6 +50,23 @@ def test_sql_three_way_join(benchmark, sql_retail, fdm_retail):
     assert len(result) == len(fdm_retail("order"))
 
 
+@pytest.mark.benchmark(group="fig06-exec")
+def test_exec_naive_join(benchmark, fdm_retail, exec_naive):
+    """Per-key join enumeration (REPRO_EXEC=naive)."""
+    expr = fql.join(fdm_retail)
+    n = benchmark(lambda: sum(1 for _ in expr.keys()))
+    assert n == len(fdm_retail("order"))
+
+
+@pytest.mark.benchmark(group="fig06-exec")
+def test_exec_batched_join(benchmark, fdm_retail, exec_batch):
+    """Batched hash join over prefetched atoms (plan-cache warm)."""
+    expr = fql.join(fdm_retail)
+    sum(1 for _ in expr.keys())  # warm the plan cache
+    n = benchmark(lambda: sum(1 for _ in expr.keys()))
+    assert n == len(fdm_retail("order"))
+
+
 @pytest.mark.benchmark(group="fig06-order")
 def test_chosen_vs_worst_join_order(benchmark, fdm_retail):
     from repro.fql.join import JoinedRelationFunction, JoinPlan

@@ -1,0 +1,83 @@
+"""Reading query plans: logical graph, fired rules, physical pipeline.
+
+Run:  python examples/explain_pipeline.py
+
+``repro.exec.explain(fn)`` shows the three layers of one query:
+
+1. the **logical plan** — the derived-function graph exactly as composed
+   (a derived function *is* its own plan, DESIGN.md §5), with
+   cardinality estimates;
+2. the **rules fired** — the optimizer rewrites applied, in order;
+3. the **physical pipeline** — the batched, pull-based operator tree the
+   executor actually runs (DESIGN.md §6).
+
+Also shown: the plan cache at work, and the ``REPRO_EXEC=naive`` escape
+hatch that disables the whole layer for differential testing.
+"""
+
+import repro
+from repro import fql
+from repro.exec import default_plan_cache, explain, set_exec_mode
+
+
+def main() -> None:
+    db = repro.connect(name="shop")
+    db["customers"] = {
+        1: {"name": "Alice", "age": 47, "state": "NY"},
+        2: {"name": "Bob", "age": 25, "state": "CA"},
+        3: {"name": "Carol", "age": 62, "state": "NY"},
+        4: {"name": "Dave", "age": 47, "state": "TX"},
+    }
+    db["products"] = {
+        10: {"name": "laptop", "category": "tech", "price": 1200},
+        11: {"name": "lamp", "category": "furniture", "price": 40},
+    }
+    db.add_relationship(
+        "order",
+        {"cid": "customers", "pid": "products"},
+        {(1, 10): {"date": "2026-01-05"}, (3, 11): {"date": "2026-02-14"}},
+    )
+
+    # a filter over an ordering: the optimizer pushes σ below the sort,
+    # the executor compiles the predicate once per batch
+    query = fql.filter(
+        fql.order_by(db.customers, "age"), age__gt=40, state="NY"
+    )
+    print("=" * 64)
+    print("Query 1: filter over order_by")
+    print("=" * 64)
+    print(explain(query))
+    print()
+
+    # an unrolled group→aggregate: lowered into one-pass folding
+    groups = fql.group(by=["state"], input=db.customers)
+    aggregates = fql.aggregate(groups, n=fql.Count(), oldest=fql.Max("age"))
+    print("=" * 64)
+    print("Query 2: unrolled group -> aggregate")
+    print("=" * 64)
+    print(explain(aggregates))
+    print()
+
+    # a schema-driven join: lowered to a hash join over prefetched atoms
+    print("=" * 64)
+    print("Query 3: join along the schema relationships")
+    print("=" * 64)
+    print(explain(fql.join(db)))
+    print()
+
+    # the plan cache: the first enumeration plans, the second reuses
+    cache = db.engine.plan_cache or default_plan_cache()
+    list(query.items())
+    list(query.items())
+    print("plan cache after two runs:", cache.stats())
+
+    # the escape hatch: identical results through the per-key path
+    set_exec_mode("naive")
+    naive_keys = list(query.keys())
+    set_exec_mode(None)
+    assert naive_keys == list(query.keys())
+    print("naive path and batched executor agree:", naive_keys)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,266 @@
+"""Plan cache: LRU of lowered pipelines keyed by graph fingerprint.
+
+Repeated queries over the same data skip optimize+lower entirely. The
+fingerprint of a derived-function graph covers the operator structure
+(classes, transparent predicate sources, parameters) plus, at the
+leaves, the *identity and data version* of each base function. DML bumps
+the version (a mutation counter on material functions, the WAL length on
+stored ones), so a mutated database simply stops matching its old cache
+entries — invalidation is structural, with the LRU evicting the garbage.
+
+The cache is per database: graphs rooted in a stored database use the
+cache attached to that database's :class:`StorageEngine`; purely
+in-memory graphs share a process-wide default cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+from repro.fdm.functions import DerivedFunction, FDMFunction
+
+__all__ = ["PlanCache", "fingerprint", "cache_for", "default_plan_cache"]
+
+
+class PlanCache:
+    """A small LRU keyed by graph fingerprint, with hit/miss counters."""
+
+    def __init__(self, maxsize: int = 256):
+        self.maxsize = maxsize
+        self._entries: OrderedDict[Any, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Any) -> Any:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Any, value: Any) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = self.misses = self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+    def __repr__(self) -> str:
+        return f"<PlanCache {self.stats()}>"
+
+
+_DEFAULT_CACHE = PlanCache()
+
+
+def default_plan_cache() -> PlanCache:
+    """The process-wide cache used for purely in-memory graphs."""
+    return _DEFAULT_CACHE
+
+
+def _engine_of(fn: FDMFunction) -> Any:
+    """The first storage engine reachable from the graph's leaves."""
+    from repro.storage.relation import StoredRelationFunction
+
+    if isinstance(fn, StoredRelationFunction):
+        return fn._engine
+    for child in getattr(fn, "children", ()):
+        engine = _engine_of(child)
+        if engine is not None:
+            return engine
+    return None
+
+
+def cache_for(fn: FDMFunction) -> PlanCache:
+    """The per-database plan cache owning this graph."""
+    engine = _engine_of(fn)
+    if engine is None:
+        return _DEFAULT_CACHE
+    cache = getattr(engine, "plan_cache", None)
+    if cache is None:
+        cache = PlanCache()
+        engine.plan_cache = cache
+    return cache
+
+
+def _predicate_token(predicate: Any) -> Any:
+    if predicate is None:
+        return None
+    if getattr(predicate, "is_transparent", False):
+        return predicate.to_source()
+    # opaque predicates are identified by the callable they wrap
+    return ("opaque", id(predicate))
+
+
+def _version_token(fn: FDMFunction) -> Any:
+    """Identity + data version of a base (leaf) function."""
+    from repro.storage.relation import StoredRelationFunction
+
+    if isinstance(fn, StoredRelationFunction):
+        manager = fn._manager
+        txn = manager.current()
+        txn_token = (
+            (txn.start_ts, len(txn.writes)) if txn is not None else None
+        )
+        return (
+            "stored",
+            id(fn._engine),
+            fn.table_name,
+            len(fn._engine.wal),
+            txn_token,
+        )
+    version = getattr(fn, "_version", None)
+    return ("leaf", id(fn), version)
+
+
+def fingerprint(fn: FDMFunction) -> Any:
+    """A hashable token identifying graph structure + leaf data versions.
+
+    Equal fingerprints mean "the same plan is valid"; a DML statement
+    anywhere beneath the graph changes a leaf version and therefore the
+    fingerprint (the plan-cache invalidation tests pin this down).
+    """
+    from repro.fdm.databases import (
+        MaterialDatabaseFunction,
+        OverlayDatabaseFunction,
+    )
+
+    if isinstance(fn, DerivedFunction):
+        return (
+            type(fn).__name__,
+            _params_token(fn),
+            tuple(fingerprint(child) for child in fn.children),
+        )
+    if isinstance(fn, MaterialDatabaseFunction):
+        return (
+            "db",
+            id(fn),
+            getattr(fn, "_version", None),
+            tuple(
+                (name, fingerprint(sub))
+                for name, sub in fn._functions.items()
+            ),
+        )
+    if isinstance(fn, OverlayDatabaseFunction):
+        return (
+            "overlay",
+            fingerprint(fn.base),
+            tuple(
+                (name, fingerprint(sub))
+                for name, sub in fn._overlay.items()
+            ),
+            frozenset(fn._hidden),
+        )
+    return _version_token(fn)
+
+
+def _params_token(fn: DerivedFunction) -> Any:
+    """Class-specific structural token beyond children fingerprints."""
+    from repro.fql.filter import FilteredFunction, RestrictedFunction
+    from repro.fql.group import (
+        AggregatedRelationFunction,
+        GroupedDatabaseFunction,
+    )
+    from repro.fql.join import JoinedRelationFunction
+    from repro.fql.order import LimitedFunction, OrderedFunction
+    from repro.fql.project import MappedFunction
+    from repro.optimizer.physical import (
+        FusedGroupAggregateFunction,
+        IndexLookupFunction,
+        KeyLookupFunction,
+    )
+
+    if isinstance(fn, FilteredFunction):
+        return _predicate_token(fn.predicate)
+    if isinstance(fn, RestrictedFunction):
+        # the frozenset itself is the token: a hash would collide
+        try:
+            hash(fn.restricted_keys)
+            return ("keys", fn.restricted_keys)
+        except TypeError:
+            return ("keys", id(fn))
+    if isinstance(fn, MappedFunction):
+        params = fn.op_params()
+        if fn.op_name == "project":
+            return ("project", tuple(params["attrs"]))
+        if fn.op_name == "rename":
+            return ("rename", tuple(sorted(params["mapping"].items())))
+        if fn.op_name == "extend" and set(
+            params.get("transparent", {})
+        ) == set(params.get("computed", ())):
+            return ("extend", tuple(sorted(params["transparent"].items())))
+        # opaque transform closure: identity is part of the plan
+        return (fn.op_name, id(fn._transform))
+    if isinstance(fn, OrderedFunction):
+        spec = fn._key_spec
+        spec_token = (
+            tuple(spec)
+            if isinstance(spec, (list, tuple))
+            else (spec if isinstance(spec, str) else ("fn", id(spec)))
+        )
+        return (spec_token, fn._reverse)
+    if isinstance(fn, LimitedFunction):
+        return fn._n
+    if isinstance(fn, (GroupedDatabaseFunction, FusedGroupAggregateFunction)):
+        by = fn._by
+        by_token = by.attrs if by.attrs is not None else ("fn", id(by.fn))
+        if isinstance(fn, FusedGroupAggregateFunction):
+            return (by_token, _aggs_token(fn._aggs))
+        return by_token
+    if isinstance(fn, AggregatedRelationFunction):
+        return _aggs_token(fn.aggregates)
+    if isinstance(fn, JoinedRelationFunction):
+        plan = fn.plan
+        return (
+            tuple(
+                (name, fingerprint(atom))
+                for name, atom in plan.atoms.items()
+            ),
+            tuple(f"{a!r}={b!r}" for a, b in plan.edges),
+            tuple(plan.order_hint) if plan.order_hint else None,
+        )
+    if isinstance(fn, KeyLookupFunction):
+        try:
+            hash(fn._key_value)
+            key_token = fn._key_value
+        except TypeError:
+            key_token = repr(fn._key_value)
+        return (key_token, _predicate_token(fn._residual))
+    if isinstance(fn, IndexLookupFunction):
+        return (
+            fn._attr,
+            repr((fn._eq, fn._lo, fn._hi, fn._lo_open, fn._hi_open)),
+            _predicate_token(fn._residual),
+        )
+    # unknown derived operator: parameters may hide opaque state, so the
+    # instance identity itself is the only safe token
+    return ("instance", id(fn))
+
+
+def _aggs_token(aggs: dict) -> Any:
+    out = []
+    for name, agg in aggs.items():
+        attr = getattr(agg, "attr", None)
+        if callable(attr):
+            out.append((name, type(agg).__name__, ("fn", id(attr))))
+        else:
+            out.append((name, type(agg).__name__, attr))
+    return tuple(out)

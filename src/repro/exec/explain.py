@@ -1,0 +1,55 @@
+"""``explain(fn)``: the full story of one query, as text.
+
+Renders three layers — the logical derived-function graph exactly as the
+user wrote it, the optimizer rules that fired (in order, with repeats),
+and the lowered physical pipeline the executor will pull batches
+through. ``examples/explain_pipeline.py`` walks through reading the
+output; README.md documents the format.
+"""
+
+from __future__ import annotations
+
+from repro.fdm.functions import FDMFunction
+from repro.exec.lower import lower
+
+__all__ = ["explain"]
+
+
+def explain(fn: FDMFunction, estimates: bool = True) -> str:
+    """Explain logical plan, fired rules, and physical pipeline for *fn*.
+
+    Uses the executor's own rule set (``pipeline_rules()``), so the
+    printed pipeline is the one transparent enumeration actually runs —
+    not the hypothetical plan of a full ``optimize()`` call, which may
+    additionally apply enumeration-order-changing rules (index access,
+    join reordering).
+    """
+    from repro.optimizer import explain as logical_explain, optimize
+    from repro.exec.run import pipeline_rules
+
+    lines: list[str] = ["== logical plan =="]
+    lines.append(logical_explain(fn, estimates=estimates))
+
+    trace: list[str] = []
+    optimized = optimize(fn, rules=pipeline_rules(), trace=trace)
+
+    lines.append("")
+    lines.append("== rules fired ==")
+    if trace:
+        lines.extend(f"  {i + 1}. {name}" for i, name in enumerate(trace))
+    else:
+        lines.append("  (none)")
+
+    if optimized is not fn:
+        lines.append("")
+        lines.append("== optimized plan ==")
+        lines.append(logical_explain(optimized, estimates=estimates))
+
+    lines.append("")
+    lines.append("== physical pipeline ==")
+    pipeline = lower(optimized, logical=fn, fired_rules=trace)
+    if pipeline is None:
+        lines.append("  (naive per-key interpretation)")
+    else:
+        lines.append(pipeline.explain())
+    return "\n".join(lines)

@@ -1,0 +1,191 @@
+"""``lower(fn)``: compile a logical derived-function graph into a
+physical pipeline (DESIGN.md §6).
+
+A derived FQL function *is* its own logical plan (DESIGN.md §5); this
+module is the other half of the split — one physical node per logical
+operator class. Operators without a specialized lowering fall back to a
+:class:`~repro.exec.nodes.NaiveNode` leaf (their subtree runs per-key),
+so lowering is total: it never fails, it only degrades.
+"""
+
+from __future__ import annotations
+
+from repro.fdm.functions import DerivedFunction, FDMFunction
+from repro.exec.nodes import (
+    AggregateOverGroupsNode,
+    FilterNode,
+    FusedGroupAggregateNode,
+    GroupAggregateNode,
+    GroupNode,
+    HashJoinNode,
+    IndexLookupNode,
+    IntersectNode,
+    KeyLookupNode,
+    LimitNode,
+    MapNode,
+    MinusNode,
+    NaiveNode,
+    OrderNode,
+    PhysicalNode,
+    RestrictNode,
+    ScanNode,
+    UnionNode,
+)
+
+__all__ = ["lower", "PhysicalPipeline"]
+
+
+class PhysicalPipeline:
+    """A lowered plan: the physical root plus provenance for explain."""
+
+    def __init__(
+        self,
+        root: PhysicalNode,
+        logical: FDMFunction,
+        fired_rules: list[str] | None = None,
+    ):
+        self.root = root
+        self.logical = logical
+        self.fired_rules = list(fired_rules or [])
+
+    def iter_entries(self):
+        """Flattened (key, value) stream, in naive-equivalent order."""
+        for batch in self.root.batches():
+            yield from batch
+
+    def iter_keys(self):
+        """Flattened key stream (values computed only where required)."""
+        for batch in self.root.key_batches():
+            yield from batch
+
+    def iter_batches(self):
+        return self.root.batches()
+
+    def explain(self) -> str:
+        """Indented rendering of the physical operator tree."""
+        lines: list[str] = []
+
+        def visit(node: PhysicalNode, indent: int) -> None:
+            lines.append("  " * indent + node.describe())
+            for child in node.children:
+                visit(child, indent + 1)
+
+        visit(self.root, 0)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"<PhysicalPipeline root={self.root.describe()!r}>"
+
+
+def lower(
+    fn: FDMFunction,
+    logical: FDMFunction | None = None,
+    fired_rules: list[str] | None = None,
+) -> PhysicalPipeline | None:
+    """Lower *fn* (usually an optimized graph) into a physical pipeline.
+
+    Returns ``None`` when the root operator has no specialized lowering —
+    the caller then keeps the per-key interpretation, which is exactly
+    what a :class:`NaiveNode` wrapping the root would do, minus a layer.
+    """
+    root = _node_for(fn)
+    if isinstance(root, NaiveNode) and root.fn is fn:
+        return None
+    # NB: not `logical or fn` — truthiness of an FDM function is len()
+    return PhysicalPipeline(
+        root, fn if logical is None else logical, fired_rules
+    )
+
+
+def _node_for(fn: FDMFunction) -> PhysicalNode:
+    if not isinstance(fn, DerivedFunction):
+        return ScanNode(fn)
+
+    # local imports: the fql/optimizer layers import fdm, which routes
+    # enumeration back here — keep module import time cycle-free
+    from repro.fql.filter import FilteredFunction, RestrictedFunction
+    from repro.fql.group import (
+        AggregatedRelationFunction,
+        GroupedDatabaseFunction,
+    )
+    from repro.fql.join import JoinedRelationFunction
+    from repro.fql.order import LimitedFunction, OrderedFunction
+    from repro.fql.project import MappedFunction
+    from repro.fql.setops import (
+        IntersectFunction,
+        MinusFunction,
+        UnionFunction,
+    )
+    from repro.optimizer.physical import (
+        FusedGroupAggregateFunction,
+        IndexLookupFunction,
+        KeyLookupFunction,
+    )
+
+    if isinstance(fn, FilteredFunction):
+        return FilterNode(_node_for(fn.source), fn.predicate)
+    if isinstance(fn, RestrictedFunction):
+        if not fn.source.is_enumerable:
+            return NaiveNode(fn)
+        return RestrictNode(_node_for(fn.source), fn.restricted_keys)
+    if isinstance(fn, MappedFunction):
+        return MapNode(
+            _node_for(fn.source), fn._transform, label=fn.op_name
+        )
+    if isinstance(fn, OrderedFunction):
+        return OrderNode(
+            _node_for(fn.source),
+            fn._sort_key,
+            fn._reverse,
+            label=f"order [{fn.op_params()['key']!r}]",
+        )
+    if isinstance(fn, LimitedFunction):
+        # limit ∘ map ≡ map ∘ limit (maps preserve keys): truncate below
+        # the transforms so only surviving rows are ever evaluated, as
+        # the naive path does
+        inner = fn.source
+        maps: list[MappedFunction] = []
+        while isinstance(inner, MappedFunction):
+            maps.append(inner)
+            inner = inner.source
+        node: PhysicalNode = LimitNode(_node_for(inner), fn._n)
+        for mapped in reversed(maps):
+            node = MapNode(node, mapped._transform, label=mapped.op_name)
+        return node
+    if isinstance(fn, GroupedDatabaseFunction):
+        return GroupNode(_node_for(fn.source), fn)
+    if isinstance(fn, AggregatedRelationFunction):
+        source = fn.source
+        if isinstance(source, GroupedDatabaseFunction):
+            # collapse the group/aggregate pair into one-pass folding
+            return GroupAggregateNode(
+                _node_for(source.source),
+                source.by,
+                fn.aggregates,
+                name=fn.fn_name,
+            )
+        return AggregateOverGroupsNode(
+            _node_for(source), fn.aggregates, name=fn.fn_name
+        )
+    if isinstance(fn, FusedGroupAggregateFunction):
+        return FusedGroupAggregateNode(
+            _node_for(fn.source), fn._by, fn._aggs, name=fn.fn_name
+        )
+    if isinstance(fn, JoinedRelationFunction):
+        return HashJoinNode(fn)
+    if isinstance(fn, UnionFunction):
+        return UnionNode(_node_for(fn.left), _node_for(fn.right), fn)
+    if isinstance(fn, (IntersectFunction, MinusFunction)):
+        # the naive path never enumerates the right operand (point probes
+        # via defined_at), so a non-enumerable right side must stay naive
+        if not fn.right.is_enumerable:
+            return NaiveNode(fn)
+        node_cls = (
+            IntersectNode if isinstance(fn, IntersectFunction) else MinusNode
+        )
+        return node_cls(_node_for(fn.left), _node_for(fn.right), fn)
+    if isinstance(fn, KeyLookupFunction):
+        return KeyLookupNode(fn)
+    if isinstance(fn, IndexLookupFunction):
+        return IndexLookupNode(fn)
+    return NaiveNode(fn)

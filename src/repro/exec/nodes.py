@@ -1,0 +1,624 @@
+"""Physical pipeline nodes: batched, pull-based execution (DESIGN.md §6).
+
+Each node consumes batches — plain lists of ``(key, value)`` entries —
+from its children and yields batches of its own. Pulling is lazy: a
+``limit`` above a ``scan`` stops the scan after the first batch it needs.
+The contract every node honours is *naive equivalence*: the flattened
+entry stream must match the per-key interpretation of the corresponding
+logical operator exactly — same keys, same order, extensionally equal
+values. The differential test suite enforces this for every operator.
+
+Nodes never call ``items()``/``keys()`` on *derived* functions for their
+own subtree (that would re-enter the executor); they pull from their
+child nodes, and only leaf :class:`ScanNode`\\ s touch base functions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import MergeConflictError, UndefinedInputError
+from repro.fdm.functions import FDMFunction, values_equal
+
+__all__ = [
+    "BATCH_SIZE",
+    "PhysicalNode",
+    "ScanNode",
+    "NaiveNode",
+    "FilterNode",
+    "RestrictNode",
+    "MapNode",
+    "OrderNode",
+    "LimitNode",
+    "GroupNode",
+    "GroupAggregateNode",
+    "AggregateOverGroupsNode",
+    "FusedGroupAggregateNode",
+    "HashJoinNode",
+    "UnionNode",
+    "IntersectNode",
+    "MinusNode",
+    "KeyLookupNode",
+    "IndexLookupNode",
+    "rebatch",
+]
+
+#: Default number of entries per batch. Large enough to amortize the
+#: per-batch Python overhead, small enough to keep pipelines responsive.
+BATCH_SIZE = 256
+
+
+def rebatch(entries: Iterator, size: int = BATCH_SIZE) -> Iterator[list]:
+    """Chunk a flat iterator into batches (``repro._util.chunked``)."""
+    from repro._util import chunked
+
+    return chunked(entries, size)
+
+
+class PhysicalNode:
+    """One operator of a lowered pipeline."""
+
+    op = "physical"
+    children: tuple["PhysicalNode", ...] = ()
+
+    def batches(self) -> Iterator[list]:
+        raise NotImplementedError
+
+    def key_batches(self) -> Iterator[list]:
+        """Batches of keys only.
+
+        Override where keys are derivable without computing values (map
+        preserves keys; scans read them directly): the naive ``keys()``
+        path never evaluates transforms, and the batched path must not
+        either.
+        """
+        for batch in self.batches():
+            yield [key for key, _value in batch]
+
+    def entries(self) -> Iterator[tuple]:
+        for batch in self.batches():
+            yield from batch
+
+    def describe(self) -> str:
+        """One-line label for pipeline explain output."""
+        return self.op
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class ScanNode(PhysicalNode):
+    """Leaf: stream a base (non-derived) function in chunks.
+
+    Uses the function's :meth:`iter_batches` (stored and material
+    relations provide direct chunked access) so the pipeline is fed
+    without per-tuple dict churn.
+    """
+
+    op = "scan"
+
+    def __init__(self, fn: FDMFunction):
+        self.fn = fn
+
+    def batches(self) -> Iterator[list]:
+        return self.fn.iter_batches(BATCH_SIZE)
+
+    def key_batches(self) -> Iterator[list]:
+        return rebatch(self.fn.keys())
+
+    def describe(self) -> str:
+        return f"scan {self.fn.fn_name!r} [{self.fn.kind}]"
+
+
+class NaiveNode(PhysicalNode):
+    """Fallback leaf: an operator the lowerer does not specialize.
+
+    Streams the function's own per-key enumeration in batches; its
+    subtree runs unoptimized, but the surrounding pipeline stays batched.
+    """
+
+    op = "naive"
+
+    def __init__(self, fn: FDMFunction):
+        self.fn = fn
+
+    def batches(self) -> Iterator[list]:
+        return rebatch(self.fn.naive_items())
+
+    def key_batches(self) -> Iterator[list]:
+        return rebatch(self.fn.naive_keys())
+
+    def describe(self) -> str:
+        return f"naive {getattr(self.fn, 'op_name', '?')}({self.fn.fn_name!r})"
+
+
+class FilterNode(PhysicalNode):
+    """σ over a batch stream with a batch-compiled predicate."""
+
+    op = "filter"
+
+    def __init__(self, child: PhysicalNode, predicate: Any):
+        self.children = (child,)
+        self.predicate = predicate
+        self._compiled = predicate.compile_batch()
+
+    def batches(self) -> Iterator[list]:
+        compiled = self._compiled
+        for batch in self.children[0].batches():
+            mask = compiled(batch)
+            out = [pair for pair, ok in zip(batch, mask) if ok]
+            if out:
+                yield out
+
+    def key_batches(self) -> Iterator[list]:
+        compiled = self._compiled
+        for batch in self.children[0].batches():
+            mask = compiled(batch)
+            out = [pair[0] for pair, ok in zip(batch, mask) if ok]
+            if out:
+                yield out
+
+    def describe(self) -> str:
+        return f"filter [{self.predicate.to_source()}]"
+
+
+class RestrictNode(PhysicalNode):
+    """Key-set restriction (subdatabase reduction, outer partitions)."""
+
+    op = "restrict"
+
+    def __init__(self, child: PhysicalNode, keys: frozenset):
+        self.children = (child,)
+        self.keys = keys
+
+    def batches(self) -> Iterator[list]:
+        keys = self.keys
+        for batch in self.children[0].batches():
+            out = [pair for pair in batch if pair[0] in keys]
+            if out:
+                yield out
+
+    def key_batches(self) -> Iterator[list]:
+        keys = self.keys
+        for batch in self.children[0].key_batches():
+            out = [key for key in batch if key in keys]
+            if out:
+                yield out
+
+    def describe(self) -> str:
+        return f"restrict [{len(self.keys)} keys]"
+
+
+class MapNode(PhysicalNode):
+    """π/extend/rename/map: per-entry value transform, one loop per batch."""
+
+    op = "map"
+
+    def __init__(self, child: PhysicalNode, transform: Any, label: str = "map"):
+        self.children = (child,)
+        self.transform = transform
+        self.label = label
+
+    def batches(self) -> Iterator[list]:
+        transform = self.transform
+        for batch in self.children[0].batches():
+            yield [(key, transform(key, value)) for key, value in batch]
+
+    def key_batches(self) -> Iterator[list]:
+        # map preserves the key set: never evaluate the transform for keys
+        return self.children[0].key_batches()
+
+    def describe(self) -> str:
+        return self.label
+
+
+class OrderNode(PhysicalNode):
+    """Materialize, sort with the logical operator's sort key, re-batch."""
+
+    op = "order"
+
+    def __init__(self, child: PhysicalNode, sort_key: Any, reverse: bool,
+                 label: str = "order"):
+        self.children = (child,)
+        self.sort_key = sort_key
+        self.reverse = reverse
+        self.label = label
+
+    def batches(self) -> Iterator[list]:
+        pairs = list(self.children[0].entries())
+        pairs.sort(key=lambda kv: self.sort_key(kv[1]), reverse=self.reverse)
+        yield from rebatch(iter(pairs))
+
+    def describe(self) -> str:
+        return f"{self.label} (reverse={self.reverse})"
+
+
+class LimitNode(PhysicalNode):
+    """Stop pulling after *n* entries."""
+
+    op = "limit"
+
+    def __init__(self, child: PhysicalNode, n: int):
+        self.children = (child,)
+        self.n = n
+
+    def batches(self) -> Iterator[list]:
+        yield from self._truncate(self.children[0].batches())
+
+    def key_batches(self) -> Iterator[list]:
+        yield from self._truncate(self.children[0].key_batches())
+
+    def _truncate(self, stream: Iterator[list]) -> Iterator[list]:
+        remaining = self.n
+        if remaining <= 0:
+            return
+        for batch in stream:
+            if len(batch) >= remaining:
+                yield batch[:remaining]
+                return
+            remaining -= len(batch)
+            yield batch
+
+    def describe(self) -> str:
+        return f"limit {self.n}"
+
+
+class GroupNode(PhysicalNode):
+    """γ: one pass building group-key → member relation function."""
+
+    op = "group"
+
+    def __init__(self, child: PhysicalNode, grouped_fn: Any):
+        self.children = (child,)
+        self.fn = grouped_fn  # the logical GroupedDatabaseFunction
+
+    def _scan_groups(self) -> dict:
+        by = self.fn.by
+        groups: dict[Any, list] = {}
+        for batch in self.children[0].batches():
+            for key, t in batch:
+                try:
+                    group_key = by.key_of(t)
+                except UndefinedInputError:
+                    continue
+                groups.setdefault(group_key, []).append((key, t))
+        return groups
+
+    def batches(self) -> Iterator[list]:
+        groups = self._scan_groups()
+        yield from rebatch(
+            (gk, self.fn._group_relation(gk, members))
+            for gk, members in groups.items()
+        )
+
+    def key_batches(self) -> Iterator[list]:
+        # group keys only: skip materializing member relations
+        return rebatch(iter(self._scan_groups()))
+
+    def describe(self) -> str:
+        return f"group [by {self.fn.by.label()}]"
+
+
+class GroupAggregateNode(PhysicalNode):
+    """group+aggregate in one pass without materializing member relations.
+
+    Lowers ``aggregate(group(by, x), **aggs)`` — the unrolled Fig. 4b
+    pipeline — into the same one-pass shape as the fused Fig. 4c form.
+    """
+
+    op = "group_aggregate"
+
+    def __init__(self, child: PhysicalNode, by: Any, aggs: dict,
+                 name: str = "agg"):
+        self.children = (child,)
+        self.by = by
+        self.aggs = dict(aggs)
+        self.name = name
+
+    def batches(self) -> Iterator[list]:
+        by, aggs = self.by, self.aggs
+        accs: dict[Any, dict] = {}
+        for batch in self.children[0].batches():
+            for _key, t in batch:
+                try:
+                    group_key = by.key_of(t)
+                except UndefinedInputError:
+                    continue
+                acc = accs.get(group_key)
+                if acc is None:
+                    acc = {
+                        agg_name: agg.seed()
+                        for agg_name, agg in aggs.items()
+                    }
+                    accs[group_key] = acc
+                for agg_name, agg in aggs.items():
+                    acc[agg_name] = agg.step(acc[agg_name], t)
+        from repro.fdm.tuples import TupleFunction
+
+        def tuples() -> Iterator[tuple]:
+            for group_key, acc in accs.items():
+                data = by.key_attrs(group_key)
+                for agg_name, agg in aggs.items():
+                    data[agg_name] = agg.result(acc[agg_name])
+                yield group_key, TupleFunction(
+                    data, name=f"{self.name}[{group_key!r}]"
+                )
+
+        yield from rebatch(tuples())
+
+    def key_batches(self) -> Iterator[list]:
+        # group keys only: fold no aggregates (naive keys() never does)
+        by = self.by
+        seen: dict[Any, None] = {}
+        for batch in self.children[0].batches():
+            for _key, t in batch:
+                try:
+                    group_key = by.key_of(t)
+                except UndefinedInputError:
+                    continue
+                if group_key not in seen:
+                    seen[group_key] = None
+        yield from rebatch(iter(seen), BATCH_SIZE)
+
+    def describe(self) -> str:
+        return (
+            f"group_aggregate [by {self.by.label()}; "
+            f"{', '.join(self.aggs)}]"
+        )
+
+
+class AggregateOverGroupsNode(PhysicalNode):
+    """Aggregate a stream of pre-built groups (opaque grouping sources)."""
+
+    op = "aggregate"
+
+    def __init__(self, child: PhysicalNode, aggs: dict, name: str = "agg"):
+        self.children = (child,)
+        self.aggs = dict(aggs)
+        self.name = name
+
+    def batches(self) -> Iterator[list]:
+        from repro.errors import OperatorError
+        from repro.fdm.tuples import TupleFunction
+
+        for batch in self.children[0].batches():
+            out = []
+            for group_key, group_rel in batch:
+                if not isinstance(group_rel, FDMFunction):
+                    raise OperatorError(
+                        f"aggregate() expects groups of tuples, found "
+                        f"{group_rel!r}"
+                    )
+                members = list(group_rel.values())
+                data: dict[str, Any] = {}
+                for agg_name, agg in self.aggs.items():
+                    data[agg_name] = agg.compute(members)
+                out.append(
+                    (
+                        group_key,
+                        TupleFunction(
+                            data, name=f"{self.name}[{group_key!r}]"
+                        ),
+                    )
+                )
+            yield out
+
+    def key_batches(self) -> Iterator[list]:
+        # aggregate preserves the group-key set: skip the folds
+        return self.children[0].key_batches()
+
+    def describe(self) -> str:
+        return f"aggregate [{', '.join(self.aggs)}]"
+
+
+class FusedGroupAggregateNode(GroupAggregateNode):
+    """The already-fused physical operator, fed by a batched child."""
+
+    op = "fused_group_aggregate"
+
+
+class HashJoinNode(PhysicalNode):
+    """⋈: the n-ary join with enumerable key-joined atoms prefetched
+    into hash maps (``JoinPlan.bindings(prefetch=True)``)."""
+
+    op = "hash_join"
+
+    def __init__(self, join_fn: Any):
+        self.fn = join_fn  # the logical JoinedRelationFunction
+
+    def batches(self) -> Iterator[list]:
+        from repro.fdm.tuples import TupleFunction
+        from repro.fql.join import _merge_binding_into_row
+
+        fn = self.fn
+        plan, order = fn.plan, fn.atom_order
+
+        def entries() -> Iterator[tuple]:
+            for binding in plan.bindings(prefetch=True):
+                key = tuple(binding[name][0] for name in order)
+                row = _merge_binding_into_row(binding, plan.atoms, order)
+                yield key, TupleFunction(row, name=f"{fn.fn_name}{key!r}")
+
+        yield from rebatch(entries())
+
+    def key_batches(self) -> Iterator[list]:
+        # key tuples only: skip denormalizing rows (naive keys() does too)
+        fn = self.fn
+        plan, order = fn.plan, fn.atom_order
+        yield from rebatch(
+            tuple(binding[name][0] for name in order)
+            for binding in plan.bindings(prefetch=True)
+        )
+
+    def describe(self) -> str:
+        return f"hash_join [{' ⋈ '.join(self.fn.atom_order)}]"
+
+
+class _SetOpNode(PhysicalNode):
+    """Shared plumbing: stream left, prefetch right into a lookup map."""
+
+    def __init__(self, left: PhysicalNode, right: PhysicalNode, fn: Any):
+        self.children = (left, right)
+        self.fn = fn
+
+    def _right_pairs(self) -> list:
+        return list(self.children[1].entries())
+
+
+class UnionNode(_SetOpNode):
+    op = "union"
+
+    def batches(self) -> Iterator[list]:
+        from repro.fql.setops import UnionFunction, _both_recursable
+
+        policy = self.fn._on_conflict
+        right_pairs = self._right_pairs()
+        right_map = dict(right_pairs)
+        seen = set()
+        for batch in self.children[0].batches():
+            out = []
+            for key, left_value in batch:
+                seen.add(key)
+                if key not in right_map:
+                    out.append((key, left_value))
+                    continue
+                right_value = right_map[key]
+                if values_equal(left_value, right_value):
+                    out.append((key, left_value))
+                elif _both_recursable(left_value, right_value):
+                    out.append(
+                        (
+                            key,
+                            UnionFunction(
+                                left_value, right_value, on_conflict=policy
+                            ),
+                        )
+                    )
+                elif policy == "left":
+                    out.append((key, left_value))
+                elif policy == "right":
+                    out.append((key, right_value))
+                else:
+                    raise MergeConflictError(
+                        f"union conflict at key {key!r}: {left_value!r} vs "
+                        f"{right_value!r} (pass on_conflict='left'/'right' "
+                        "to pick a side)"
+                    )
+            if out:
+                yield out
+        tail = [(k, v) for k, v in right_pairs if k not in seen]
+        yield from rebatch(iter(tail))
+
+    def key_batches(self) -> Iterator[list]:
+        # naive union keys() never compares values (and so never hits a
+        # merge conflict): left keys, then unseen right keys
+        seen = set()
+        for batch in self.children[0].key_batches():
+            seen.update(batch)
+            yield batch
+        tail: list = []
+        for batch in self.children[1].key_batches():
+            tail.extend(key for key in batch if key not in seen)
+        yield from rebatch(iter(tail))
+
+    def describe(self) -> str:
+        return f"union [on_conflict={self.fn._on_conflict}]"
+
+
+class IntersectNode(_SetOpNode):
+    op = "intersect"
+
+    def batches(self) -> Iterator[list]:
+        from repro.fql.setops import IntersectFunction, _both_recursable
+
+        right_map = dict(self._right_pairs())
+        for batch in self.children[0].batches():
+            out = []
+            for key, left_value in batch:
+                if key not in right_map:
+                    continue
+                right_value = right_map[key]
+                if values_equal(left_value, right_value):
+                    out.append((key, left_value))
+                    continue
+                if _both_recursable(left_value, right_value):
+                    nested = IntersectFunction(left_value, right_value)
+                    if len(nested):
+                        out.append((key, nested))
+            if out:
+                yield out
+
+    def describe(self) -> str:
+        return "intersect"
+
+
+class MinusNode(_SetOpNode):
+    op = "minus"
+
+    def batches(self) -> Iterator[list]:
+        from repro.fql.setops import MinusFunction, _both_recursable
+
+        right_map = dict(self._right_pairs())
+        for batch in self.children[0].batches():
+            out = []
+            for key, left_value in batch:
+                if key not in right_map:
+                    out.append((key, left_value))
+                    continue
+                right_value = right_map[key]
+                if values_equal(left_value, right_value):
+                    continue
+                if _both_recursable(left_value, right_value):
+                    nested = MinusFunction(left_value, right_value)
+                    if len(nested):
+                        out.append((key, nested))
+                    continue
+                out.append((key, left_value))
+            if out:
+                yield out
+
+    def describe(self) -> str:
+        return "minus"
+
+
+class KeyLookupNode(PhysicalNode):
+    """The FDM fast path: ``__key__ == c`` is a point application."""
+
+    op = "key_lookup"
+
+    def __init__(self, lookup_fn: Any):
+        self.fn = lookup_fn  # the KeyLookupFunction physical function
+
+    def batches(self) -> Iterator[list]:
+        fn = self.fn
+        if fn._hit():
+            yield [(fn._key_value, fn.source._apply(fn._key_value))]
+
+    def describe(self) -> str:
+        return f"key_lookup [{self.fn._key_value!r}]"
+
+
+class IndexLookupNode(PhysicalNode):
+    """Secondary-index access with a batch-compiled residual predicate."""
+
+    op = "index_lookup"
+
+    def __init__(self, lookup_fn: Any):
+        self.fn = lookup_fn  # the IndexLookupFunction physical function
+        self._residual = lookup_fn._residual.compile_batch()
+
+    def batches(self) -> Iterator[list]:
+        fn = self.fn
+        source = fn.source
+        residual = self._residual
+        for batch in rebatch(
+            (key, source._apply(key)) for key in fn._candidates()
+        ):
+            mask = residual(batch)
+            out = [pair for pair, ok in zip(batch, mask) if ok]
+            if out:
+                yield out
+
+    def describe(self) -> str:
+        params = self.fn.op_params()
+        return f"index_lookup [{params}]"

@@ -1,0 +1,167 @@
+"""Routing: how derived-function enumeration reaches the executor.
+
+``DerivedFunction.items()/keys()`` call :func:`route_items` /
+:func:`route_keys`. In ``batch`` mode (the default) the graph is
+fingerprinted, looked up in the per-database plan cache, and — on a miss
+— optimized and lowered into a physical pipeline. In ``naive`` mode
+(``REPRO_EXEC=naive``, or :func:`set_exec_mode`) both return ``None``
+and the caller falls back to the original per-key interpretation; the
+differential test suite runs every operator under both modes and asserts
+identical results.
+
+Planning is guarded against re-entrancy: optimizer rules may sample a
+subexpression's data while the same fingerprint is being planned, in
+which case the inner enumeration simply runs naive.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.fdm.functions import FDMFunction
+from repro.exec.cache import cache_for, fingerprint
+from repro.exec.lower import PhysicalPipeline, lower
+
+__all__ = [
+    "exec_mode",
+    "set_exec_mode",
+    "using_exec_mode",
+    "route_items",
+    "route_keys",
+    "pipeline_for",
+    "join_bindings",
+]
+
+#: Session override; ``None`` means "read the REPRO_EXEC env var".
+_MODE_OVERRIDE: str | None = None
+
+#: Sentinel cached for graphs whose root has no specialized lowering.
+_NAIVE = object()
+
+
+def exec_mode() -> str:
+    """``"batch"`` (default) or ``"naive"`` (the per-key escape hatch)."""
+    if _MODE_OVERRIDE is not None:
+        return _MODE_OVERRIDE
+    env = os.environ.get("REPRO_EXEC", "batch").strip().lower()
+    return "naive" if env in ("naive", "perkey", "off", "0") else "batch"
+
+
+def set_exec_mode(mode: str | None) -> None:
+    """Force a mode for this process (``None`` restores env control)."""
+    global _MODE_OVERRIDE
+    if mode is not None and mode not in ("batch", "naive"):
+        raise ValueError(f"exec mode must be 'batch' or 'naive', got {mode!r}")
+    _MODE_OVERRIDE = mode
+
+
+@contextmanager
+def using_exec_mode(mode: str | None):
+    """Temporarily force an exec mode (used by the differential tests)."""
+    previous = _MODE_OVERRIDE
+    set_exec_mode(mode)
+    try:
+        yield
+    finally:
+        set_exec_mode(previous)
+
+
+class _Planning(threading.local):
+    def __init__(self) -> None:
+        self.inflight: set = set()
+
+
+_planning = _Planning()
+
+
+def pipeline_rules() -> list:
+    """The rewrite rules transparent routing is allowed to use.
+
+    Enumerating a derived function must yield *exactly* the naive keys in
+    the naive order — so the executor only applies rules that preserve
+    both. Excluded (available to explicit :func:`repro.optimizer.optimize`
+    calls only): ``ReorderJoinAtoms`` and ``PushFilterIntoJoin`` change a
+    join's key tuples or atom order, ``FilterToIndexLookup`` swaps source
+    order for index order.
+    """
+    from repro.optimizer.rules import (
+        CollapseProjects,
+        FilterToKeyLookup,
+        FuseFilters,
+        FuseGroupAggregate,
+        PushFilterBelowGroupAggregate,
+        PushFilterBelowOrder,
+        PushFilterBelowSetOps,
+    )
+
+    return [
+        FuseFilters(),
+        PushFilterBelowOrder(),
+        PushFilterBelowSetOps(),
+        PushFilterBelowGroupAggregate(),
+        FilterToKeyLookup(),
+        FuseGroupAggregate(),
+        CollapseProjects(),
+    ]
+
+
+def pipeline_for(fn: FDMFunction) -> PhysicalPipeline | None:
+    """The cached physical pipeline for *fn*, planning it on a miss."""
+    try:
+        key = fingerprint(fn)
+    except Exception:
+        return None
+    if key in _planning.inflight:
+        return None
+    cache = cache_for(fn)
+    cached = cache.get(key)
+    if cached is not None:
+        return None if cached is _NAIVE else cached
+    _planning.inflight.add(key)
+    try:
+        from repro.optimizer import optimize
+
+        trace: list[str] = []
+        optimized = optimize(fn, rules=pipeline_rules(), trace=trace)
+        pipeline = lower(optimized, logical=fn, fired_rules=trace)
+    except Exception:
+        # a planning failure must never break a query: fall back to the
+        # per-key interpretation, and remember the verdict
+        pipeline = None
+    finally:
+        _planning.inflight.discard(key)
+    cache.put(key, pipeline if pipeline is not None else _NAIVE)
+    return pipeline
+
+
+def route_items(fn: FDMFunction) -> Iterator[tuple] | None:
+    """Batched (key, value) stream for *fn*, or ``None`` to run naive."""
+    if exec_mode() != "batch":
+        return None
+    pipeline = pipeline_for(fn)
+    if pipeline is None:
+        return None
+    return pipeline.iter_entries()
+
+
+def route_keys(fn: FDMFunction) -> Iterator[Any] | None:
+    """Batched key stream for *fn*, or ``None`` to run naive."""
+    if exec_mode() != "batch":
+        return None
+    pipeline = pipeline_for(fn)
+    if pipeline is None:
+        return None
+    return pipeline.iter_keys()
+
+
+def join_bindings(plan: Any) -> Iterator[dict]:
+    """Complete join bindings for a :class:`~repro.fql.join.JoinPlan`.
+
+    Prefetched hash probes in batch mode, per-binding point probes
+    otherwise. Shared by join enumeration, outer marking and ResultDB
+    reduction, so all three ride the same fast path.
+    """
+    return plan.bindings(prefetch=exec_mode() == "batch")

@@ -74,6 +74,8 @@ class MaterialDatabaseFunction(DatabaseFunction):
     ):
         super().__init__(name=name or "DB")
         self._functions: dict[str, FDMFunction] = {}
+        #: Mutation counter feeding the executor's plan-cache fingerprint.
+        self._version = 0
         if mappings:
             for rel_name, fn in mappings.items():
                 self[rel_name] = fn
@@ -113,12 +115,14 @@ class MaterialDatabaseFunction(DatabaseFunction):
                 f"{self._name!r}; provide an FDM function or a mapping"
             )
         self._functions[key] = value
+        self._version += 1
 
     def __delitem__(self, key: Any) -> None:
         key = normalize_key(key)
         if key not in self._functions:
             raise UnknownRelationError(key, self._name)
         del self._functions[key]
+        self._version += 1
 
     def add(self, value: Any) -> Any:
         raise SchemaError(

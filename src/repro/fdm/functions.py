@@ -185,6 +185,17 @@ class FDMFunction:
         for key in self.keys():
             yield self._apply(key)
 
+    def iter_batches(self, batch_size: int = 256) -> Iterator[list]:
+        """Enumerate mappings in chunks: lists of ``(key, value)`` pairs.
+
+        The feeding end of the physical execution layer (DESIGN.md §6).
+        Stored and material relations override this with direct chunked
+        access to their row storage.
+        """
+        from repro._util import chunked
+
+        return chunked(self.items(), batch_size)
+
     def __iter__(self) -> Iterator[Any]:
         return self.keys()
 
@@ -361,10 +372,16 @@ class FallbackFunction(FDMFunction):
 class DerivedFunction(FDMFunction):
     """Base class for functions produced by FQL operators.
 
-    A derived function both *evaluates* (its ``_apply``/iteration is the
-    naive interpretation) and *describes* (``op_name``/``children``/
-    ``op_params`` form the logical plan the optimizer rewrites). Derived
-    functions are read-only views; materialize with :func:`repro.fql.copy`.
+    A derived function both *evaluates* (its ``_apply``/``naive_keys`` is
+    the per-key interpretation) and *describes* (``op_name``/``children``/
+    ``op_params`` form the logical plan the optimizer rewrites and the
+    executor lowers — DESIGN.md §5/§6). Enumeration routes through the
+    batched physical executor by default; ``REPRO_EXEC=naive`` restores
+    the per-key path. Operator subclasses implement ``naive_keys`` (and
+    ``naive_items`` where they have a specialized enumeration); operators
+    the executor does not lower may keep overriding ``keys``/``items``
+    directly, which bypasses routing entirely. Derived functions are
+    read-only views; materialize with :func:`repro.fql.copy`.
     """
 
     #: Operator identifier for the optimizer, e.g. ``"filter"``.
@@ -405,6 +422,46 @@ class DerivedFunction(FDMFunction):
         if len(self._sources) == 1:
             return getattr(self._sources[0], "key_name", None)
         return None
+
+    # -- enumeration: route through the physical executor ---------------------
+
+    def keys(self) -> Iterator[Any]:
+        from repro.exec import route_keys
+
+        routed = route_keys(self)
+        if routed is not None:
+            return routed
+        return self.naive_keys()
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        from repro.exec import route_items
+
+        routed = route_items(self)
+        if routed is not None:
+            return routed
+        return self.naive_items()
+
+    def values(self) -> Iterator[Any]:
+        return (value for _key, value in self.items())
+
+    def naive_keys(self) -> Iterator[Any]:
+        """The per-key enumeration (pre-executor semantics).
+
+        Operator subclasses rename their historical ``keys`` to this; a
+        subclass that still overrides ``keys`` directly (bypassing the
+        router) is delegated to, so unrouted operators are unaffected.
+        """
+        cls_keys = type(self).keys
+        if cls_keys is not DerivedFunction.keys:
+            return cls_keys(self)
+        return FDMFunction.keys(self)
+
+    def naive_items(self) -> Iterator[tuple[Any, Any]]:
+        """Per-key (key, value) enumeration (pre-executor semantics)."""
+        cls_items = type(self).items
+        if cls_items not in (DerivedFunction.items, FDMFunction.items):
+            return cls_items(self)
+        return ((key, self._apply(key)) for key in self.naive_keys())
 
     def explain(self, indent: int = 0) -> str:
         """Render the operator tree under this function."""

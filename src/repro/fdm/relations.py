@@ -120,6 +120,9 @@ class MaterialRelationFunction(RelationFunction):
         self._key_constraint: Domain = as_domain(key_domain)
         self._key_name = key_name
         self._rows: dict[Any, Any] = {}
+        #: Mutation counter: part of the executor's plan-cache
+        #: fingerprint, so DML invalidates cached plans (DESIGN.md §6).
+        self._version = 0
         if mappings:
             for key, value in mappings.items():
                 self[key] = value
@@ -155,6 +158,26 @@ class MaterialRelationFunction(RelationFunction):
     def __len__(self) -> int:
         return len(self._rows)
 
+    def iter_batches(self, batch_size: int = 256) -> Iterator[list]:
+        """Chunked enumeration directly over the row store."""
+        from repro._util import chunked
+
+        rows = self._rows
+
+        def entries() -> Iterator[tuple[Any, Any]]:
+            for key in list(rows):
+                try:
+                    stored = rows[key]
+                except KeyError:
+                    raise UndefinedInputError(self._name, key) from None
+                yield key, (
+                    BoundTuple(self, key)
+                    if isinstance(stored, dict)
+                    else stored
+                )
+
+        return chunked(entries(), batch_size)
+
     # -- write-through protocol used by BoundTuple ------------------------------
 
     def _read_data(self, key: Any) -> Mapping[str, Any]:
@@ -166,6 +189,7 @@ class MaterialRelationFunction(RelationFunction):
     def _write_attr(self, key: Any, attr: str, value: Any) -> None:
         self._read_data(key)
         self._rows[key] = {**self._rows[key], attr: value}
+        self._version += 1
 
     def _delete_attr(self, key: Any, attr: str) -> None:
         data = dict(self._read_data(key))
@@ -173,6 +197,7 @@ class MaterialRelationFunction(RelationFunction):
             raise UndefinedInputError(f"{self._name}[{key!r}]", attr)
         del data[attr]
         self._rows[key] = data
+        self._version += 1
 
     # -- mutation costumes (Fig. 10) ----------------------------------------------
 
@@ -192,12 +217,14 @@ class MaterialRelationFunction(RelationFunction):
                 f"cannot store {value!r} in relation function "
                 f"{self._name!r}; provide a mapping or an FDM function"
             )
+        self._version += 1
 
     def __delitem__(self, key: Any) -> None:
         key = normalize_key(key)
         if key not in self._rows:
             raise UndefinedInputError(self._name, key)
         del self._rows[key]
+        self._version += 1
 
     def add(self, value: Any) -> Any:
         """Insert relying on an auto id (Fig. 10); returns the new key."""

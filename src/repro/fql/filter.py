@@ -94,7 +94,7 @@ class FilteredFunction(DerivedFunction):
     def is_enumerable(self) -> bool:
         return self.source.is_enumerable
 
-    def keys(self) -> Iterator[Any]:
+    def naive_keys(self) -> Iterator[Any]:
         for key, value in self.source.items():
             if self._predicate(Entry(key, value)):
                 yield key
@@ -161,7 +161,7 @@ class RestrictedFunction(DerivedFunction):
         key = normalize_key(args[0] if len(args) == 1 else tuple(args))
         return key in self._keys and self.source.defined_at(key)
 
-    def keys(self) -> Iterator[Any]:
+    def naive_keys(self) -> Iterator[Any]:
         if self.source.is_enumerable:
             for key in self.source.keys():
                 if key in self._keys:

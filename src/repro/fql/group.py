@@ -153,11 +153,11 @@ class GroupedDatabaseFunction(DerivedFunction):
     def is_enumerable(self) -> bool:
         return self.source.is_enumerable
 
-    def keys(self) -> Iterator[Any]:
+    def naive_keys(self) -> Iterator[Any]:
         return iter(self._scan().keys())
 
     def __len__(self) -> int:
-        return len(self._scan())
+        return sum(1 for _ in self.keys())
 
     def _apply(self, key: Any) -> Any:
         groups = self._scan()
@@ -226,7 +226,7 @@ class AggregatedRelationFunction(DerivedFunction):
     def is_enumerable(self) -> bool:
         return self.source.is_enumerable
 
-    def keys(self) -> Iterator[Any]:
+    def naive_keys(self) -> Iterator[Any]:
         return self.source.keys()
 
     def __len__(self) -> int:

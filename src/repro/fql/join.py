@@ -248,13 +248,23 @@ class JoinPlan:
             del remaining[start]
         return ordered
 
-    def bindings(self) -> Iterator[dict[str, tuple[Any, Any]]]:
-        """Iterate complete join bindings: atom name → (key, value)."""
+    def bindings(
+        self, prefetch: bool = False
+    ) -> Iterator[dict[str, tuple[Any, Any]]]:
+        """Iterate complete join bindings: atom name → (key, value).
+
+        With ``prefetch=True`` (the batched executor's mode), each
+        enumerable key-joined atom is materialized once into a hash map
+        on first pull, replacing the per-binding point probes with O(1)
+        dict lookups. Output order and semantics are identical.
+        """
         order = self.order_atoms()
         results: Iterator[dict[str, tuple[Any, Any]]] = iter([{}])
         bound: set[str] = set()
         for atom_name in order:
-            results = self._attach(results, atom_name, frozenset(bound))
+            results = self._attach(
+                results, atom_name, frozenset(bound), prefetch=prefetch
+            )
             bound.add(atom_name)
         return results
 
@@ -276,7 +286,10 @@ class JoinPlan:
         partials: Iterator[dict[str, tuple[Any, Any]]],
         atom_name: str,
         bound: frozenset,
+        prefetch: bool = False,
     ) -> Iterator[dict[str, tuple[Any, Any]]]:
+        from repro._util import normalize_key
+
         fn = self.atoms[atom_name]
         connecting = self._edges_between(set(bound), atom_name)
 
@@ -297,6 +310,7 @@ class JoinPlan:
         bound_side, new_side = generator
 
         probe: dict[Any, list[tuple[Any, Any]]] | None = None
+        amap: dict[Any, Any] | None = None
         if not new_side.is_key:
             probe = {}
             for key, value in fn.items():
@@ -305,19 +319,27 @@ class JoinPlan:
                 except UndefinedInputError:
                     continue
                 probe.setdefault(join_value, []).append((key, value))
+        elif prefetch and fn.is_enumerable:
+            # batched mode: one scan replaces per-binding point probes
+            amap = dict(fn.items())
 
         for binding in partials:
             try:
                 needle = side_value(bound_side, binding)
             except UndefinedInputError:
                 continue
-            if probe is None:
+            if probe is not None:
+                candidates = probe.get(needle, [])
+            elif amap is not None:
+                normalized = normalize_key(needle)
+                if normalized not in amap:
+                    continue
+                candidates = [(needle, amap[normalized])]
+            else:
                 # FDM fast path: the relation function is its own index
                 if not fn.defined_at(needle):
                     continue
                 candidates = [(needle, fn(needle))]
-            else:
-                candidates = probe.get(needle, [])
             for key, value in candidates:
                 ok = True
                 for check_bound, check_new in checkers:
@@ -341,9 +363,12 @@ class JoinPlan:
         This is the semantic core of both the outer marking (Fig. 7: inner
         = participating, outer = rest) and the ResultDB subdatabase (Fig. 5
         via [35]: the result contains exactly the contributing tuples).
+        Bindings come from the batched executor when it is enabled.
         """
+        from repro.exec import join_bindings
+
         used: dict[str, set] = {name: set() for name in self.atoms}
-        for binding in self.bindings():
+        for binding in join_bindings(self):
             for name, (key, _value) in binding.items():
                 used[name].add(key)
         return used
@@ -450,11 +475,11 @@ class JoinedRelationFunction(DerivedFunction):
         key = args[0] if len(args) == 1 else tuple(args)
         return self._binding_for(key) is not None
 
-    def keys(self) -> Iterator[Any]:
+    def naive_keys(self) -> Iterator[Any]:
         for binding in self._plan.bindings():
             yield tuple(binding[name][0] for name in self._order)
 
-    def items(self) -> Iterator[tuple[Any, Any]]:
+    def naive_items(self) -> Iterator[tuple[Any, Any]]:
         for binding in self._plan.bindings():
             key = tuple(binding[name][0] for name in self._order)
             row = _merge_binding_into_row(
@@ -463,7 +488,7 @@ class JoinedRelationFunction(DerivedFunction):
             yield key, TupleFunction(row, name=f"{self._name}{key!r}")
 
     def __len__(self) -> int:
-        return sum(1 for _ in self._plan.bindings())
+        return sum(1 for _ in self.keys())
 
     def op_params(self) -> dict[str, Any]:
         return {

@@ -80,7 +80,7 @@ class OrderedFunction(DerivedFunction):
     def defined_at(self, *args: Any) -> bool:
         return self.source.defined_at(*args)
 
-    def keys(self) -> Iterator[Any]:
+    def naive_keys(self) -> Iterator[Any]:
         pairs = list(self.source.items())
         pairs.sort(key=lambda kv: self._sort_key(kv[1]),
                    reverse=self._reverse)
@@ -130,6 +130,9 @@ class LimitedFunction(DerivedFunction):
             out.append(key)
         return out
 
+    def naive_keys(self) -> Iterator[Any]:
+        return iter(self._limited_keys())
+
     @property
     def domain(self) -> Domain:
         from repro.fdm.domains import DiscreteDomain
@@ -150,11 +153,8 @@ class LimitedFunction(DerivedFunction):
             return False
         return args[0] in self._limited_keys()
 
-    def keys(self) -> Iterator[Any]:
-        return iter(self._limited_keys())
-
     def __len__(self) -> int:
-        return len(self._limited_keys())
+        return sum(1 for _ in self.keys())
 
     def op_params(self) -> dict[str, Any]:
         return {"n": self._n}

@@ -56,7 +56,7 @@ class MappedFunction(DerivedFunction):
     def defined_at(self, *args: Any) -> bool:
         return self.source.defined_at(*args)
 
-    def keys(self) -> Iterator[Any]:
+    def naive_keys(self) -> Iterator[Any]:
         return self.source.keys()
 
     def __len__(self) -> int:

@@ -150,7 +150,7 @@ class UnionFunction(_BinarySetFunction):
             "(pass on_conflict='left'/'right' to pick a side)"
         )
 
-    def keys(self) -> Iterator[Any]:
+    def naive_keys(self) -> Iterator[Any]:
         seen = set()
         for key in self.left.keys():
             seen.add(key)
@@ -185,7 +185,7 @@ class IntersectFunction(_BinarySetFunction):
                 return nested
         raise UndefinedInputError(self._name, key)
 
-    def keys(self) -> Iterator[Any]:
+    def naive_keys(self) -> Iterator[Any]:
         for key in self.left.keys():
             if self.defined_at(key):
                 yield key
@@ -220,7 +220,7 @@ class MinusFunction(_BinarySetFunction):
             raise UndefinedInputError(self._name, key)
         return lv
 
-    def keys(self) -> Iterator[Any]:
+    def naive_keys(self) -> Iterator[Any]:
         for key in self.left.keys():
             if self.defined_at(key):
                 yield key

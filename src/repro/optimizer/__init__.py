@@ -43,17 +43,21 @@ _MAX_PASSES = 8
 
 
 def optimize(
-    fn: FDMFunction, rules: list[Rule] | None = None
+    fn: FDMFunction,
+    rules: list[Rule] | None = None,
+    trace: list[str] | None = None,
 ) -> FDMFunction:
     """Apply rewrite rules bottom-up to a fixpoint (bounded passes).
 
     The result is a new function graph; the input is never modified —
-    optimization itself is an FQL-style out-of-place operation.
+    optimization itself is an FQL-style out-of-place operation. Pass a
+    list as *trace* to collect the names of the rules that fired, in
+    firing order (the ``explain`` helpers use this).
     """
     active_rules = DEFAULT_RULES if rules is None else rules
     current = fn
     for _pass in range(_MAX_PASSES):
-        rewritten, changed = _rewrite_once(current, active_rules)
+        rewritten, changed = _rewrite_once(current, active_rules, trace)
         current = rewritten
         if not changed:
             break
@@ -61,7 +65,7 @@ def optimize(
 
 
 def _rewrite_once(
-    fn: FDMFunction, rules: list[Rule]
+    fn: FDMFunction, rules: list[Rule], trace: list[str] | None = None
 ) -> tuple[FDMFunction, bool]:
     changed = False
 
@@ -87,6 +91,8 @@ def _rewrite_once(
                     node = replacement
                     changed = True
                     progress = True
+                    if trace is not None:
+                        trace.append(rule.name)
         return node
 
     return visit(fn), changed

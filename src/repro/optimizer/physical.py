@@ -124,7 +124,7 @@ class IndexLookupFunction(DerivedFunction):
             return False
         return self._matches(key, self.source._apply(key))
 
-    def keys(self) -> Iterator[Any]:
+    def naive_keys(self) -> Iterator[Any]:
         for key in self._candidates():
             value = self.source._apply(key)
             if self._residual(Entry(key, value)):
@@ -208,7 +208,7 @@ class KeyLookupFunction(DerivedFunction):
             return False
         return normalize_key(args[0]) == self._key_value and self._hit()
 
-    def keys(self) -> Iterator[Any]:
+    def naive_keys(self) -> Iterator[Any]:
         if self._hit():
             yield self._key_value
 
@@ -298,15 +298,15 @@ class FusedGroupAggregateFunction(DerivedFunction):
             return False
         return args[0] in self._fold()
 
-    def keys(self) -> Iterator[Any]:
+    def naive_keys(self) -> Iterator[Any]:
         return iter(self._fold().keys())
 
-    def items(self) -> Iterator[tuple[Any, Any]]:
+    def naive_items(self) -> Iterator[tuple[Any, Any]]:
         for group_key, acc in self._fold().items():
             yield group_key, self._tuple_for(group_key, acc)
 
     def __len__(self) -> int:
-        return len(self._fold())
+        return sum(1 for _ in self.keys())
 
     def op_params(self) -> dict[str, Any]:
         return {

@@ -30,6 +30,7 @@ from repro.fdm.functions import FDMFunction
 
 __all__ = [
     "EvalContext",
+    "BatchPredicate",
     "Expr",
     "AttrRef",
     "KeyRef",
@@ -351,6 +352,57 @@ class FuncCall(Expr):
 # ---------------------------------------------------------------------------
 
 
+#: A compiled batch predicate: ``run(pairs) -> list[bool]`` over a list of
+#: ``(key, value)`` entries. Produced by :meth:`Predicate.compile_batch` and
+#: consumed by the physical execution layer (DESIGN.md §6).
+BatchPredicate = Callable[[list], list]
+
+
+def _batch_getter(expr: "Expr") -> Callable[[Any, Any], Any]:
+    """Compile an expression into ``get(key, value) -> Any``.
+
+    The getter raises :class:`_Undefined` exactly where per-entry
+    evaluation would, so batch filtering keeps the naive semantics while
+    skipping the per-tuple :class:`EvalContext` construction and AST
+    dispatch for the common shapes (attribute vs literal vs key).
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda key, subject: value
+    if isinstance(expr, KeyRef):
+        return lambda key, subject: key
+    if isinstance(expr, AttrRef) and len(expr.path) == 1:
+        attr = expr.path[0]
+
+        def get(key: Any, subject: Any) -> Any:
+            data = getattr(subject, "_data", None)
+            if type(data) is dict:  # TupleFunction fast path
+                try:
+                    return data[attr]
+                except KeyError:
+                    raise _Undefined() from None
+            if isinstance(subject, FDMFunction):
+                try:
+                    return subject(attr)
+                except Exception:
+                    raise _Undefined() from None
+            if isinstance(subject, Mapping):
+                if attr not in subject:
+                    raise _Undefined()
+                return subject[attr]
+            out = getattr(subject, attr, _MISSING_ATTR)
+            if out is _MISSING_ATTR:
+                raise _Undefined()
+            return out
+
+        return get
+
+    def get(key: Any, subject: Any) -> Any:
+        return expr.eval(EvalContext(subject, key=key))
+
+    return get
+
+
 class Predicate:
     """Base class for boolean-valued nodes; callable on entries/tuples."""
 
@@ -368,6 +420,28 @@ class Predicate:
 
     def bind(self, params: Mapping[str, Any]) -> "Predicate":
         return self
+
+    def compile_batch(self) -> BatchPredicate:
+        """Compile into ``run(pairs) -> list[bool]`` over (key, value) pairs.
+
+        The default evaluates the predicate per entry (still saving the
+        per-tuple ``Entry`` allocation of the naive path); structured nodes
+        override with loop bodies specialized once per query instead of
+        re-dispatched per tuple.
+        """
+
+        def run(pairs: list) -> list:
+            out = []
+            for key, value in pairs:
+                try:
+                    out.append(
+                        bool(self.eval(EvalContext(value, key=key)))
+                    )
+                except _Undefined:
+                    out.append(False)
+            return out
+
+        return run
 
     def attrs(self) -> set[str]:
         return set()
@@ -448,6 +522,24 @@ class Comparison(Predicate):
             self.op, self.left.bind(params), self.right.bind(params)
         )
 
+    def compile_batch(self) -> BatchPredicate:
+        op = _COMPARATORS[self.op]
+        left = _batch_getter(self.left)
+        right = _batch_getter(self.right)
+
+        def run(pairs: list) -> list:
+            out = []
+            for key, value in pairs:
+                try:
+                    out.append(bool(op(left(key, value), right(key, value))))
+                except _Undefined:
+                    out.append(False)
+                except TypeError:
+                    out.append(False)
+            return out
+
+        return run
+
     def attrs(self) -> set[str]:
         return self.left.attrs() | self.right.attrs()
 
@@ -488,6 +580,27 @@ class Membership(Predicate):
             self.item.bind(params), self.collection.bind(params), self.negated
         )
 
+    def compile_batch(self) -> BatchPredicate:
+        item = _batch_getter(self.item)
+        collection = _batch_getter(self.collection)
+        negated = self.negated
+
+        def run(pairs: list) -> list:
+            out = []
+            for key, value in pairs:
+                try:
+                    hit = item(key, value) in collection(key, value)
+                except _Undefined:
+                    out.append(False)
+                    continue
+                except TypeError:
+                    out.append(False)
+                    continue
+                out.append((not hit) if negated else hit)
+            return out
+
+        return run
+
     def attrs(self) -> set[str]:
         return self.item.attrs() | self.collection.attrs()
 
@@ -526,6 +639,30 @@ class Between(Predicate):
         return Between(
             self.item.bind(params), self.lo.bind(params), self.hi.bind(params)
         )
+
+    def compile_batch(self) -> BatchPredicate:
+        item = _batch_getter(self.item)
+        lo = _batch_getter(self.lo)
+        hi = _batch_getter(self.hi)
+
+        def run(pairs: list) -> list:
+            out = []
+            for key, value in pairs:
+                try:
+                    out.append(
+                        bool(
+                            lo(key, value)
+                            <= item(key, value)
+                            <= hi(key, value)
+                        )
+                    )
+                except _Undefined:
+                    out.append(False)
+                except TypeError:
+                    out.append(False)
+            return out
+
+        return run
 
     def attrs(self) -> set[str]:
         return self.item.attrs() | self.lo.attrs() | self.hi.attrs()
@@ -601,6 +738,25 @@ class And(_Junction):
                 return False
         return True
 
+    def compile_batch(self) -> BatchPredicate:
+        compiled = [p.compile_batch() for p in self.parts]
+
+        def run(pairs: list) -> list:
+            result = [False] * len(pairs)
+            live = list(range(len(pairs)))
+            current = list(pairs)
+            for part in compiled:
+                if not live:
+                    return result
+                mask = part(current)
+                current = [p for p, ok in zip(current, mask) if ok]
+                live = [i for i, ok in zip(live, mask) if ok]
+            for i in live:
+                result[i] = True
+            return result
+
+        return run
+
 
 class Or(_Junction):
     _joiner = "or"
@@ -613,6 +769,29 @@ class Or(_Junction):
             except _Undefined:
                 continue
         return False
+
+    def compile_batch(self) -> BatchPredicate:
+        compiled = [p.compile_batch() for p in self.parts]
+
+        def run(pairs: list) -> list:
+            result = [False] * len(pairs)
+            live = list(range(len(pairs)))
+            current = list(pairs)
+            for part in compiled:
+                if not live:
+                    return result
+                mask = part(current)
+                next_pairs, next_live = [], []
+                for p, i, ok in zip(current, live, mask):
+                    if ok:
+                        result[i] = True
+                    else:
+                        next_pairs.append(p)
+                        next_live.append(i)
+                current, live = next_pairs, next_live
+            return result
+
+        return run
 
 
 class Not(Predicate):
@@ -653,6 +832,9 @@ class TruePredicate(Predicate):
     def eval(self, ctx: EvalContext) -> bool:
         return True
 
+    def compile_batch(self) -> BatchPredicate:
+        return lambda pairs: [True] * len(pairs)
+
     def to_source(self) -> str:
         return "true"
 
@@ -660,6 +842,9 @@ class TruePredicate(Predicate):
 class FalsePredicate(Predicate):
     def eval(self, ctx: EvalContext) -> bool:
         return False
+
+    def compile_batch(self) -> BatchPredicate:
+        return lambda pairs: [False] * len(pairs)
 
     def to_source(self) -> str:
         return "false"
@@ -681,6 +866,14 @@ class OpaquePredicate(Predicate):
 
     def eval(self, ctx: EvalContext) -> bool:
         return bool(self.fn(Entry(ctx.key, ctx.subject)))
+
+    def compile_batch(self) -> BatchPredicate:
+        fn = self.fn
+
+        def run(pairs: list) -> list:
+            return [bool(fn(Entry(key, value))) for key, value in pairs]
+
+        return run
 
     def to_source(self) -> str:
         return f"<python {self.description}>"

@@ -31,6 +31,9 @@ class StorageEngine:
         self.indexes: dict[str, IndexSet] = {}
         self.stats: dict[str, TableStatistics] = {}
         self.wal = WriteAheadLog(wal_path)
+        #: Per-database executor plan cache; created lazily by
+        #: :func:`repro.exec.cache_for` so storage stays import-light.
+        self.plan_cache = None
 
     # -- DDL (not versioned; see DESIGN.md) ---------------------------------------
 

@@ -119,6 +119,27 @@ class StoredRelationFunction(RelationFunction):
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
 
+    def iter_batches(self, batch_size: int = 256) -> Iterator[list]:
+        """Chunked snapshot enumeration feeding the physical executor.
+
+        Each entry's row is resolved once under the caller's snapshot
+        (buffered transaction writes first), so downstream batch
+        operators are fed without a per-tuple read through the full
+        transaction/version stack.
+        """
+        from repro._util import chunked
+
+        def entries() -> Iterator[tuple[Any, Any]]:
+            for key in self.keys():
+                data = self._raw_read(key)
+                if data is TOMBSTONE:  # deleted between keys() and read
+                    raise UndefinedInputError(self._name, key)
+                yield key, (
+                    BoundTuple(self, key) if isinstance(data, dict) else data
+                )
+
+        return chunked(entries(), batch_size)
+
     # -- BoundTuple write-through protocol ----------------------------------------------
 
     def _read_data(self, key: Any) -> Mapping[str, Any]:
