@@ -7,11 +7,13 @@ export PYTHONPATH := src
 test:
 	$(PY) -m pytest -x -q
 
-# quick perf check: the executor-sensitive figures only; writes
-# benchmarks/BENCH_<module>.json files for the perf trajectory
+# quick perf check: the executor-sensitive figures plus view
+# maintenance; writes benchmarks/BENCH_<module>.json files for the
+# perf trajectory
 bench-smoke:
 	$(PY) -m pytest benchmarks -o python_files='bench_*.py' -q \
-		-k "fig04a or fig04bc or fig06" --benchmark-min-rounds=3
+		-k "fig04a or fig04bc or fig06 or ivm_maintenance" \
+		--benchmark-min-rounds=3
 
 # the full benchmark matrix (slow)
 bench:

@@ -27,6 +27,7 @@ from repro.fdm import __all__ as _fdm_all
 from repro.fql import *  # noqa: F401,F403 - the operator algebra
 from repro.fql import __all__ as _fql_all
 from repro.database import FunctionalDatabase, connect
+from repro.ivm import MaintainedView, maintained_view
 from repro.txn import (
     Transaction,
     TransactionManager,
@@ -39,7 +40,7 @@ from repro.txn import (
 )
 
 # submodules re-exported for qualified use: repro.fql.filter(...), etc.
-from repro import errors, fdm, fql, predicates  # noqa: F401
+from repro import errors, fdm, fql, ivm, predicates  # noqa: F401
 from repro import catalog, erm, optimizer, relational, resultdb  # noqa: F401
 from repro import storage, txn, types, workloads  # noqa: F401
 
@@ -50,7 +51,9 @@ __all__ = (
     + list(_fql_all)
     + [
         "FunctionalDatabase",
+        "MaintainedView",
         "connect",
+        "maintained_view",
         "Transaction",
         "TransactionManager",
         "begin",
@@ -62,6 +65,7 @@ __all__ = (
         "errors",
         "fdm",
         "fql",
+        "ivm",
         "predicates",
         "catalog",
         "erm",

@@ -188,6 +188,32 @@ class FunctionalDatabase(DatabaseFunction):
             raise UnknownRelationError(key, self._name)
         self._drop_name(key)
 
+    # -- maintained views (DESIGN.md §9) ----------------------------------------------------
+
+    def create_maintained_view(
+        self, name: str, expression: FDMFunction, eager: bool = False
+    ) -> FDMFunction:
+        """Register *expression* as a self-maintaining view.
+
+        The view answers from a snapshot kept fresh by the storage
+        engine's changelog: lazy (at read time) by default, or inside
+        every commit with ``eager=True``. It is reachable like any other
+        relation: ``db.dashboard`` / ``db('dashboard')``.
+        """
+        from repro.ivm import maintained_view
+
+        view = maintained_view(expression, name=name, eager=eager)
+        self._drop_name(name)
+        self._views[name] = view
+        return view
+
+    @property
+    def view_registry(self) -> Any:
+        """The per-database registry of maintained views."""
+        from repro.ivm.registry import registry_for
+
+        return registry_for(self._engine)
+
     # -- relationships & indexes -----------------------------------------------------------
 
     def add_relationship(

@@ -142,7 +142,14 @@ def fingerprint(fn: FDMFunction) -> Any:
         MaterialDatabaseFunction,
         OverlayDatabaseFunction,
     )
+    from repro.fql.views import MaterializedView
 
+    if isinstance(fn, MaterializedView):
+        # Reads go to the snapshot, not the live expression, so the
+        # token is the snapshot version: DML without a refresh keeps
+        # cached plans valid, a refresh (or maintained-view sync)
+        # invalidates everything reading through the view.
+        return ("mview", id(fn), fn.maintenance_version())
     if isinstance(fn, DerivedFunction):
         return (
             type(fn).__name__,

@@ -420,7 +420,13 @@ class DerivedFunction(FDMFunction):
         override this.
         """
         if len(self._sources) == 1:
-            return getattr(self._sources[0], "key_name", None)
+            try:
+                return getattr(self._sources[0], "key_name", None)
+            except KeyError:
+                # database-kind sources answer attribute probes through
+                # their mapping (__getattr__) and may raise undefined-
+                # input errors instead of AttributeError
+                return None
         return None
 
     # -- enumeration: route through the physical executor ---------------------

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
-from repro._util import normalize_key
+from repro._util import MISSING, normalize_key
 from repro.errors import (
     DuplicateKeyError,
     SchemaError,
@@ -123,6 +123,9 @@ class MaterialRelationFunction(RelationFunction):
         #: Mutation counter: part of the executor's plan-cache
         #: fingerprint, so DML invalidates cached plans (DESIGN.md §6).
         self._version = 0
+        #: Change-capture log, attached on demand by
+        #: :func:`repro.ivm.changelog.ensure_capture` (DESIGN.md §9).
+        self._changes = None
         if mappings:
             for key, value in mappings.items():
                 self[key] = value
@@ -187,23 +190,41 @@ class MaterialRelationFunction(RelationFunction):
             raise UndefinedInputError(self._name, key) from None
 
     def _write_attr(self, key: Any, attr: str, value: Any) -> None:
-        self._read_data(key)
+        old = self._read_data(key)
         self._rows[key] = {**self._rows[key], attr: value}
         self._version += 1
+        self._record_change(key, old, self._rows[key])
 
     def _delete_attr(self, key: Any, attr: str) -> None:
-        data = dict(self._read_data(key))
+        old = self._read_data(key)
+        data = dict(old)
         if attr not in data:
             raise UndefinedInputError(f"{self._name}[{key!r}]", attr)
         del data[attr]
         self._rows[key] = data
         self._version += 1
+        self._record_change(key, old, data)
+
+    # -- change capture (incremental view maintenance, DESIGN.md §9) --------------
+
+    def _record_change(self, key: Any, old: Any, new: Any) -> None:
+        """Publish one mutation to the capture log, if one is attached."""
+        log = self._changes
+        if log is None:
+            return
+        from repro.ivm.delta import Delta
+
+        log.observe_row(new)
+        delta = Delta()
+        delta.record(key, old, new)
+        log.append(self._version, {None: delta})
 
     # -- mutation costumes (Fig. 10) ----------------------------------------------
 
     def __setitem__(self, key: Any, value: Any) -> None:
         key = normalize_key(key)
         self._key_constraint.validate(key, what=f"key for {self._name!r}")
+        old = self._rows.get(key, MISSING)
         if isinstance(value, BoundTuple):
             value = value.snapshot()
         if isinstance(value, TupleFunction):
@@ -218,13 +239,16 @@ class MaterialRelationFunction(RelationFunction):
                 f"{self._name!r}; provide a mapping or an FDM function"
             )
         self._version += 1
+        self._record_change(key, old, self._rows[key])
 
     def __delitem__(self, key: Any) -> None:
         key = normalize_key(key)
         if key not in self._rows:
             raise UndefinedInputError(self._name, key)
+        old = self._rows[key]
         del self._rows[key]
         self._version += 1
+        self._record_change(key, old, MISSING)
 
     def add(self, value: Any) -> Any:
         """Insert relying on an auto id (Fig. 10); returns the new key."""

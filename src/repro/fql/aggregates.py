@@ -41,6 +41,11 @@ class Aggregate:
     #: Short label used to auto-name output attributes.
     op_label = "agg"
 
+    #: True when the fold is invertible: ``unstep`` removes one tuple's
+    #: contribution, so incremental view maintenance can decrement on
+    #: delete instead of refolding the group (DESIGN.md §9).
+    decomposable = False
+
     def __init__(self, attr: str | Callable[[Any], Any] | None = None):
         self.attr = attr
 
@@ -76,6 +81,13 @@ class Aggregate:
     def step(self, acc: Any, t: Any) -> Any:
         raise NotImplementedError
 
+    def unstep(self, acc: Any, t: Any) -> Any:
+        """Remove one tuple's contribution (decomposable folds only)."""
+        raise OperatorError(
+            f"{type(self).__name__} is not decomposable; the maintainer "
+            "refolds the group instead"
+        )
+
     def result(self, acc: Any) -> Any:
         return acc
 
@@ -101,6 +113,7 @@ class Count(Aggregate):
     """Number of tuples; with an attribute, number of tuples defining it."""
 
     op_label = "count"
+    decomposable = True
 
     def seed(self) -> int:
         return 0
@@ -109,6 +122,11 @@ class Count(Aggregate):
         if self.attr is None:
             return acc + 1
         return acc if self.extract(t) is _MISSING else acc + 1
+
+    def unstep(self, acc: int, t: Any) -> int:
+        if self.attr is None:
+            return acc - 1
+        return acc if self.extract(t) is _MISSING else acc - 1
 
 
 class CountDistinct(Aggregate):
@@ -132,6 +150,7 @@ class CountDistinct(Aggregate):
 
 class Sum(Aggregate):
     op_label = "sum"
+    decomposable = True
 
     def seed(self) -> Any:
         return 0
@@ -140,9 +159,14 @@ class Sum(Aggregate):
         value = self.extract(t)
         return acc if value is _MISSING else acc + value
 
+    def unstep(self, acc: Any, t: Any) -> Any:
+        value = self.extract(t)
+        return acc if value is _MISSING else acc - value
+
 
 class Avg(Aggregate):
     op_label = "avg"
+    decomposable = True
 
     def seed(self) -> tuple[Any, int]:
         return (0, 0)
@@ -153,6 +177,13 @@ class Avg(Aggregate):
             return acc
         total, n = acc
         return (total + value, n + 1)
+
+    def unstep(self, acc: tuple[Any, int], t: Any) -> tuple[Any, int]:
+        value = self.extract(t)
+        if value is _MISSING:
+            return acc
+        total, n = acc
+        return (total - value, n - 1)
 
     def result(self, acc: tuple[Any, int]) -> float | None:
         total, n = acc

@@ -83,11 +83,22 @@ def deep_copy(
         return clone
 
     if kind == "database" or isinstance(fn, DatabaseFunction):
+        entries = list(fn.items())
+        if any(not isinstance(name, str) for name, _value in entries):
+            # database-kind functions keyed by values (``group()``'s
+            # output maps group keys, not names): snapshot into a
+            # relation-shaped store that keeps the database kind
+            value_clone = MaterialRelationFunction(name=fn.fn_name)
+            value_clone.kind = "database"
+            memo[id(fn)] = value_clone
+            for key, value in entries:
+                value_clone._rows[key] = _copy_value(value, memo)
+            return value_clone
         db_clone = MaterialDatabaseFunction(name=fn.fn_name)
         memo[id(fn)] = db_clone
         # copy relations first so relationship participants can re-point
         deferred: list[tuple[str, FDMFunction]] = []
-        for name, value in fn.items():
+        for name, value in entries:
             if isinstance(value, RelationshipFunction):
                 deferred.append((name, value))
             else:

@@ -45,6 +45,15 @@ class MaterializedView(DerivedFunction):
         self._snapshot = deep_copy(expression)
         self.refresh_count = 0
         self.last_refresh_changes = 0
+        #: Bumped whenever the snapshot's contents change; part of the
+        #: plan-cache fingerprint of anything reading through this view.
+        self._snapshot_version = 0
+        #: Watermarks + per-operator state for incremental maintenance
+        #: (DESIGN.md §9); ``None`` when the graph resists analysis
+        #: (attach_state swallows analysis failures itself).
+        from repro.ivm.view import attach_state
+
+        self._ivm = attach_state(self)
 
     # -- reads come from the snapshot -------------------------------------------
 
@@ -76,7 +85,52 @@ class MaterializedView(DerivedFunction):
         return self.source
 
     def stale_keys(self) -> tuple[set, set, set]:
-        """(added, removed, changed) keys versus the live expression."""
+        """(added, removed, changed) keys versus the live expression.
+
+        Answered from the changelog watermark when change capture covers
+        every base (no scan of either side); falls back to the full
+        snapshot-vs-live comparison otherwise.
+        """
+        preview = self._stale_keys_preview()
+        if preview is not None:
+            return preview
+        return self._stale_keys_scan()
+
+    def _stale_keys_preview(self) -> tuple[set, set, set] | None:
+        """Classify staleness from pending deltas, without applying them.
+
+        ``None`` when the changelog cannot answer: IVM off, history
+        truncated, an open transaction, or an operator without a rule.
+        """
+        state = self._ivm
+        if state is None:
+            return None
+        from repro.ivm import ivm_mode
+        from repro.ivm.operators import FALLBACK, clone_aux, derive_delta
+        from repro.ivm.view import MaintainedView
+
+        if ivm_mode() != "on" or state.in_active_transaction():
+            return None
+        if state.tainted or state.degraded():
+            return None  # no watermark can certify this; scan instead
+        for inner in state.inner_views.values():
+            if isinstance(inner, MaintainedView):
+                inner._maintenance_sync()  # settle nested views first
+        pending = state.pending()
+        if pending is None:
+            return None
+        base, _consumed = pending
+        if not base:
+            return set(), set(), set()
+        delta = derive_delta(
+            self.expression, base, clone_aux(state.aux), None
+        )
+        if delta is FALLBACK:
+            return None
+        return delta.classify()
+
+    def _stale_keys_scan(self) -> tuple[set, set, set]:
+        """The O(snapshot + live) comparison (the pre-IVM behaviour)."""
         live = self.source
         snapshot_keys = set(self._snapshot.keys())
         live_keys = set(live.keys())
@@ -93,20 +147,43 @@ class MaterializedView(DerivedFunction):
         added, removed, changed = self.stale_keys()
         return bool(added or removed or changed)
 
+    def maintenance_version(self) -> int:
+        """Snapshot-content version, for plan-cache fingerprints."""
+        return self._snapshot_version
+
     def refresh(self, incremental: bool = True) -> int:
         """Bring the snapshot up to date; returns mappings touched.
 
-        Incremental refresh re-materializes only the differing mappings —
-        the maintenance cost the paper alludes to; ``incremental=False``
-        rebuilds the whole snapshot (a fresh deep copy).
+        Incremental refresh routes through the delta engine when a
+        changelog covers the expression's bases (``REPRO_IVM=off``
+        restores the diff), patching only what changed; the diff-based
+        path re-materializes the differing mappings after a full
+        comparison. ``incremental=False`` rebuilds the whole snapshot
+        (a fresh deep copy).
         """
         self.refresh_count += 1
         if not incremental:
             old_size = len(self._snapshot)
             self._snapshot = deep_copy(self.source)
+            self._snapshot_version += 1
+            if self._ivm is not None:
+                self._ivm.reset()
             self.last_refresh_changes = max(old_size, len(self._snapshot))
             return self.last_refresh_changes
-        added, removed, changed = self.stale_keys()
+        from repro.ivm.view import apply_incremental
+
+        touched = apply_incremental(self)
+        if touched is None:
+            touched = self._apply_diff(*self._stale_keys_scan())
+            if touched:
+                self._snapshot_version += 1
+            if self._ivm is not None:
+                self._ivm.reset()
+        self.last_refresh_changes = touched
+        return touched
+
+    def _apply_diff(self, added: set, removed: set, changed: set) -> int:
+        """Patch the snapshot from scan-classified key sets."""
         live = self.source
         for key in removed:
             del self._snapshot[key]
@@ -115,8 +192,7 @@ class MaterializedView(DerivedFunction):
             if isinstance(value, FDMFunction):
                 value = deep_copy(value)
             self._snapshot[key] = value
-        self.last_refresh_changes = len(added) + len(removed) + len(changed)
-        return self.last_refresh_changes
+        return len(added) + len(removed) + len(changed)
 
     def op_params(self) -> dict[str, Any]:
         return {"refreshes": self.refresh_count}

@@ -12,6 +12,8 @@ from typing import Any, Iterator
 
 from repro._util import TOMBSTONE
 from repro.errors import StorageError, UnknownRelationError
+from repro.ivm.changelog import ChangeLog
+from repro.ivm.delta import Delta
 from repro.storage.index import HashIndex, IndexSet, SortedIndex
 from repro.storage.stats import TableStatistics
 from repro.storage.versioned import VersionedTable
@@ -34,6 +36,26 @@ class StorageEngine:
         #: Per-database executor plan cache; created lazily by
         #: :func:`repro.exec.cache_for` so storage stays import-light.
         self.plan_cache = None
+        #: Per-commit change capture feeding incremental view maintenance
+        #: (DESIGN.md §9); created on the first view attachment so
+        #: view-less engines pay nothing on the commit path.
+        self.changelog: ChangeLog | None = None
+        #: Maintained views over this engine; created lazily by
+        #: :func:`repro.ivm.registry.registry_for`.
+        self.view_registry = None
+
+    def ensure_changelog(self) -> ChangeLog:
+        """Start change capture (idempotent). The floor sits at the
+        current commit clock — earlier history was never recorded. A
+        recovered engine's own WAL is empty (records were replayed,
+        not re-appended), so the version chains are consulted too."""
+        if self.changelog is None:
+            clock = max(
+                [self.wal.last_commit_ts()]
+                + [t.max_ts() for t in self.tables.values()]
+            )
+            self.changelog = ChangeLog(start_ts=clock)
+        return self.changelog
 
     # -- DDL (not versioned; see DESIGN.md) ---------------------------------------
 
@@ -90,15 +112,35 @@ class StorageEngine:
         """Durably apply one committed transaction's writes.
 
         Order matters: WAL first (durability), then version chains, then
-        index and statistics maintenance.
+        index/statistics maintenance and changelog publication.
         """
         self.wal.append(WALRecord(commit_ts, list(writes)))
+        self._apply_writes(commit_ts, writes)
+
+    def _apply_writes(
+        self, commit_ts: int, writes: list[tuple[str, Any, Any]]
+    ) -> None:
+        """Version-chain application plus per-table delta capture.
+
+        Only committed writes pass through here, so aborted transactions
+        never publish a delta. With no changelog attached (no view ever
+        created over this engine) capture is skipped entirely.
+        """
+        changelog = self.changelog
+        deltas: dict[str, Delta] = {}
         for table_name, key, data in writes:
             table = self.table(table_name)
             old = table.read(key, _LATEST)
             table.apply(key, data, commit_ts)
             self.indexes[table_name].update(key, old, data)
             self.stats[table_name].on_write(old, data)
+            if changelog is not None:
+                changelog.observe_row(data)
+                deltas.setdefault(table_name, Delta()).record(
+                    key, old, data
+                )
+        if changelog is not None:
+            changelog.append(commit_ts, deltas)
 
     # -- maintenance ------------------------------------------------------------------
 
@@ -131,12 +173,7 @@ class StorageEngine:
         return engine
 
     def _replay(self, record: WALRecord) -> None:
-        for table_name, key, data in record.writes:
-            table = self.table(table_name)
-            old = table.read(key, _LATEST)
-            table.apply(key, data, record.commit_ts)
-            self.indexes[table_name].update(key, old, data)
-            self.stats[table_name].on_write(old, data)
+        self._apply_writes(record.commit_ts, record.writes)
 
     # -- introspection ------------------------------------------------------------------
 

@@ -127,6 +127,13 @@ class VersionedTable:
     def version_count(self) -> int:
         return sum(len(chain) for chain in self._chains.values())
 
+    def max_ts(self) -> int:
+        """The newest commit stamp anywhere in the table (0 if empty)."""
+        return max(
+            (chain[-1].ts for chain in self._chains.values() if chain),
+            default=0,
+        )
+
     def __repr__(self) -> str:
         return (
             f"<VersionedTable {self.name!r}: {len(self._chains)} chains, "

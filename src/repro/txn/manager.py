@@ -163,6 +163,14 @@ class TransactionManager:
                 )
             self._finish(txn, COMMITTED)
             self.commits += 1
+            commit_ts = self._clock
+        if txn.writes:
+            # outside the lock (eager view upkeep must not serialize
+            # other committers) and after _finish (views must read the
+            # post-commit state, not the gone transaction buffer)
+            registry = getattr(self.engine, "view_registry", None)
+            if registry is not None:
+                registry.notify_commit(commit_ts)
 
     def abort(self, txn: Transaction) -> None:
         txn._check_active("rollback")

@@ -20,7 +20,7 @@ from repro.fdm.relations import (
 )
 
 __all__ = ["sensor_signal", "computed_sensor_relation",
-           "sampled_sensor_relation"]
+           "sampled_sensor_relation", "SensorStream"]
 
 
 def sensor_signal(t: float, seed: int = 7) -> dict[str, Any]:
@@ -62,3 +62,92 @@ def sampled_sensor_relation(
         rel[round(t, 6)] = sensor_signal(t, seed=seed)
         t += step
     return rel
+
+
+class SensorStream:
+    """A streaming scenario: rolling appends into a stored readings table.
+
+    Each :meth:`advance` call commits one batch of new readings (one
+    transaction, so maintained views see one delta set); an optional
+    retention window evicts readings that scrolled out. Rows carry the
+    timestamp as the attribute ``t`` next to the measured signal, so
+    windowed views can bucket by time::
+
+        stream = SensorStream(step=1.0)
+        dash = stream.minute_summary_view()   # maintained, per-minute
+        stream.advance(120)                   # two minutes of data
+        dash(0)('avg_temperature')            # maintained incrementally
+    """
+
+    def __init__(
+        self,
+        step: float = 1.0,
+        seed: int = 7,
+        retention: float | None = None,
+        name: str = "sensors",
+    ):
+        from repro.database import FunctionalDatabase
+
+        self.step = step
+        self.seed = seed
+        self.retention = retention
+        self.db = FunctionalDatabase(name=name)
+        self.db["readings"] = {}
+        self.db.engine.table("readings").key_name = "t"
+        self._clock = 0.0
+
+    @property
+    def readings(self) -> Any:
+        return self.db("readings")
+
+    @property
+    def now(self) -> float:
+        """The timestamp the next reading will carry."""
+        return self._clock
+
+    def advance(self, seconds: float) -> int:
+        """Append readings for *seconds* of stream time, in one commit.
+
+        Returns the number of rows appended. With a retention window
+        configured, readings older than ``now - retention`` are deleted
+        in the same transaction (the rolling part of "rolling append").
+        """
+        readings = self.readings
+        appended = 0
+        horizon = self._clock + seconds
+        with self.db.transaction():
+            while self._clock < horizon:
+                t = round(self._clock, 6)
+                readings[t] = {
+                    "t": t, **sensor_signal(t, seed=self.seed)
+                }
+                self._clock += self.step
+                appended += 1
+            if self.retention is not None:
+                floor = self._clock - self.retention
+                for key in [k for k in readings.keys() if k < floor]:
+                    del readings[key]
+        return appended
+
+    def minute_summary_expression(self) -> Any:
+        """The live windowed aggregate: one tuple per minute bucket."""
+        from repro import fql
+
+        return fql.group_and_aggregate(
+            by=lambda r: int(r("t") // 60.0),
+            n=fql.Count(),
+            avg_temperature=fql.Avg("temperature"),
+            max_temperature=fql.Max("temperature"),
+            avg_humidity=fql.Avg("humidity"),
+            input=self.readings,
+        )
+
+    def minute_summary_view(self, eager: bool = False) -> Any:
+        """The maintained twin: appends patch only the latest buckets."""
+        from repro.ivm import maintained_view
+
+        return maintained_view(
+            self.minute_summary_expression(),
+            name="minute_summary",
+            eager=eager,
+        )

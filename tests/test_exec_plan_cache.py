@@ -171,3 +171,47 @@ def test_opaque_predicates_do_not_collide(customers):
         assert set(old.keys()) == {1, 3}
         assert set(young.keys()) == {2}
         assert fingerprint(old) != fingerprint(young)
+
+
+class TestViewSnapshotFingerprints:
+    """Plans reading *through* a view depend on its snapshot, not on the
+    live expression underneath: the fingerprint must track the snapshot
+    version (bumped by refresh/sync), not the base-leaf versions.
+    """
+
+    def test_refresh_invalidates_plans_through_view(self, customers):
+        """The regression the pre-IVM fingerprint shape missed: a
+        refresh changes what a plan over the view reads, yet left the
+        fingerprint unchanged (it only hashed the live leaves)."""
+        with using_exec_mode("batch"):
+            mv = fql.materialized_view(fql.filter(customers, age__gt=30))
+            through = fql.filter(mv, age__lt=100)
+            fp_initial = fingerprint(through)
+            customers[4] = {"name": "Dan", "age": 70}
+            # DML alone: the snapshot (what the plan reads) is unchanged
+            assert fingerprint(through) == fp_initial
+            mv.refresh()
+            assert fingerprint(through) != fp_initial
+
+    def test_full_refresh_also_invalidates(self, customers):
+        with using_exec_mode("batch"):
+            mv = fql.materialized_view(fql.filter(customers, age__gt=30))
+            through = fql.project(mv, ["name"])
+            fp_initial = fingerprint(through)
+            mv.refresh(incremental=False)
+            assert fingerprint(through) != fp_initial
+
+    def test_maintained_view_fingerprint_settles_pending_deltas(
+        self, customers
+    ):
+        """Fingerprinting a maintained view syncs it first, so a cached
+        plan is keyed on the snapshot state it will actually read."""
+        from repro.ivm import maintained_view, using_ivm_mode
+
+        with using_exec_mode("batch"), using_ivm_mode("on"):
+            view = maintained_view(fql.filter(customers, age__gt=30))
+            through = fql.filter(view, age__gt=0)
+            fp_initial = fingerprint(through)
+            customers[1]["age"] = 31  # pending delta
+            assert fingerprint(through) != fp_initial
+            assert set(through.keys()) == {1, 3}
