@@ -12,7 +12,7 @@ test:
 # perf trajectory
 bench-smoke:
 	$(PY) -m pytest benchmarks -o python_files='bench_*.py' -q \
-		-k "fig04a or fig04bc or fig06 or ivm_maintenance" \
+		-k "fig04a or fig04bc or fig06 or ivm_maintenance or partition_scan" \
 		--benchmark-min-rounds=3
 
 # the full benchmark matrix (slow)

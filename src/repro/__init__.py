@@ -28,6 +28,13 @@ from repro.fql import *  # noqa: F401,F403 - the operator algebra
 from repro.fql import __all__ as _fql_all
 from repro.database import FunctionalDatabase, connect
 from repro.ivm import MaintainedView, maintained_view
+from repro.partition import (
+    hash_partition,
+    parallel_mode,
+    range_partition,
+    set_parallel_mode,
+    using_parallel_mode,
+)
 from repro.txn import (
     Transaction,
     TransactionManager,
@@ -40,7 +47,7 @@ from repro.txn import (
 )
 
 # submodules re-exported for qualified use: repro.fql.filter(...), etc.
-from repro import errors, fdm, fql, ivm, predicates  # noqa: F401
+from repro import errors, fdm, fql, ivm, partition, predicates  # noqa: F401
 from repro import catalog, erm, optimizer, relational, resultdb  # noqa: F401
 from repro import storage, txn, types, workloads  # noqa: F401
 
@@ -62,10 +69,16 @@ __all__ = (
         "rollback",
         "set_default_database",
         "transaction",
+        "hash_partition",
+        "parallel_mode",
+        "range_partition",
+        "set_parallel_mode",
+        "using_parallel_mode",
         "errors",
         "fdm",
         "fql",
         "ivm",
+        "partition",
         "predicates",
         "catalog",
         "erm",

@@ -137,9 +137,12 @@ class FunctionalDatabase(DatabaseFunction):
         name: str,
         items: Any,
         key_name: str | tuple[str, ...] | None,
+        partition_by: Any = None,
     ) -> None:
         self._drop_name(name)
-        self._engine.create_table(name, key_name=key_name)
+        self._engine.create_table(
+            name, key_name=key_name, partition_by=partition_by
+        )
         stored = StoredRelationFunction(
             self._engine, self._manager, name, name=name
         )
@@ -187,6 +190,58 @@ class FunctionalDatabase(DatabaseFunction):
         if key not in self._stored and key not in self._views:
             raise UnknownRelationError(key, self._name)
         self._drop_name(key)
+
+    # -- horizontal partitioning (DESIGN.md §10) -----------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        rows: Mapping[Any, Any] | None = None,
+        key_name: str | tuple[str, ...] | None = None,
+        partition_by: Any = None,
+    ) -> FDMFunction:
+        """Create a stored table explicitly, optionally partitioned.
+
+        ``partition_by`` accepts a :class:`repro.partition.PartitionScheme`
+        (``hash_partition('state', 4)``, ``range_partition('age', [30, 60])``),
+        a spec dict, or a bare int *n* (hash on the key into *n* parts)::
+
+            db.create_table('customers', rows, key_name='cid',
+                            partition_by=hash_partition('state', n=4))
+        """
+        self._store_rows(
+            name,
+            (rows or {}).items(),
+            key_name=key_name,
+            partition_by=partition_by,
+        )
+        return self._stored[name]
+
+    def partition_table(self, name: str, partition_by: Any) -> FDMFunction:
+        """Re-partition an existing stored table in place (history kept).
+
+        Plans over the table are invalidated structurally: the next
+        enumeration re-lowers against the new segment layout.
+        """
+        if name not in self._stored:
+            raise UnknownRelationError(name, self._name)
+        self._engine.partition_table(name, partition_by)
+        if self._engine.plan_cache is not None:
+            self._engine.plan_cache.clear()
+        return self._stored[name]
+
+    def partition_layout(self, name: str) -> dict[str, Any]:
+        """Scheme + per-partition row counts of a partitioned table."""
+        from repro.partition.table import PartitionedTable
+
+        table = self._engine.table(name)
+        if not isinstance(table, PartitionedTable):
+            return {"partitioned": False, "rows": table.count_at(2**62)}
+        return {
+            "partitioned": True,
+            "scheme": table.scheme.spec(),
+            "rows": table.partition_counts(self._manager.now()),
+        }
 
     # -- maintained views (DESIGN.md §9) ----------------------------------------------------
 

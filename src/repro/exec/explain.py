@@ -45,6 +45,12 @@ def explain(fn: FDMFunction, estimates: bool = True) -> str:
         lines.append("== optimized plan ==")
         lines.append(logical_explain(optimized, estimates=estimates))
 
+    partition_lines = _partition_summary(fn)
+    if partition_lines:
+        lines.append("")
+        lines.append("== partitioning ==")
+        lines.extend(partition_lines)
+
     lines.append("")
     lines.append("== physical pipeline ==")
     pipeline = lower(optimized, logical=fn, fired_rules=trace)
@@ -53,3 +59,33 @@ def explain(fn: FDMFunction, estimates: bool = True) -> str:
     else:
         lines.append(pipeline.explain())
     return "\n".join(lines)
+
+
+def _partition_summary(fn: FDMFunction) -> list[str]:
+    """Per partitioned base table: scheme, pruning verdict, parallel mode.
+
+    The physical pipeline already renders the scatter_gather node; this
+    section states the same facts declaratively even when the plan stays
+    serial (``REPRO_PARALLEL=off``), so the partition story is always
+    visible in one place.
+    """
+    from repro.partition.parallel import parallel_mode
+    from repro.partition.prune import expression_partition_prunes
+
+    prunes = expression_partition_prunes(fn)
+    if not prunes:
+        return []
+    mode = parallel_mode()
+    out = []
+    for leaf, surviving in prunes.values():
+        table = leaf._engine.tables.get(leaf.table_name)
+        if table is None:
+            continue
+        total = table.n_partitions
+        out.append(
+            f"  {leaf.fn_name!r}: {table.scheme.describe()}, "
+            f"scan {len(surviving)}/{total} partitions "
+            f"({total - len(surviving)} pruned), "
+            f"merge={'parallel' if mode == 'on' and len(surviving) > 1 else 'serial'}"
+        )
+    return out

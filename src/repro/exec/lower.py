@@ -98,6 +98,15 @@ def lower(
 
 
 def _node_for(fn: FDMFunction) -> PhysicalNode:
+    # Scatter-gather first: subtrees rooted in partitioned storage lower
+    # to per-partition pipelines (DESIGN.md §10). The hook declines —
+    # returning None — for serial mode, non-partitioned leaves, shapes
+    # without a partition-wise merge rule, and open transactions.
+    from repro.partition.parallel import try_parallel
+
+    scattered = try_parallel(fn, _node_for)
+    if scattered is not None:
+        return scattered
     if not isinstance(fn, DerivedFunction):
         return ScanNode(fn)
 

@@ -110,8 +110,12 @@ def pipeline_rules() -> list:
 
 def pipeline_for(fn: FDMFunction) -> PhysicalPipeline | None:
     """The cached physical pipeline for *fn*, planning it on a miss."""
+    from repro.partition.parallel import parallel_mode
+
     try:
-        key = fingerprint(fn)
+        # parallel mode is part of the plan: a scatter-gather pipeline
+        # cached under REPRO_PARALLEL=on must not serve the off mode
+        key = (fingerprint(fn), parallel_mode())
     except Exception:
         return None
     if key in _planning.inflight:

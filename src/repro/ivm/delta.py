@@ -48,11 +48,22 @@ def snapshot_value(value: Any) -> Any:
 class Delta:
     """Net changes against one function's keyspace, in first-seen order."""
 
-    __slots__ = ("changes",)
+    __slots__ = ("changes", "partition_tags")
 
     def __init__(self) -> None:
         #: key → (old, new); MISSING marks an absent side.
         self.changes: dict[Any, tuple[Any, Any]] = {}
+        #: Partitions this delta's changes touch (DESIGN.md §10), or
+        #: ``None`` when the source is unpartitioned / untracked. The
+        #: storage engine tags commit deltas over partitioned tables;
+        #: consumers treat ``None`` as "possibly anywhere".
+        self.partition_tags: set[int] | None = None
+
+    def tag_partitions(self, pids: Any) -> None:
+        """Mark the partitions these changes live in (engine-side)."""
+        if self.partition_tags is None:
+            self.partition_tags = set()
+        self.partition_tags.update(pids)
 
     def record(self, key: Any, old: Any, new: Any) -> None:
         """Record one observed change (values are snapshotted here).
@@ -77,9 +88,26 @@ class Delta:
         self.changes[key] = (old, new)
 
     def merge(self, later: "Delta") -> None:
-        """Fold a strictly *later* delta into this one (net effect)."""
+        """Fold a strictly *later* delta into this one (net effect).
+
+        Partition tags union; a tagless side with changes poisons the
+        tags (``None`` = "possibly anywhere"), while a fresh empty delta
+        adopts the later tags unchanged.
+        """
+        mine = self.partition_tags
+        if mine is None and self.changes:
+            mine_unknown = True
+        else:
+            mine_unknown = False
+            mine = set() if mine is None else mine
+        theirs = later.partition_tags
+        theirs_unknown = theirs is None and bool(later.changes)
         for key, (old, new) in later.changes.items():
             self.record_snapshotted(key, old, new)
+        if mine_unknown or theirs_unknown:
+            self.partition_tags = None
+        else:
+            self.partition_tags = mine | (theirs or set())
 
     # -- views -------------------------------------------------------------------
 

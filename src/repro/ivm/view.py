@@ -48,6 +48,7 @@ class MaintenanceStats:
         "group_refolds",
         "fallback_recomputes",
         "diff_refreshes",
+        "partition_skips",
     )
 
     def __init__(self) -> None:
@@ -82,6 +83,12 @@ class IVMState:
         #: functions whose in-place mutations capture cannot see.
         self.uncapturable = False
         self._walk(expression, set())
+        from repro.partition.prune import expression_partition_prunes
+
+        #: id(stored leaf) → partitions any reader of it can see after
+        #: static pruning; commits tagged entirely outside that set are
+        #: invisible to the view and skip maintenance (DESIGN.md §10).
+        self.partition_prunes = expression_partition_prunes(expression)
         self.advance()
         #: A snapshot taken inside an open transaction may contain
         #: buffered uncommitted writes no changelog record describes;
@@ -283,6 +290,20 @@ def apply_incremental(view: MaterializedView) -> int | None:
     if pending is None:
         return None
     base, consumed = pending
+    relevant = {
+        leaf_id: delta
+        for leaf_id, delta in base.items()
+        if _delta_reaches_view(state, leaf_id, delta)
+    }
+    if base and not relevant:
+        # every change landed in partitions the view's filters prune
+        # away: nothing it reads moved, so just advance the watermarks
+        state.advance()
+        state.stats.syncs += 1
+        state.stats.commits_consumed += consumed
+        state.stats.partition_skips += 1
+        return 0
+    base = relevant
     if not base:
         state.advance()
         return 0
@@ -296,6 +317,24 @@ def apply_incremental(view: MaterializedView) -> int | None:
     state.stats.deltas_applied += sum(len(d) for d in base.values())
     state.stats.keys_touched += len(delta)
     return len(delta)
+
+
+def _delta_reaches_view(state: IVMState, leaf_id: int, delta: Delta) -> bool:
+    """Can this base delta affect anything the expression reads?
+
+    False only when the leaf is partitioned, the delta carries partition
+    tags, and every tag falls in a partition that *all* occurrences of
+    the leaf statically prune away — the one case where skipping is
+    provably sound.
+    """
+    entry = state.partition_prunes.get(leaf_id)
+    if entry is None:
+        return True  # unpartitioned leaf (or analysis declined)
+    tags = delta.partition_tags
+    if tags is None:
+        return True  # untagged change: could be anywhere
+    _leaf, surviving = entry
+    return bool(tags & surviving)
 
 
 def _apply_delta_to_snapshot(view: MaterializedView, delta: Delta) -> None:

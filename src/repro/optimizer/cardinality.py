@@ -50,7 +50,12 @@ def _stats_of(fn: FDMFunction) -> Any:
 
 def estimate_selectivity(pred: Predicate, source: FDMFunction) -> float:
     """Estimated fraction of mappings the predicate keeps."""
-    stats = _stats_of(source)
+    return _selectivity_against(pred, _stats_of(source))
+
+
+def _selectivity_against(pred: Predicate, stats: Any) -> float:
+    """Selectivity of *pred* against one statistics carrier (the whole
+    table's, or — for partition-pruned estimates — one segment's)."""
 
     def of(p: Predicate) -> float:
         if isinstance(p, TruePredicate):
@@ -130,9 +135,14 @@ def estimate_cardinality(fn: FDMFunction) -> float:
     if isinstance(fn, StoredRelationFunction):
         return float(fn.statistics().row_count)
     if isinstance(fn, FilteredFunction):
-        return estimate_cardinality(fn.source) * estimate_selectivity(
-            fn.predicate, _base_of(fn.source)
+        base = _base_of(fn.source)
+        standard = estimate_cardinality(fn.source) * estimate_selectivity(
+            fn.predicate, base
         )
+        pruned = _pruned_filter_estimate(fn.predicate, base)
+        if pruned is not None:
+            return min(standard, pruned)
+        return standard
     if isinstance(fn, RestrictedFunction):
         return float(
             min(len(fn.restricted_keys), estimate_cardinality(fn.source))
@@ -210,6 +220,46 @@ def estimate_cardinality(fn: FDMFunction) -> float:
         except Exception:
             return float(sum(1 for _ in fn.keys()))
     return float("inf")
+
+
+def _pruned_filter_estimate(
+    pred: Predicate, base: FDMFunction
+) -> float | None:
+    """Partition-wise filter estimate (DESIGN.md §10).
+
+    When the filter's statistics carrier is a partitioned stored
+    relation, estimate per *surviving* partition against that segment's
+    own statistics and sum: ``Σ rows_p × sel_p(pred)``. Matching rows
+    concentrate in the surviving partitions, so applying the whole-table
+    selectivity to the surviving row count would double-count the
+    partition-anchored conjunct (≈n_partitions× too low for equality
+    predicates); segment-local distributions instead tighten estimates
+    exactly where global stats mislead (clustered ranges, skew). The
+    caller takes ``min`` with the standard estimate, so pruning can only
+    ever tighten.
+    """
+    from repro.partition.prune import surviving_partitions
+    from repro.partition.table import PartitionedTable
+    from repro.storage.stats import PartitionedTableStatistics
+
+    if not isinstance(base, StoredRelationFunction):
+        return None
+    table = base._engine.tables.get(base.table_name)
+    stats = base.statistics()
+    if not isinstance(table, PartitionedTable) or not isinstance(
+        stats, PartitionedTableStatistics
+    ):
+        return None
+    surviving = surviving_partitions(table.scheme, pred)
+    if len(surviving) >= table.n_partitions:
+        return None  # nothing pruned: the plain path is identical
+    return float(
+        sum(
+            stats.partitions[pid].row_count
+            * _selectivity_against(pred, stats.partitions[pid])
+            for pid in surviving
+        )
+    )
 
 
 def _base_of(fn: FDMFunction) -> FDMFunction:

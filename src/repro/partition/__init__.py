@@ -1,0 +1,65 @@
+"""Horizontal partitioning with pruned, parallel scatter–gather execution.
+
+DESIGN.md §10. The subsystem has four faces, one per layer it threads
+through:
+
+* **storage** — :class:`PartitionedTable` fans a table's MVCC version
+  chains into per-partition segments behind the unchanged
+  ``VersionedTable`` contract (WAL, recovery, snapshots, vacuum all keep
+  working); :class:`~repro.partition.scheme.HashScheme` /
+  :class:`~repro.partition.scheme.RangeScheme` decide placement.
+* **optimizer** — :func:`~repro.partition.prune.surviving_partitions`
+  statically eliminates partitions a transparent filter cannot touch,
+  and per-partition :class:`~repro.storage.stats.TableStatistics` let
+  cardinality estimation sum only the survivors.
+* **executor** — :func:`~repro.partition.parallel.try_parallel` lowers
+  one logical function into N per-partition physical pipelines with
+  partition-wise merge rules (``REPRO_PARALLEL=off`` restores the serial
+  path).
+* **IVM** — commit-time deltas carry partition tags, so maintained views
+  skip upkeep entirely when every change landed in a partition their
+  filters prune away.
+
+Import discipline: this package sits *below* ``repro.storage`` (which
+only reaches in lazily) and *beside* ``repro.exec``; anything heavier
+(fql, optimizer) is imported inside functions.
+"""
+
+from repro.partition.parallel import (
+    ScatterGatherNode,
+    parallel_mode,
+    set_parallel_mode,
+    try_parallel,
+    using_parallel_mode,
+)
+from repro.partition.prune import prune_report, surviving_partitions
+from repro.partition.scheme import (
+    HashScheme,
+    PartitionScheme,
+    RangeScheme,
+    as_scheme,
+    hash_partition,
+    range_partition,
+    stable_hash,
+)
+from repro.partition.slice import PartitionSliceFunction
+from repro.partition.table import PartitionedTable
+
+__all__ = [
+    "HashScheme",
+    "PartitionScheme",
+    "PartitionSliceFunction",
+    "PartitionedTable",
+    "RangeScheme",
+    "ScatterGatherNode",
+    "as_scheme",
+    "hash_partition",
+    "parallel_mode",
+    "prune_report",
+    "range_partition",
+    "set_parallel_mode",
+    "stable_hash",
+    "surviving_partitions",
+    "try_parallel",
+    "using_parallel_mode",
+]

@@ -1,0 +1,694 @@
+"""The scatter–gather executor: per-partition physical pipelines.
+
+``try_parallel(fn, lower)`` is the hook the physical lowerer calls on
+every subtree. When the subtree bottoms out in a relation stored in a
+:class:`~repro.partition.table.PartitionedTable`, the hook lowers it to
+N per-partition pipelines — each rooted at a
+:class:`~repro.partition.slice.PartitionSliceFunction` pinned to one
+snapshot timestamp — runs them on a shared :class:`ThreadPoolExecutor`,
+and merges with partition-wise rules:
+
+* **filter / map / restrict chains** are embarrassingly parallel: the
+  per-partition streams concatenate in partition order, which *is* the
+  serial enumeration order of a partitioned table;
+* **group / group-aggregate** does partial aggregation per partition and
+  refolds the partials (reusing the accumulator protocol of
+  :mod:`repro.fql.aggregates`); aggregates without a sound merge rule
+  (e.g. ``StdDev``) simply keep the serial fold above a parallel scan;
+* **equi-joins** parallelize when the plan's driving atom is
+  partitioned: co-partitioned atoms (same scheme on a join attribute)
+  run partition-local, everything else is broadcast (probed whole per
+  partition);
+* **pruning**: transparent filter predicates over the chain statically
+  eliminate partitions via :mod:`repro.partition.prune`, so a
+  ``state == 'NY'`` filter over a hash(state, 8) table scans one segment.
+
+``REPRO_PARALLEL=off`` (or :func:`set_parallel_mode`) disables the whole
+subsystem — the exact escape-hatch shape of ``REPRO_EXEC`` and
+``REPRO_IVM`` — and the differential suite runs every operator under
+both modes. Queries inside an open transaction always take the serial
+path (worker threads cannot see the caller's thread-local transaction
+buffer), both at plan time and, defensively, at execution time.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+from repro.partition.prune import prune_report
+from repro.partition.scheme import PartitionScheme
+from repro.partition.slice import PartitionSliceFunction
+from repro.partition.table import PartitionedTable
+
+__all__ = [
+    "parallel_mode",
+    "set_parallel_mode",
+    "using_parallel_mode",
+    "try_parallel",
+    "ScatterGatherNode",
+    "POOL_SIZE",
+]
+
+#: Session override; ``None`` means "read the REPRO_PARALLEL env var".
+_MODE_OVERRIDE: str | None = None
+
+#: Worker threads in the shared scatter pool.
+POOL_SIZE = max(2, min(8, (os.cpu_count() or 2)))
+
+
+def parallel_mode() -> str:
+    """``"on"`` (default) or ``"off"`` (the serial escape hatch)."""
+    if _MODE_OVERRIDE is not None:
+        return _MODE_OVERRIDE
+    env = os.environ.get("REPRO_PARALLEL", "on").strip().lower()
+    return "off" if env in ("off", "0", "serial", "naive") else "on"
+
+
+def set_parallel_mode(mode: str | None) -> None:
+    """Force a mode for this process (``None`` restores env control)."""
+    global _MODE_OVERRIDE
+    if mode is not None and mode not in ("on", "off"):
+        raise ValueError(
+            f"parallel mode must be 'on' or 'off', got {mode!r}"
+        )
+    _MODE_OVERRIDE = mode
+
+
+@contextmanager
+def using_parallel_mode(mode: str | None) -> Iterator[None]:
+    """Temporarily force a mode (used by the differential tests)."""
+    previous = _MODE_OVERRIDE
+    set_parallel_mode(mode)
+    try:
+        yield
+    finally:
+        set_parallel_mode(previous)
+
+
+# ---------------------------------------------------------------------------
+# Shared pool + re-entrancy guards
+# ---------------------------------------------------------------------------
+
+_POOL: ThreadPoolExecutor | None = None
+_POOL_LOCK = threading.Lock()
+
+
+def _pool() -> ThreadPoolExecutor:
+    global _POOL
+    if _POOL is None:
+        with _POOL_LOCK:
+            if _POOL is None:
+                _POOL = ThreadPoolExecutor(
+                    max_workers=POOL_SIZE,
+                    thread_name_prefix="repro-scatter",
+                )
+    return _POOL
+
+
+class _Local(threading.local):
+    def __init__(self) -> None:
+        #: >0 while lowering a subtree that must stay serial.
+        self.serial_depth = 0
+        #: True on pool worker threads: a nested scatter submitting back
+        #: into the bounded pool could deadlock, so workers stay serial.
+        self.in_worker = False
+
+
+_local = _Local()
+
+
+@contextmanager
+def serial_lowering() -> Iterator[None]:
+    """Force every ``try_parallel`` call on this thread to decline."""
+    _local.serial_depth += 1
+    try:
+        yield
+    finally:
+        _local.serial_depth -= 1
+
+
+# ---------------------------------------------------------------------------
+# Plan analysis
+# ---------------------------------------------------------------------------
+
+
+def _partitioned_leaf(fn: Any) -> PartitionedTable | None:
+    """The PartitionedTable behind *fn*, if it is a stored relation over
+    one with more than one partition."""
+    from repro.storage.relation import StoredRelationFunction
+
+    if not isinstance(fn, StoredRelationFunction):
+        return None
+    table = fn._engine.tables.get(fn.table_name)
+    if isinstance(table, PartitionedTable) and table.n_partitions > 1:
+        return table
+    return None
+
+
+def _unwrap_chain(fn: Any) -> tuple[list, Any]:
+    """Peel partition-wise unary operators; returns (ops top-down, base)."""
+    from repro.fql.filter import FilteredFunction, RestrictedFunction
+    from repro.fql.project import MappedFunction
+
+    ops: list = []
+    cur = fn
+    while isinstance(cur, (FilteredFunction, RestrictedFunction, MappedFunction)):
+        ops.append(cur)
+        cur = cur.source
+    return ops, cur
+
+
+def _chain_predicate(ops: list) -> Any:
+    """The conjunction of filters applying directly to base rows.
+
+    Walking up from the leaf, filters (and key-only restricts, which
+    never rewrite attributes) keep predicates anchored on base
+    attributes; the first map ends the prunable prefix.
+    """
+    from repro.fql.filter import FilteredFunction, RestrictedFunction
+    from repro.predicates.ast import And
+
+    preds = []
+    for op in reversed(ops):
+        if isinstance(op, FilteredFunction):
+            preds.append(op.predicate)
+        elif isinstance(op, RestrictedFunction):
+            continue
+        else:
+            break
+    if not preds:
+        return None
+    return preds[0] if len(preds) == 1 else And(*preds)
+
+
+def _rebuild_over(ops: list, base: Any) -> Any:
+    """Reassemble a peeled chain (top-down ops) over a new base."""
+    cur = base
+    for op in reversed(ops):
+        cur = op.rebuild((cur,))
+    return cur
+
+
+def _mergeable_aggs(aggs: dict) -> bool:
+    """True when every aggregate's accumulator has a sound refold rule.
+
+    ``StdDev`` is deliberately absent from the merger table: Welford
+    accumulators refold only via Chan's formula — a *different
+    algorithm* whose error term diverges from the serial fold — so such
+    pipelines keep the serial fold over a parallel scan. ``Sum``/``Avg``
+    over *float* data do refold, accepting the standard parallel-
+    reduction caveat: addition reassociates across partitions, so
+    results may differ from the serial path in the final ulps (exact
+    types — int, Decimal, Fraction — are unaffected). This matches what
+    every parallel SQL engine does; DESIGN.md §10 records the trade-off.
+    """
+    return all(_merger_for(agg) is not None for agg in aggs.values())
+
+
+def _acc_mergers() -> dict:
+    from repro.fql import aggregates as A
+
+    missing = A._MISSING
+
+    def merge_min(a: Any, b: Any) -> Any:
+        if a is missing:
+            return b
+        if b is missing:
+            return a
+        return b if b < a else a
+
+    def merge_max(a: Any, b: Any) -> Any:
+        if a is missing:
+            return b
+        if b is missing:
+            return a
+        return b if b > a else a
+
+    return {
+        A.Count: lambda a, b: a + b,
+        A.Sum: lambda a, b: a + b,
+        A.Avg: lambda a, b: (a[0] + b[0], a[1] + b[1]),
+        A.Min: merge_min,
+        A.Max: merge_max,
+        A.Collect: lambda a, b: a + b,
+        A.Median: lambda a, b: a + b,
+        A.CountDistinct: lambda a, b: a | b,
+        A.First: lambda a, b: b if a is missing else a,
+    }
+
+
+_ACC_MERGERS: dict = {}
+
+
+def _merger_for(agg: Any) -> Callable[[Any, Any], Any] | None:
+    global _ACC_MERGERS
+    if not _ACC_MERGERS:
+        _ACC_MERGERS = _acc_mergers()
+    return _ACC_MERGERS.get(type(agg))
+
+
+def try_parallel(fn: Any, lower: Callable[[Any], Any]) -> Any:
+    """Scatter-gather lowering for *fn*, or ``None`` to lower serially.
+
+    *lower* is the physical lowerer's own node builder (so per-partition
+    subgraphs reuse the exact serial operator implementations).
+    """
+    if parallel_mode() != "on":
+        return None
+    if _local.serial_depth or _local.in_worker:
+        return None
+    try:
+        return _analyze(fn, lower)
+    except Exception:
+        # a scatter-planning failure must never break a query
+        return None
+
+
+def _analyze(fn: Any, lower: Callable[[Any], Any]) -> Any:
+    from repro.fql.group import (
+        AggregatedRelationFunction,
+        GroupedDatabaseFunction,
+    )
+    from repro.fql.join import JoinedRelationFunction
+    from repro.optimizer.physical import FusedGroupAggregateFunction
+
+    if isinstance(fn, FusedGroupAggregateFunction):
+        if not _mergeable_aggs(fn._aggs):
+            return None  # serial fold above a (still parallel) scan
+        return _plan_chain(
+            fn, fn.source, lower,
+            merge=_GroupAggMerge(fn._by, fn._aggs, fn.fn_name),
+        )
+    if isinstance(fn, AggregatedRelationFunction) and isinstance(
+        fn.source, GroupedDatabaseFunction
+    ):
+        if not _mergeable_aggs(fn.aggregates):
+            return None
+        return _plan_chain(
+            fn, fn.source.source, lower,
+            merge=_GroupAggMerge(fn.source.by, fn.aggregates, fn.fn_name),
+        )
+    if isinstance(fn, GroupedDatabaseFunction):
+        return _plan_chain(
+            fn, fn.source, lower, merge=_GroupMerge(fn)
+        )
+    if isinstance(fn, JoinedRelationFunction):
+        return _plan_join(fn, lower)
+    return _plan_chain(fn, fn, lower, merge=_ConcatMerge())
+
+
+def _plan_chain(
+    fn: Any, chain_root: Any, lower: Callable[[Any], Any], merge: Any
+) -> Any:
+    ops, base = _unwrap_chain(chain_root)
+    table = _partitioned_leaf(base)
+    if table is None:
+        return None
+    if base._manager.current() is not None:
+        return None  # open transaction: its buffer is thread-local
+    surviving, pruned = prune_report(table.scheme, _chain_predicate(ops))
+
+    def build(pid: int, ts: int) -> Any:
+        return lower(
+            _rebuild_over(ops, PartitionSliceFunction(base, pid, ts))
+        )
+
+    return ScatterGatherNode(
+        fn, base, table, surviving, pruned, build, merge,
+        serial_factory=_serial_factory(fn, lower),
+        managers=[base._manager],
+    )
+
+
+def _stored_managers(atoms: Any) -> list:
+    """Transaction managers of every stored atom in a join plan.
+
+    Worker threads cannot see *any* caller-thread transaction buffer —
+    broadcast atoms included — so an open transaction on any of these
+    forces the serial path.
+    """
+    from repro.storage.relation import StoredRelationFunction
+
+    managers = []
+    for atom in atoms.values():
+        if isinstance(atom, StoredRelationFunction):
+            manager = atom._manager
+            if manager not in managers:
+                managers.append(manager)
+    return managers
+
+
+def _scheme_covers(accessor: Any, scheme: PartitionScheme) -> bool:
+    """Does the scheme partition exactly the value this accessor reads?"""
+    if accessor == "key":
+        return scheme.attr is None
+    return (
+        isinstance(accessor, tuple)
+        and accessor[0] == "attr"
+        and accessor[1] == scheme.attr
+    )
+
+
+def _plan_join(fn: Any, lower: Callable[[Any], Any]) -> Any:
+    """Parallelize a join driven by a partitioned atom.
+
+    Output order is the serial order iff the *driving* (first) atom is
+    the sliced one: bindings stream in driving-key order, and slicing it
+    concatenates exactly that order partition by partition.
+    """
+    from repro.fql.join import JoinPlan, JoinedRelationFunction
+
+    plan = fn.plan
+    order = fn.atom_order
+    driving = order[0]
+    datom = plan.atoms[driving]
+    table = _partitioned_leaf(datom)
+    if table is None:
+        return None
+    managers = _stored_managers(plan.atoms)
+    if any(m.current() is not None for m in managers):
+        return None  # broadcast probes run on worker threads too
+    scheme = table.scheme
+
+    # co-partitioned atoms: joined to the driving atom on the partition
+    # attribute under a compatible scheme → safe to slice alongside
+    local_atoms: list[str] = []
+    for name, atom in plan.atoms.items():
+        if name == driving:
+            continue
+        other_table = _partitioned_leaf(atom)
+        if other_table is None or not scheme.compatible_with(
+            other_table.scheme
+        ):
+            continue
+        for a, b in plan.edges:
+            sides = {a.atom: a, b.atom: b}
+            if set(sides) == {driving, name} and _scheme_covers(
+                sides[driving].accessor, scheme
+            ) and _scheme_covers(sides[name].accessor, other_table.scheme):
+                local_atoms.append(name)
+                break
+
+    surviving = tuple(range(table.n_partitions))
+
+    def build(pid: int, ts: int) -> Any:
+        atoms = dict(plan.atoms)
+        atoms[driving] = PartitionSliceFunction(datom, pid, ts)
+        for name in local_atoms:
+            atoms[name] = PartitionSliceFunction(plan.atoms[name], pid, ts)
+        sliced = JoinedRelationFunction(
+            fn.children[0],
+            JoinPlan(atoms, plan.edges, order_hint=list(order)),
+            name=fn.fn_name,
+        )
+        return lower(sliced)
+
+    merge = _ConcatMerge(
+        label=f"join[local={','.join(local_atoms) or '-'}; "
+        f"broadcast={','.join(n for n in order if n != driving and n not in local_atoms) or '-'}]"
+    )
+    return ScatterGatherNode(
+        fn, datom, table, surviving, 0, build, merge,
+        serial_factory=_serial_factory(fn, lower),
+        managers=managers,
+    )
+
+
+def _serial_factory(fn: Any, lower: Callable[[Any], Any]) -> Callable[[], Any]:
+    def build_serial() -> Any:
+        with serial_lowering():
+            return lower(fn)
+
+    return build_serial
+
+
+# ---------------------------------------------------------------------------
+# Merge strategies
+# ---------------------------------------------------------------------------
+
+
+class _ConcatMerge:
+    """Embarrassingly parallel: concatenate streams in partition order."""
+
+    kind = "concat"
+
+    def __init__(self, label: str = "concat"):
+        self.label = label
+
+    def run(self, node: Any) -> list:
+        return list(node.entries())
+
+    def run_keys(self, node: Any) -> list:
+        out: list = []
+        for batch in node.key_batches():
+            out.extend(batch)
+        return out
+
+    def merge(self, results: list[list]) -> Iterator[tuple]:
+        for entries in results:
+            yield from entries
+
+    merge_keys = merge
+
+
+class _GroupAggMerge:
+    """Partial aggregation per partition, refold across partitions."""
+
+    kind = "group_aggregate"
+
+    def __init__(self, by: Any, aggs: dict, name: str):
+        self.by = by
+        self.aggs = dict(aggs)
+        self.name = name
+        self.label = (
+            f"group_aggregate[by {by.label()}; partial+refold "
+            f"{', '.join(self.aggs)}]"
+        )
+
+    def run(self, node: Any) -> dict:
+        from repro.errors import UndefinedInputError
+
+        by, aggs = self.by, self.aggs
+        accs: dict[Any, dict] = {}
+        for batch in node.batches():
+            for _key, t in batch:
+                try:
+                    group_key = by.key_of(t)
+                except UndefinedInputError:
+                    continue
+                acc = accs.get(group_key)
+                if acc is None:
+                    accs[group_key] = acc = {
+                        name: agg.seed() for name, agg in aggs.items()
+                    }
+                for name, agg in aggs.items():
+                    acc[name] = agg.step(acc[name], t)
+        return accs
+
+    def run_keys(self, node: Any) -> dict:
+        from repro.errors import UndefinedInputError
+
+        by = self.by
+        seen: dict[Any, None] = {}
+        for batch in node.batches():
+            for _key, t in batch:
+                try:
+                    group_key = by.key_of(t)
+                except UndefinedInputError:
+                    continue
+                seen.setdefault(group_key, None)
+        return seen
+
+    def _refold(self, results: list[dict]) -> dict:
+        merged: dict[Any, dict] = {}
+        for part in results:  # partition order = serial first-seen order
+            for group_key, accs in part.items():
+                mine = merged.get(group_key)
+                if mine is None:
+                    merged[group_key] = accs
+                    continue
+                for name, agg in self.aggs.items():
+                    mine[name] = _merger_for(agg)(mine[name], accs[name])
+        return merged
+
+    def merge(self, results: list[dict]) -> Iterator[tuple]:
+        from repro.fdm.tuples import TupleFunction
+
+        for group_key, acc in self._refold(results).items():
+            data = self.by.key_attrs(group_key)
+            for name, agg in self.aggs.items():
+                data[name] = agg.result(acc[name])
+            yield group_key, TupleFunction(
+                data, name=f"{self.name}[{group_key!r}]"
+            )
+
+    def merge_keys(self, results: list[dict]) -> Iterator[Any]:
+        seen: dict[Any, None] = {}
+        for part in results:
+            for group_key in part:
+                seen.setdefault(group_key, None)
+        return iter(seen)
+
+
+class _GroupMerge:
+    """Per-partition group membership, appended in partition order."""
+
+    kind = "group"
+
+    def __init__(self, grouped_fn: Any):
+        self.fn = grouped_fn
+        self.label = f"group[by {grouped_fn.by.label()}; member merge]"
+
+    def run(self, node: Any) -> dict:
+        from repro.errors import UndefinedInputError
+
+        by = self.fn.by
+        groups: dict[Any, list] = {}
+        for batch in node.batches():
+            for key, t in batch:
+                try:
+                    group_key = by.key_of(t)
+                except UndefinedInputError:
+                    continue
+                groups.setdefault(group_key, []).append((key, t))
+        return groups
+
+    run_keys = run
+
+    def merge(self, results: list[dict]) -> Iterator[tuple]:
+        merged: dict[Any, list] = {}
+        for part in results:
+            for group_key, members in part.items():
+                merged.setdefault(group_key, []).extend(members)
+        for group_key, members in merged.items():
+            yield group_key, self.fn._group_relation(group_key, members)
+
+    def merge_keys(self, results: list[dict]) -> Iterator[Any]:
+        seen: dict[Any, None] = {}
+        for part in results:
+            for group_key in part:
+                seen.setdefault(group_key, None)
+        return iter(seen)
+
+
+# ---------------------------------------------------------------------------
+# The physical node
+# ---------------------------------------------------------------------------
+
+
+class ScatterGatherNode:
+    """One scatter–gather stage of a physical pipeline.
+
+    Scatter: one sub-pipeline per surviving partition, pinned to a
+    common snapshot timestamp, run on the shared worker pool (inline
+    when only one partition survives). Gather: the merge strategy folds
+    the per-partition payloads back into the serial stream order.
+    """
+
+    op = "scatter_gather"
+
+    def __init__(
+        self,
+        logical: Any,
+        relation: Any,
+        table: PartitionedTable,
+        surviving: tuple,
+        pruned: int,
+        build: Callable[[int, int], Any],
+        merge: Any,
+        serial_factory: Callable[[], Any],
+        managers: list | None = None,
+    ):
+        self.logical = logical
+        self.relation = relation
+        self.table = table
+        self.surviving = tuple(surviving)
+        self.pruned = pruned
+        self.build = build
+        self.merge = merge
+        self.serial_factory = serial_factory
+        self.managers = list(managers) if managers else [relation._manager]
+        self._serial_node: Any = None
+        # a representative sub-pipeline for explain output only
+        if self.surviving:
+            template = build(self.surviving[0], relation._snapshot_ts())
+            self.children = (template,)
+        else:
+            self.children = ()
+
+    # -- execution ---------------------------------------------------------------
+
+    def _blocked(self) -> bool:
+        """Serial fallback triggers: a transaction opened on this thread
+        after planning (on any stored atom's manager — worker threads
+        cannot see its buffer), or the mode flipped under a cached
+        pipeline."""
+        return parallel_mode() != "on" or any(
+            m.current() is not None for m in self.managers
+        )
+
+    def _serial(self) -> Any:
+        if self._serial_node is None:
+            self._serial_node = self.serial_factory()
+        return self._serial_node
+
+    def _scatter(self, run: Callable[[Any], Any]) -> list:
+        ts = self.relation._manager.now()
+        nodes = [self.build(pid, ts) for pid in self.surviving]
+        if len(nodes) <= 1 or _local.in_worker:
+            # Already on a pool worker (a cached scatter pipeline pulled
+            # from inside another query's sub-pipeline): submitting into
+            # the same bounded pool while every worker waits on results
+            # deadlocks, so nested scatters run inline instead.
+            return [run(node) for node in nodes]
+        pool = _pool()
+
+        def task(node: Any) -> Any:
+            _local.in_worker = True
+            try:
+                return run(node)
+            finally:
+                _local.in_worker = False
+
+        futures = [pool.submit(task, node) for node in nodes]
+        return [future.result() for future in futures]
+
+    def batches(self) -> Iterator[list]:
+        from repro.exec.nodes import rebatch
+
+        if self._blocked():
+            yield from self._serial().batches()
+            return
+        results = self._scatter(self.merge.run)
+        yield from rebatch(iter(self.merge.merge(results)))
+
+    def key_batches(self) -> Iterator[list]:
+        from repro.exec.nodes import rebatch
+
+        if self._blocked():
+            yield from self._serial().key_batches()
+            return
+        results = self._scatter(self.merge.run_keys)
+        yield from rebatch(iter(self.merge.merge_keys(results)))
+
+    def entries(self) -> Iterator[tuple]:
+        for batch in self.batches():
+            yield from batch
+
+    # -- introspection ------------------------------------------------------------
+
+    def describe(self) -> str:
+        mode = "parallel" if len(self.surviving) > 1 else "serial"
+        return (
+            f"scatter_gather [{self.table.scheme.describe()}: "
+            f"scan {len(self.surviving)}/{self.table.n_partitions} "
+            f"partitions, {self.pruned} pruned; "
+            f"merge={self.merge.label} ({mode})]"
+        )
+
+    def __repr__(self) -> str:
+        return f"<ScatterGatherNode {self.describe()}>"

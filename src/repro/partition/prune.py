@@ -1,0 +1,228 @@
+"""Static partition pruning from transparent predicate ASTs.
+
+This reuses the same predicate transparency that powers pushdown
+(DESIGN.md §5): a filter whose AST anchors the partitioning attribute to
+literals statically eliminates the partitions no satisfying row can live
+in. The analysis is *conservative* — it returns the partitions a
+satisfying row **may** occupy; anything it cannot decide keeps every
+partition. Soundness leans on two facts:
+
+* rows missing the partitioning attribute land in partition 0 and can
+  never satisfy an attribute-anchored comparison (undefined attributes
+  fail predicates), so dropping partition 0 when the anchor excludes it
+  is safe;
+* ``And`` intersects, ``Or`` unions, and opaque/unrelated conjuncts
+  contribute "all partitions" — exactly the lattice of a may-analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.partition.scheme import PartitionScheme
+from repro.predicates.ast import (
+    And,
+    AttrRef,
+    Between,
+    Comparison,
+    FalsePredicate,
+    KeyRef,
+    Literal,
+    Membership,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+
+__all__ = ["surviving_partitions", "prune_report"]
+
+
+def _anchors_scheme(expr: Any, scheme: PartitionScheme) -> bool:
+    """Does this expression reference exactly the partitioning target?"""
+    if scheme.attr is None:
+        return isinstance(expr, KeyRef)
+    return isinstance(expr, AttrRef) and expr.path == (scheme.attr,)
+
+
+def _literal(expr: Any) -> Any:
+    return expr.value if isinstance(expr, Literal) else _NO_LITERAL
+
+
+_NO_LITERAL = object()
+_ALL = None  # "every partition may match"
+
+
+def _eq(scheme: PartitionScheme, value: Any) -> frozenset[int] | None:
+    try:
+        return scheme.partitions_for_eq(value)
+    except Exception:
+        return _ALL
+
+
+def _rng(
+    scheme: PartitionScheme,
+    lo: Any = None,
+    hi: Any = None,
+    lo_open: bool = False,
+    hi_open: bool = False,
+) -> frozenset[int] | None:
+    try:
+        return scheme.partitions_for_range(
+            lo, hi, lo_open=lo_open, hi_open=hi_open
+        )
+    except Exception:
+        return _ALL
+
+
+def _of(pred: Predicate, scheme: PartitionScheme) -> frozenset[int] | None:
+    if isinstance(pred, TruePredicate):
+        return _ALL
+    if isinstance(pred, FalsePredicate):
+        return frozenset()
+    if isinstance(pred, And):
+        out: frozenset[int] | None = _ALL
+        for part in pred.parts:
+            got = _of(part, scheme)
+            if got is _ALL:
+                continue
+            out = got if out is _ALL else (out & got)
+        return out
+    if isinstance(pred, Or):
+        union: frozenset[int] = frozenset()
+        for part in pred.parts:
+            got = _of(part, scheme)
+            if got is _ALL:
+                return _ALL
+            union |= got
+        return union
+    if isinstance(pred, Comparison):
+        left, right, op = pred.left, pred.right, pred.op
+        # normalize to (anchor <op> literal)
+        if _anchors_scheme(right, scheme) and isinstance(left, Literal):
+            left, right = right, left
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+        if not _anchors_scheme(left, scheme):
+            return _ALL
+        value = _literal(right)
+        if value is _NO_LITERAL:
+            return _ALL
+        if op == "==":
+            return _eq(scheme, value)
+        if op == "<":
+            return _rng(scheme, hi=value, hi_open=True)
+        if op == "<=":
+            return _rng(scheme, hi=value)
+        if op == ">":
+            return _rng(scheme, lo=value, lo_open=True)
+        if op == ">=":
+            return _rng(scheme, lo=value)
+        return _ALL  # != keeps everything (even the anchor's partition)
+    if isinstance(pred, Membership):
+        if pred.negated or not _anchors_scheme(pred.item, scheme):
+            return _ALL
+        values = _literal(pred.collection)
+        if values is _NO_LITERAL:
+            return _ALL
+        try:
+            candidates = list(values)
+        except TypeError:
+            return _ALL
+        union: frozenset[int] = frozenset()
+        for value in candidates:
+            got = _eq(scheme, value)
+            if got is _ALL:
+                return _ALL
+            union |= got
+        return union
+    if isinstance(pred, Between):
+        if not _anchors_scheme(pred.item, scheme):
+            return _ALL
+        lo, hi = _literal(pred.lo), _literal(pred.hi)
+        if lo is _NO_LITERAL or hi is _NO_LITERAL:
+            return _ALL
+        return _rng(scheme, lo=lo, hi=hi)
+    # Not, opaque, func-call comparisons: undecidable
+    return _ALL
+
+
+def surviving_partitions(
+    scheme: PartitionScheme, predicate: Predicate | None
+) -> frozenset[int]:
+    """The partitions a row satisfying *predicate* may live in."""
+    everything = frozenset(range(scheme.n_partitions))
+    if predicate is None or not getattr(predicate, "is_transparent", False):
+        return everything
+    try:
+        got = _of(predicate, scheme)
+    except Exception:
+        return everything
+    return everything if got is _ALL else (got & everything)
+
+
+def prune_report(
+    scheme: PartitionScheme, predicate: Predicate | None
+) -> tuple[tuple[int, ...], int]:
+    """``(surviving pids ascending, pruned count)`` for explain output."""
+    surviving = sorted(surviving_partitions(scheme, predicate))
+    return tuple(surviving), scheme.n_partitions - len(surviving)
+
+
+def expression_partition_prunes(fn: Any) -> dict[int, tuple[Any, frozenset[int]]]:
+    """Per partitioned stored leaf of an expression graph, the union of
+    partitions any occurrence's filters leave alive.
+
+    Keyed by ``id(leaf)`` — the same key the IVM state uses for base
+    deltas — mapping to ``(leaf, surviving)`` so consumers (explain, the
+    IVM skip check) share one graph walk. A leaf referenced anywhere
+    *outside* a contiguous filter prefix contributes all its partitions
+    (no pruning for that occurrence), so the result is safe to use as a
+    skip condition: a commit whose delta tags are disjoint from a leaf's
+    surviving set cannot change anything the expression reads from it.
+    """
+    from repro.fdm.databases import DatabaseFunction
+    from repro.fdm.functions import DerivedFunction, FDMFunction
+    from repro.fql.filter import FilteredFunction, RestrictedFunction
+    from repro.partition.table import PartitionedTable
+    from repro.predicates.ast import And
+    from repro.storage.relation import StoredRelationFunction
+
+    out: dict[int, tuple[Any, frozenset[int]]] = {}
+
+    def note(leaf: Any, preds: list) -> None:
+        table = leaf._engine.tables.get(leaf.table_name)
+        if not isinstance(table, PartitionedTable):
+            return
+        predicate = None
+        if preds:
+            predicate = preds[0] if len(preds) == 1 else And(*preds)
+        surviving = surviving_partitions(table.scheme, predicate)
+        prior = out.get(id(leaf))
+        if prior is not None:
+            surviving = prior[1] | surviving
+        out[id(leaf)] = (leaf, surviving)
+
+    def walk(node: Any, preds: list) -> None:
+        if isinstance(node, StoredRelationFunction):
+            note(node, preds)
+            return
+        if isinstance(node, FilteredFunction):
+            walk(node.source, preds + [node.predicate])
+            return
+        if isinstance(node, RestrictedFunction):
+            walk(node.source, preds)
+            return
+        if isinstance(node, DatabaseFunction) and not isinstance(
+            node, DerivedFunction
+        ):
+            for _name, value in node.items():
+                if isinstance(value, FDMFunction):
+                    walk(value, [])
+            return
+        for child in getattr(node, "children", ()):
+            walk(child, [])
+
+    try:
+        walk(fn, [])
+    except Exception:
+        return {}
+    return out

@@ -1,0 +1,145 @@
+"""Partition slices: one segment of a stored relation, as a function.
+
+A :class:`PartitionSliceFunction` is the leaf the scatter side of the
+executor substitutes for a partitioned stored relation: it enumerates
+exactly one segment at one *pinned* snapshot timestamp, reading the
+version chains directly. That sidesteps the full transaction/read stack
+per tuple (the serial scan resolves every chain twice — once for
+``keys()`` and once per value — and then once more per attribute probe),
+and it is what makes per-partition pipelines safe on worker threads:
+workers never consult the thread-local transaction state.
+
+Rows come out as immutable :class:`TupleFunction` snapshots of the
+committed dicts. Extensionally that is identical to the serial path's
+write-through ``BoundTuple`` views, and the differential suite holds the
+two streams to extensional equality.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro._util import TOMBSTONE, chunked
+from repro.errors import UndefinedInputError
+from repro.fdm.domains import ANY, DiscreteDomain, Domain, PredicateDomain
+from repro.fdm.relations import RelationFunction
+from repro.fdm.tuples import TupleFunction
+from repro.partition.table import PartitionedTable
+
+__all__ = ["PartitionSliceFunction", "SliceTuple"]
+
+
+class SliceTuple(TupleFunction):
+    """A tuple snapshot built straight from a committed row dict.
+
+    Scatter workers wrap every scanned row; the stock constructor's
+    up-front domain materialization would dominate scan cost, so the
+    domain is built lazily — filters that reject a row via the
+    ``_data`` fast path never pay for it. The committed dict is shared,
+    not copied: version-chain rows are never mutated in place (updates
+    append fresh dicts), and tuple functions expose no mutators.
+    """
+
+    def __init__(self, data: dict, name: str):
+        object.__setattr__(self, "_name", name)
+        object.__setattr__(self, "_data", data)
+        object.__setattr__(self, "_codomain", ANY)
+        object.__setattr__(self, "_lazy_domain", None)
+
+    @property
+    def domain(self) -> Domain:
+        if self._lazy_domain is None:
+            object.__setattr__(
+                self, "_lazy_domain", DiscreteDomain(self._data)
+            )
+        return self._lazy_domain
+
+    @property
+    def is_enumerable(self) -> bool:
+        return True
+
+    def keys(self):
+        return iter(self._data)
+
+    def items(self):
+        return iter(self._data.items())
+
+    def values(self):
+        return iter(self._data.values())
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class PartitionSliceFunction(RelationFunction):
+    """One partition of a stored relation at a pinned snapshot."""
+
+    def __init__(self, relation: Any, pid: int, ts: int):
+        super().__init__(name=f"{relation.fn_name}#p{pid}")
+        self._relation = relation
+        self._table: PartitionedTable = relation._engine.table(
+            relation.table_name
+        )
+        self._segment = self._table.segments[pid]
+        self._pid = pid
+        self._ts = ts
+
+    # -- plumbing ---------------------------------------------------------------
+
+    @property
+    def pid(self) -> int:
+        return self._pid
+
+    @property
+    def snapshot_ts(self) -> int:
+        return self._ts
+
+    @property
+    def key_name(self) -> str | tuple[str, ...] | None:
+        return self._table.key_name
+
+    def _wrap(self, key: Any, data: Any) -> Any:
+        if isinstance(data, dict):
+            return SliceTuple(data, f"{self._name}[{key!r}]")
+        return data  # nested FDM function stored directly
+
+    # -- FDM function interface ----------------------------------------------------
+
+    @property
+    def domain(self) -> Domain:
+        return PredicateDomain(
+            lambda k: self._segment.read(k, self._ts) is not TOMBSTONE,
+            f"keys of {self._name!r}",
+        )
+
+    @property
+    def is_enumerable(self) -> bool:
+        return True
+
+    def _apply(self, key: Any) -> Any:
+        data = self._segment.read(key, self._ts)
+        if data is TOMBSTONE:
+            raise UndefinedInputError(self._name, key)
+        return self._wrap(key, data)
+
+    def defined_at(self, *args: Any) -> bool:
+        if not args:
+            return False
+        key = args[0] if len(args) == 1 else tuple(args)
+        return self._segment.read(key, self._ts) is not TOMBSTONE
+
+    def keys(self) -> Iterator[Any]:
+        return self._segment.keys_at(self._ts)
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        for key, data in self._segment.scan_at(self._ts):
+            yield key, self._wrap(key, data)
+
+    def iter_batches(self, batch_size: int = 256) -> Iterator[list]:
+        return chunked(self.items(), batch_size)
+
+    def __len__(self) -> int:
+        return self._segment.count_at(self._ts)
+
+    def __repr__(self) -> str:
+        return f"<PartitionSlice {self._name!r} @ {self._ts}>"

@@ -15,7 +15,7 @@ from repro.errors import StorageError, UnknownRelationError
 from repro.ivm.changelog import ChangeLog
 from repro.ivm.delta import Delta
 from repro.storage.index import HashIndex, IndexSet, SortedIndex
-from repro.storage.stats import TableStatistics
+from repro.storage.stats import PartitionedTableStatistics, TableStatistics
 from repro.storage.versioned import VersionedTable
 from repro.storage.wal import WALRecord, WriteAheadLog
 
@@ -60,15 +60,75 @@ class StorageEngine:
     # -- DDL (not versioned; see DESIGN.md) ---------------------------------------
 
     def create_table(
-        self, name: str, key_name: str | tuple[str, ...] | None = None
+        self,
+        name: str,
+        key_name: str | tuple[str, ...] | None = None,
+        partition_by: Any = None,
     ) -> VersionedTable:
         if name in self.tables:
             raise StorageError(f"table {name!r} already exists")
-        table = VersionedTable(name, key_name=key_name)
+        if partition_by is not None:
+            # lazy: repro.partition subclasses this module's tables
+            from repro.partition import PartitionedTable, as_scheme
+
+            scheme = as_scheme(partition_by)
+            table: VersionedTable = PartitionedTable(
+                name, key_name=key_name, scheme=scheme
+            )
+            self.stats[name] = PartitionedTableStatistics(
+                name, scheme.n_partitions
+            )
+        else:
+            table = VersionedTable(name, key_name=key_name)
+            self.stats[name] = TableStatistics(name)
         self.tables[name] = table
         self.indexes[name] = IndexSet()
-        self.stats[name] = TableStatistics(name)
         return table
+
+    def partition_table(self, name: str, partition_by: Any) -> VersionedTable:
+        """Re-partition an existing table in place, history included.
+
+        The version chains replay into per-partition segments (historic
+        attribute changes get their move tombstones as if the table had
+        always been partitioned) and the statistics are rebuilt from the
+        latest committed state.
+        """
+        from repro.partition import PartitionedTable, as_scheme
+
+        old = self.table(name)
+        scheme = as_scheme(partition_by)
+        table = PartitionedTable.from_table(old, scheme)
+        stats = PartitionedTableStatistics(name, scheme.n_partitions)
+        for key, data in table.scan_at(_LATEST):
+            stats.on_write(
+                TOMBSTONE, data, new_pid=table.placement_of(key)
+            )
+        self.tables[name] = table
+        self.stats[name] = stats
+        self._invalidate_partition_consumers(name)
+        return table
+
+    def _invalidate_partition_consumers(self, name: str) -> None:
+        """After a re-shard, no pre-existing partition metadata is
+        trustworthy: buffered changelog deltas were tagged under the old
+        scheme (so strip the tags — untagged means dirty-anywhere), and
+        maintained views' static prune sets were computed against it
+        (so recompute them against the new one)."""
+        if self.changelog is not None:
+            for _ts, tables in self.changelog._records:
+                delta = tables.get(name)
+                if delta is not None:
+                    delta.partition_tags = None
+        registry = self.view_registry
+        if registry is not None:
+            from repro.partition.prune import expression_partition_prunes
+
+            for view in registry.views():
+                state = getattr(view, "_ivm", None)
+                if state is not None:
+                    state.partition_prunes = expression_partition_prunes(
+                        state.expression
+                    )
 
     def drop_table(self, name: str) -> None:
         if name not in self.tables:
@@ -131,14 +191,29 @@ class StorageEngine:
         for table_name, key, data in writes:
             table = self.table(table_name)
             old = table.read(key, _LATEST)
-            table.apply(key, data, commit_ts)
+            if table.is_partitioned:
+                old_pid = table.placement_of(key)
+                table.apply(key, data, commit_ts)
+                new_pid = table.placement_of(key)
+                self.stats[table_name].on_write(
+                    old, data, old_pid=old_pid, new_pid=new_pid
+                )
+            else:
+                old_pid = new_pid = None
+                table.apply(key, data, commit_ts)
+                self.stats[table_name].on_write(old, data)
             self.indexes[table_name].update(key, old, data)
-            self.stats[table_name].on_write(old, data)
             if changelog is not None:
                 changelog.observe_row(data)
-                deltas.setdefault(table_name, Delta()).record(
-                    key, old, data
-                )
+                delta = deltas.setdefault(table_name, Delta())
+                delta.record(key, old, data)
+                if table.is_partitioned:
+                    # tag the commit's delta with the partitions it
+                    # touched, so maintained views whose filters prune
+                    # those partitions can skip upkeep (DESIGN.md §10)
+                    delta.tag_partitions(
+                        pid for pid in (old_pid, new_pid) if pid is not None
+                    )
         if changelog is not None:
             changelog.append(commit_ts, deltas)
 
@@ -159,15 +234,26 @@ class StorageEngine:
         wal: WriteAheadLog,
         schemas: dict[str, str | tuple[str, ...] | None] | None = None,
         name: str = "engine",
+        partition_schemes: dict[str, Any] | None = None,
     ) -> "StorageEngine":
-        """Rebuild an engine by replaying a WAL in commit order."""
+        """Rebuild an engine by replaying a WAL in commit order.
+
+        *partition_schemes* maps table names to partition schemes (or
+        specs): replayed tables re-partition identically — placement is
+        a pure function of the stable hash / boundaries and the write
+        order, both of which the WAL preserves, so the recovered segment
+        layout is bit-identical to the original's.
+        """
         engine = cls(name=name)
         schemas = schemas or {}
+        partition_schemes = partition_schemes or {}
         for record in wal.records():
             for table_name, key, data in record.writes:
                 if not engine.has_table(table_name):
                     engine.create_table(
-                        table_name, key_name=schemas.get(table_name)
+                        table_name,
+                        key_name=schemas.get(table_name),
+                        partition_by=partition_schemes.get(table_name),
                     )
             engine._replay(record)
         return engine

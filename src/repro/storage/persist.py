@@ -70,6 +70,9 @@ def save_checkpoint(engine: StorageEngine, path: str, clock: int) -> None:
                 {"attr": attr, "kind": engine.indexes[name].get(attr).kind}
                 for attr in engine.indexes[name].attrs()
             ],
+            # partition schemes round-trip so a restored database keeps
+            # its physical layout (DESIGN.md §10)
+            "partition": table.scheme.spec() if table.is_partitioned else None,
         }
     with open(path, "w", encoding="utf-8") as f:
         json.dump(payload, f)
@@ -97,12 +100,21 @@ def load_checkpoint(
         key_name = spec.get("key_name")
         if spec.get("composite") and isinstance(key_name, list):
             key_name = tuple(key_name)
-        table = engine.create_table(table_name, key_name=key_name)
+        table = engine.create_table(
+            table_name,
+            key_name=key_name,
+            partition_by=spec.get("partition"),
+        )
         for row in spec.get("rows", ()):
             key = _decode_key(row["key"])
             data = row["data"]
             table.apply(key, data, clock)
-            engine.stats[table_name].on_write(TOMBSTONE, data)
+            if table.is_partitioned:
+                engine.stats[table_name].on_write(
+                    TOMBSTONE, data, new_pid=table.placement_of(key)
+                )
+            else:
+                engine.stats[table_name].on_write(TOMBSTONE, data)
         for index_spec in spec.get("indexes", ()):
             engine.create_index(
                 table_name, index_spec["attr"], index_spec["kind"]

@@ -14,7 +14,12 @@ from typing import Any
 
 from repro._util import TOMBSTONE
 
-__all__ = ["AttrStatistics", "TableStatistics", "HISTOGRAM_BUCKETS"]
+__all__ = [
+    "AttrStatistics",
+    "TableStatistics",
+    "PartitionedTableStatistics",
+    "HISTOGRAM_BUCKETS",
+]
 
 HISTOGRAM_BUCKETS = 16
 
@@ -121,6 +126,51 @@ class TableStatistics:
         return (
             f"<Stats {self.name!r}: {self.row_count} rows, "
             f"{len(self.attrs)} attrs>"
+        )
+
+
+class PartitionedTableStatistics(TableStatistics):
+    """Table-level statistics plus one :class:`TableStatistics` per
+    partition segment (DESIGN.md §10).
+
+    The engine maintains both on every committed write: the global stats
+    keep every existing consumer working unchanged, while the
+    per-partition ones let cardinality estimation sum row counts (and
+    read attribute distributions) over only the partitions a pruned
+    filter will actually scan.
+    """
+
+    def __init__(self, name: str, n_partitions: int):
+        super().__init__(name)
+        self.partitions = [
+            TableStatistics(f"{name}.p{pid}") for pid in range(n_partitions)
+        ]
+
+    def on_write(
+        self,
+        old_data: Any,
+        new_data: Any,
+        old_pid: int | None = None,
+        new_pid: int | None = None,
+    ) -> None:
+        super().on_write(old_data, new_data)
+        if old_pid is not None and old_data is not TOMBSTONE:
+            self.partitions[old_pid].on_write(old_data, TOMBSTONE)
+        if new_pid is not None and new_data is not TOMBSTONE:
+            self.partitions[new_pid].on_write(TOMBSTONE, new_data)
+
+    def partition(self, pid: int) -> TableStatistics:
+        return self.partitions[pid]
+
+    def rows_in(self, pids: Any) -> int:
+        """Total row count over a set of (surviving) partitions."""
+        return sum(self.partitions[pid].row_count for pid in pids)
+
+    def __repr__(self) -> str:
+        counts = "/".join(str(p.row_count) for p in self.partitions)
+        return (
+            f"<PartitionedStats {self.name!r}: {self.row_count} rows "
+            f"({counts})>"
         )
 
 

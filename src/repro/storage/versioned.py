@@ -41,6 +41,11 @@ class Version:
 class VersionedTable:
     """A multi-versioned key → attribute-dict store."""
 
+    #: Overridden by :class:`repro.partition.table.PartitionedTable`;
+    #: a class flag keeps the hot commit path free of isinstance probes
+    #: against a lazily-imported subclass.
+    is_partitioned = False
+
     def __init__(self, name: str, key_name: str | tuple[str, ...] | None = None):
         self.name = name
         self.key_name = key_name

@@ -87,16 +87,32 @@ class RetailData:
         )
         return db
 
-    def to_stored_database(self, name: str = "retail") -> Any:
-        """Transactional stored database (MVCC engine underneath)."""
+    def to_stored_database(
+        self, name: str = "retail", partition_customers: Any = None
+    ) -> Any:
+        """Transactional stored database (MVCC engine underneath).
+
+        ``partition_customers`` optionally hash/range-partitions the
+        customers table (a scheme, spec, or bare partition count) — the
+        substrate of the partition-scan benchmarks (DESIGN.md §10).
+        """
         from repro.database import FunctionalDatabase
 
         db = FunctionalDatabase(name=name)
-        db["customers"] = {
+        customer_rows = {
             row["cid"]: {k: v for k, v in row.items() if k != "cid"}
             for row in self.customers
         }
-        db.engine.table("customers").key_name = "cid"
+        if partition_customers is not None:
+            db.create_table(
+                "customers",
+                rows=customer_rows,
+                key_name="cid",
+                partition_by=partition_customers,
+            )
+        else:
+            db["customers"] = customer_rows
+            db.engine.table("customers").key_name = "cid"
         db["products"] = {
             row["pid"]: {k: v for k, v in row.items() if k != "pid"}
             for row in self.products

@@ -251,6 +251,7 @@ class TestMaintainedView:
         assert set(stats) == {
             "syncs", "commits_consumed", "deltas_applied", "keys_touched",
             "group_refolds", "fallback_recomputes", "diff_refreshes",
+            "partition_skips",
         }
 
     def test_min_delete_refolds_only_affected_group(self, stored_db):

@@ -1,0 +1,395 @@
+"""Differential suite: partitioned ≡ unpartitioned execution.
+
+The operator zoo runs over the same data stored four ways — hash(2),
+hash(4), hash(8) on ``state``, and range-partitioned on ``age`` — under
+both ``REPRO_PARALLEL`` modes, and every combination must produce the
+result set of the unpartitioned serial baseline. Within one database the
+two modes must additionally agree on *enumeration order* (scatter–gather
+merges in partition order, which is the partitioned table's own serial
+order). Transactional DML — commits, partition-moving updates, deletes,
+and rollbacks — interleaves with queries in the second half, including a
+true concurrent writer thread against parallel scans.
+"""
+
+import threading
+
+import pytest
+
+import repro as fql
+from repro.fdm import values_equal
+from repro.partition import hash_partition, range_partition, using_parallel_mode
+
+STATES = ["NY", "CA", "TX", "WA", "MA", "IL"]
+
+SCHEMES = {
+    "hash2": lambda: hash_partition("state", 2),
+    "hash4": lambda: hash_partition("state", 4),
+    "hash8": lambda: hash_partition("state", 8),
+    "range_age": lambda: range_partition("age", [30, 50, 70]),
+}
+
+
+def _rows(n=60):
+    return {
+        i: {
+            "name": f"c{i}",
+            "age": 18 + (i * 17) % 70,
+            "state": STATES[i % len(STATES)],
+        }
+        for i in range(1, n + 1)
+    }
+
+
+def _region_rows():
+    return {
+        i: {"state": s, "region": "east" if s in ("NY", "MA") else "west"}
+        for i, s in enumerate(STATES, start=1)
+    }
+
+
+def _build_db(name, scheme=None):
+    db = fql.connect(name, default=False)
+    if scheme is None:
+        db["customers"] = _rows()
+        db.engine.table("customers").key_name = "cid"
+        db["regions"] = _region_rows()
+        db.engine.table("regions").key_name = "rid"
+    else:
+        db.create_table(
+            "customers", rows=_rows(), key_name="cid", partition_by=scheme
+        )
+        db.create_table(
+            "regions", rows=_region_rows(), key_name="rid",
+            partition_by=scheme if scheme.attr == "state" else None,
+        )
+    return db
+
+
+def _canon_value(value, sort_lists=False):
+    if isinstance(value, fql.fdm.FDMFunction) and value.is_enumerable:
+        return {
+            k: _canon_value(v, sort_lists) for k, v in value.items()
+        }
+    if sort_lists and isinstance(value, list):
+        # Collect() reflects enumeration order, which is physical: a
+        # partitioned table enumerates segment-by-segment. Cross-database
+        # comparison is order-free; same-database mode comparison is not.
+        return sorted(value, key=repr)
+    if sort_lists and isinstance(value, float):
+        # float folds (Welford stddev) are order-sensitive in the last
+        # ulps; physical layouts enumerate in different orders
+        return round(value, 9)
+    return value
+
+
+def _canon(fn):
+    """Order-independent canonical snapshot (cross-database compare)."""
+    return sorted(
+        (
+            (repr(key), _canon_value(value, sort_lists=True))
+            for key, value in fn.items()
+        ),
+        key=lambda kv: kv[0],
+    )
+
+
+def _ordered(fn):
+    """Order-preserving snapshot (same-database mode compare)."""
+    return [(key, _canon_value(value)) for key, value in fn.items()]
+
+
+#: Entries whose *scalar* results depend on enumeration order (First):
+#: equal within one database across modes, but legitimately different
+#: between physical layouts — the cross-database tests skip them.
+CROSS_DB_SKIP = {"agg_first"}
+
+
+ZOO = {
+    "filter_eq_state": lambda db: fql.filter(db.customers, state="NY"),
+    "filter_in": lambda db: fql.filter(
+        db.customers, "state in ['CA', 'TX']"
+    ),
+    "filter_age_range": lambda db: fql.filter(
+        db.customers, "age between 30 and 55"
+    ),
+    "filter_opaque": lambda db: fql.filter(
+        lambda e: e.age % 3 == 0, db.customers
+    ),
+    "filter_conj": lambda db: fql.filter(
+        fql.filter(db.customers, "age > 25"), state="WA"
+    ),
+    "project": lambda db: fql.project(db.customers, ["age", "state"]),
+    "rename": lambda db: fql.rename(db.customers, age="years"),
+    "map_over_filter": lambda db: fql.project(
+        fql.filter(db.customers, "age >= 40"), ["name", "age"]
+    ),
+    "order_by_age": lambda db: fql.order_by(db.customers, "age"),
+    "limit": lambda db: fql.limit(
+        fql.order_by(db.customers, "age", reverse=True), 7
+    ),
+    "group_by_state": lambda db: fql.group(by=["state"], input=db.customers),
+    "agg_decomposable": lambda db: fql.group_and_aggregate(
+        by=["state"],
+        n=fql.Count(),
+        total=fql.Sum("age"),
+        avg=fql.Avg("age"),
+        lo=fql.Min("age"),
+        hi=fql.Max("age"),
+        input=db.customers,
+    ),
+    "agg_holistic": lambda db: fql.group_and_aggregate(
+        by=["state"],
+        ages=fql.Collect("age"),
+        med=fql.Median("age"),
+        uniq=fql.CountDistinct("age"),
+        input=db.customers,
+    ),
+    "agg_first": lambda db: fql.group_and_aggregate(
+        by=["state"], first=fql.First("name"), input=db.customers
+    ),
+    "agg_stddev_fallback": lambda db: fql.group_and_aggregate(
+        by=["state"], sd=fql.StdDev("age"), input=db.customers
+    ),
+    "agg_over_filter": lambda db: fql.group_and_aggregate(
+        by=["state"], n=fql.Count(),
+        input=fql.filter(db.customers, "age > 30"),
+    ),
+    "agg_global": lambda db: fql.group_and_aggregate(
+        by=[], n=fql.Count(), total=fql.Sum("age"), input=db.customers
+    ),
+    "join_explicit": lambda db: fql.join(
+        fql.subdatabase(db, relations=["customers", "regions"]),
+        on=[["customers.state", "regions.state"]],
+    ),
+    "union": lambda db: fql.union(
+        fql.filter(db.customers, "age < 30"),
+        fql.filter(db.customers, "age >= 70"),
+    ),
+    "intersect": lambda db: fql.intersect(
+        fql.filter(db.customers, "age > 25"),
+        fql.filter(db.customers, state="NY"),
+    ),
+    "minus": lambda db: fql.minus(
+        db.customers, fql.filter(db.customers, "age < 40")
+    ),
+}
+
+
+@pytest.fixture(scope="module")
+def baseline_results():
+    db = _build_db("diff-baseline")
+    with using_parallel_mode("off"):
+        return {name: _canon(build(db)) for name, build in ZOO.items()}
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+@pytest.mark.parametrize("mode", ["on", "off"])
+def test_operator_zoo_matches_baseline(scheme_name, mode, baseline_results):
+    db = _build_db(f"diff-{scheme_name}-{mode}", SCHEMES[scheme_name]())
+    with using_parallel_mode(mode):
+        for name, build in ZOO.items():
+            if name in CROSS_DB_SKIP:
+                continue
+            got = _canon(build(db))
+            assert got == baseline_results[name], (
+                f"{name} under {scheme_name}/{mode} diverged"
+            )
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+def test_modes_agree_on_enumeration_order(scheme_name):
+    db = _build_db(f"order-{scheme_name}", SCHEMES[scheme_name]())
+    for name, build in ZOO.items():
+        with using_parallel_mode("on"):
+            parallel = _ordered(build(db))
+        with using_parallel_mode("off"):
+            serial = _ordered(build(db))
+        assert parallel == serial, (
+            f"{name} under {scheme_name}: parallel order diverged"
+        )
+
+
+def test_copartitioned_join_runs_partition_local():
+    """Both sides hash(state): the join plan slices both atoms."""
+    scheme = hash_partition("state", 4)
+    db = _build_db("copart", scheme)
+    expr = fql.join(
+        fql.subdatabase(db, relations=["customers", "regions"]),
+        on=[["customers.state", "regions.state"]],
+    )
+    from repro.exec import pipeline_for
+    from repro.partition.parallel import ScatterGatherNode
+
+    with using_parallel_mode("on"):
+        pipeline = pipeline_for(expr)
+        assert isinstance(pipeline.root, ScatterGatherNode)
+        assert "local=regions" in pipeline.root.merge.label
+        got = _canon(expr)
+    with using_parallel_mode("off"):
+        assert _canon(expr) == got
+
+
+# ---------------------------------------------------------------------------
+# DML, transactions, rollbacks
+# ---------------------------------------------------------------------------
+
+
+def _dml_script(db):
+    """Committed inserts, a partition-moving update, and a delete."""
+    db.customers[1000] = {"name": "new", "age": 33, "state": "NY"}
+    db.customers[2]["state"] = "WA"  # moves between hash partitions
+    db.customers[2]["age"] = 75  # moves between range partitions
+    del db.customers[3]
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+@pytest.mark.parametrize("mode", ["on", "off"])
+def test_dml_keeps_parity(scheme_name, mode):
+    plain = _build_db(f"dml-plain-{scheme_name}-{mode}")
+    part = _build_db(f"dml-part-{scheme_name}-{mode}", SCHEMES[scheme_name]())
+    with using_parallel_mode(mode):
+        _dml_script(plain)
+        _dml_script(part)
+        for name, build in ZOO.items():
+            if name in CROSS_DB_SKIP:
+                continue
+            assert _canon(build(part)) == _canon(build(plain)), (
+                f"{name} diverged after DML under {scheme_name}/{mode}"
+            )
+
+
+@pytest.mark.parametrize("mode", ["on", "off"])
+def test_rollback_reverts_partitioned_queries(mode):
+    db = _build_db(f"rb-{mode}", hash_partition("state", 4))
+    expr = fql.filter(db.customers, state="NY")
+    agg = fql.group_and_aggregate(
+        by=["state"], n=fql.Count(), input=db.customers
+    )
+    with using_parallel_mode(mode):
+        before_filter, before_agg = _canon(expr), _canon(agg)
+        txn = db.begin()
+        try:
+            db.customers[500] = {"name": "ghost", "age": 40, "state": "NY"}
+            db.customers[4]["state"] = "NY"
+            del db.customers[7]
+            # inside the transaction: buffered writes are visible (the
+            # executor must route around the thread-bound buffer)
+            inside = dict(_canon(expr))
+            assert "500" in inside
+        finally:
+            txn.rollback()
+        assert _canon(expr) == before_filter
+        assert _canon(agg) == before_agg
+
+
+@pytest.mark.parametrize("mode", ["on", "off"])
+def test_conflicting_writers_and_aborts(mode):
+    db = _build_db(f"conflict-{mode}", hash_partition("state", 4))
+    with using_parallel_mode(mode):
+        t1 = db.begin()
+        db.customers[5]["age"] = 21
+        t1.pause()
+        t2 = db.begin()
+        db.customers[5]["age"] = 22
+        t2.commit()
+        t1.resume()
+        with pytest.raises(fql.errors.TransactionConflictError):
+            t1.commit()
+        # the aborted write never surfaces anywhere
+        assert db.customers(5)("age") == 22
+        assert dict(_canon(db.customers))[repr(5)]["age"] == 22
+
+
+def test_open_txn_on_broadcast_side_forces_serial_join():
+    """Worker threads cannot see any caller transaction buffer — a
+    transaction on the *broadcast* atom's database (a different engine)
+    must also force the serial path, both at plan and execution time."""
+    part = fql.connect("bcast-part", default=False)
+    part.create_table(
+        "orders",
+        rows={i: {"state": STATES[i % len(STATES)], "qty": i}
+              for i in range(1, 25)},
+        key_name="oid",
+        partition_by=hash_partition("state", 4),
+    )
+    other = fql.connect("bcast-other", default=False)
+    other["regions"] = _region_rows()
+    other.engine.table("regions").key_name = "rid"
+    db = fql.fdm.database(
+        {"orders": part.orders, "regions": other.regions}, name="xdb"
+    )
+    expr = fql.join(db, on=[["orders.state", "regions.state"]])
+    with using_parallel_mode("on"):
+        baseline = _canon(expr)
+        txn = other.begin()
+        try:
+            rid = next(
+                k for k, t in other.regions.items() if t("state") == "NY"
+            )
+            del other.regions[rid]
+            inside = _canon(expr)  # buffered delete must be visible
+            assert len(inside) < len(baseline)
+        finally:
+            txn.rollback()
+        assert _canon(expr) == baseline
+
+
+def test_concurrent_writer_thread_against_parallel_scans():
+    """A committing writer races parallel scatter-gather readers.
+
+    Snapshot isolation still holds per read: every scanned row is a
+    committed version, and the final scan agrees with the serial path.
+    """
+    db = _build_db("race", hash_partition("state", 4))
+    stop = threading.Event()
+    errors = []
+
+    def writer():
+        i = 0
+        while not stop.is_set() and i < 300:
+            i += 1
+            try:
+                key = (i % 60) + 1
+                if key in db.customers:
+                    db.customers[key]["state"] = STATES[i % len(STATES)]
+                else:
+                    db.customers[key] = {
+                        "name": f"w{i}", "age": 20, "state": "NY"
+                    }
+            except fql.errors.TransactionConflictError:
+                pass
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+                return
+
+    thread = threading.Thread(target=writer)
+    thread.start()
+    try:
+        with using_parallel_mode("on"):
+            for _ in range(40):
+                rows = dict(fql.filter(db.customers, "age >= 18").items())
+                for key, value in rows.items():
+                    assert value("state") in STATES  # never a torn row
+    finally:
+        stop.set()
+        thread.join()
+    assert not errors
+    with using_parallel_mode("on"):
+        parallel_final = _canon(db.customers)
+    with using_parallel_mode("off"):
+        serial_final = _canon(db.customers)
+    assert parallel_final == serial_final
+
+
+def test_values_stay_extensionally_equal_across_paths():
+    """Sliced scans yield tuple snapshots, serial scans BoundTuples —
+    extensional equality is the contract."""
+    db = _build_db("ext", hash_partition("state", 4))
+    expr = fql.filter(db.customers, state="CA")
+    with using_parallel_mode("on"):
+        parallel = dict(expr.items())
+    with using_parallel_mode("off"):
+        serial = dict(expr.items())
+    assert set(parallel) == set(serial)
+    for key in parallel:
+        assert values_equal(parallel[key], serial[key])
