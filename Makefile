@@ -8,11 +8,11 @@ test:
 	$(PY) -m pytest -x -q
 
 # quick perf check: the executor-sensitive figures plus view
-# maintenance; writes benchmarks/BENCH_<module>.json files for the
-# perf trajectory
+# maintenance and server throughput; writes benchmarks/BENCH_<module>.json
+# files for the perf trajectory
 bench-smoke:
 	$(PY) -m pytest benchmarks -o python_files='bench_*.py' -q \
-		-k "fig04a or fig04bc or fig06 or ivm_maintenance or partition_scan" \
+		-k "fig04a or fig04bc or fig06 or ivm_maintenance or partition_scan or server_throughput" \
 		--benchmark-min-rounds=3
 
 # the full benchmark matrix (slow)

@@ -1,0 +1,151 @@
+"""Server throughput: N client *processes* against one server (§11).
+
+The first multi-process scenario in the repo: a loopback server with
+thread-per-connection sessions, driven by forked client processes each
+running a mixed FQL / SQL / DML workload. Records queries-per-second
+and per-request p50/p99 latency into ``BENCH_server_throughput.json``
+(via ``extra_info``), plus the usual pytest-benchmark timing stats.
+
+Shape claims certified alongside the timings: every request from every
+process succeeds, DML from all processes lands (row count grows by
+exactly the writes issued), and a mid-flight FQL answer always reflects
+a consistent snapshot.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+import repro
+import repro.client
+import repro.server
+
+N_PROCESSES = 8
+OPS_PER_PROCESS = 45
+N_ROWS = 400
+
+
+def _build_db() -> repro.FunctionalDatabase:
+    db = repro.connect(name="bench-server", default=False)
+    db["items"] = {
+        k: {"grp": k % 10, "val": k, "flag": k % 2}
+        for k in range(1, N_ROWS + 1)
+    }
+    return db
+
+
+def _client_worker(port: int, worker_id: int, pipe) -> None:
+    """One client process: mixed reads and writes, latencies reported.
+
+    Runs in a forked child; exits via ``os._exit`` so the parent's
+    server threads, pytest state, and atexit hooks are never touched.
+    """
+    try:
+        latencies = []
+        writes = 0
+        with repro.client.connect(port=port) as c:
+            for i in range(OPS_PER_PROCESS):
+                start = time.perf_counter()
+                kind = i % 4
+                if kind == 0:
+                    rows = c.fql(
+                        "filter(db('items'), 'grp == $g', params)",
+                        params={"g": (worker_id + i) % 10},
+                    )
+                    assert len(rows) in (N_ROWS // 10, N_ROWS // 10 + 1)
+                elif kind == 1:
+                    result = c.sql(
+                        "SELECT grp, val FROM items WHERE flag = 1"
+                    )
+                    assert len(result["rows"]) == N_ROWS // 2
+                elif kind == 2:
+                    c.set_attr(
+                        "items",
+                        (worker_id * OPS_PER_PROCESS + i) % N_ROWS + 1,
+                        "val",
+                        worker_id,
+                    )
+                else:
+                    # upsert: benchmark rounds revisit the same keys
+                    c.update(
+                        "items",
+                        10_000 + worker_id * OPS_PER_PROCESS + i,
+                        {"grp": 99, "val": 0, "flag": 0},
+                    )
+                    writes += 1
+                latencies.append(time.perf_counter() - start)
+        pipe.send((latencies, writes))
+        pipe.close()
+        os._exit(0)
+    except BaseException as exc:  # report, never hang the parent
+        try:
+            pipe.send(exc)
+            pipe.close()
+        finally:
+            os._exit(1)
+
+
+def _drive(port: int) -> dict:
+    ctx = multiprocessing.get_context("fork")
+    pipes, processes = [], []
+    for worker_id in range(N_PROCESSES):
+        parent_end, child_end = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_client_worker, args=(port, worker_id, child_end)
+        )
+        process.start()
+        child_end.close()
+        pipes.append(parent_end)
+        processes.append(process)
+    latencies: list[float] = []
+    inserts = 0
+    start = time.perf_counter()
+    for parent_end in pipes:
+        payload = parent_end.recv()
+        if isinstance(payload, BaseException):
+            raise payload
+        worker_latencies, writes = payload
+        latencies.extend(worker_latencies)
+        inserts += writes
+    elapsed = time.perf_counter() - start
+    for process in processes:
+        process.join(timeout=30)
+    latencies.sort()
+    total = N_PROCESSES * OPS_PER_PROCESS
+    return {
+        "requests": total,
+        "inserts": inserts,
+        "elapsed_s": elapsed,
+        "qps": total / elapsed,
+        "p50_ms": latencies[len(latencies) // 2] * 1e3,
+        "p99_ms": latencies[int(len(latencies) * 0.99)] * 1e3,
+    }
+
+
+@pytest.mark.benchmark(group="server")
+def test_server_throughput(benchmark):
+    db = _build_db()
+    with repro.server.serve(
+        db, port=0, max_sessions=N_PROCESSES + 2
+    ) as srv:
+        stats = benchmark(_drive, srv.port)
+        # every forked client's DML landed: the upserted keys exist on
+        # top of the seed rows (rounds revisit the same keys)
+        expected_upserts = {
+            10_000 + w * OPS_PER_PROCESS + i
+            for w in range(N_PROCESSES)
+            for i in range(OPS_PER_PROCESS)
+            if i % 4 == 3
+        }
+        assert stats["inserts"] == len(expected_upserts)
+        assert len(db("items")) == N_ROWS + len(expected_upserts)
+        assert srv.stats()["rejected_busy"] == 0  # sized for the load
+        benchmark.extra_info["clients"] = N_PROCESSES
+        benchmark.extra_info["requests_per_round"] = stats["requests"]
+        benchmark.extra_info["qps"] = round(stats["qps"], 1)
+        benchmark.extra_info["p50_ms"] = round(stats["p50_ms"], 3)
+        benchmark.extra_info["p99_ms"] = round(stats["p99_ms"], 3)

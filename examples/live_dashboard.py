@@ -1,0 +1,119 @@
+"""A live dashboard over the network (DESIGN.md §11).
+
+Run:  python examples/live_dashboard.py
+
+One process, three roles: a server exposing a functional database on a
+loopback port, a *dashboard* client that SUBSCRIBEs to a revenue-by-
+region maintained view, and a *feed* client that commits orders. Every
+commit flows through the incremental-view-maintenance rules server-side
+and the applied delta — not a recomputed result — is pushed to the
+dashboard, which folds it into its local mirror. At the end the
+server's STATS verb shows the subscription was maintained purely by
+deltas: zero fallback recomputes, zero diff refreshes.
+"""
+
+import threading
+import time
+
+import repro
+import repro.client
+import repro.server
+
+REGIONS = ("north", "south", "east", "west")
+
+
+def build_database() -> repro.FunctionalDatabase:
+    db = repro.connect(name="shop", default=False)
+    db["orders"] = {
+        1: {"region": "north", "amount": 120.0},
+        2: {"region": "south", "amount": 80.0},
+        3: {"region": "north", "amount": 45.0},
+    }
+    return db
+
+
+def feed(port: int, n_batches: int) -> None:
+    """The order feed: transactional batches through a second client."""
+    with repro.client.connect(port=port) as c:
+        next_key = 4
+        for batch in range(n_batches):
+            c.begin()
+            for i in range(2):
+                c.insert(
+                    "orders",
+                    next_key,
+                    {
+                        "region": REGIONS[(batch + i) % len(REGIONS)],
+                        "amount": 25.0 * (batch + 1),
+                    },
+                )
+                next_key += 1
+            c.commit()  # one push per commit, not per row
+            time.sleep(0.05)
+
+
+def show(snapshot: dict) -> None:
+    for region in sorted(snapshot):
+        row = snapshot[region]
+        print(
+            f"    {region:<6} revenue={row['revenue']:8.1f}  "
+            f"orders={row['n']:>2}"
+        )
+
+
+def main() -> None:
+    db = build_database()
+    with repro.server.serve(db, port=0) as srv:
+        print(f"server on 127.0.0.1:{srv.port}")
+        with repro.client.connect(port=srv.port) as dashboard:
+            sub = dashboard.subscribe(
+                "group_and_aggregate(by='region', revenue=Sum('amount'), "
+                "n=Count(), input=db('orders'))",
+                name="revenue_by_region",
+            )
+            print("initial snapshot (pushed with the SUBSCRIBE reply):")
+            show(sub.snapshot)
+
+            writer = threading.Thread(
+                target=feed, args=(srv.port, 4), daemon=True
+            )
+            writer.start()
+            deadline = time.monotonic() + 10.0
+            while writer.is_alive() or dashboard.poll(0):
+                events = sub.wait(timeout=0.5)
+                for event in events:
+                    if event["event"] == "delta":
+                        touched = ", ".join(
+                            str(change["key"]) for change in event["changes"]
+                        )
+                        print(f"  delta pushed (groups: {touched}):")
+                    else:
+                        print("  resync pushed:")
+                    show(sub.snapshot)
+                if time.monotonic() > deadline:
+                    break
+            writer.join(timeout=5)
+
+            maintenance = dashboard.stats()["session"]["subscriptions"][
+                "revenue_by_region"
+            ]
+            print("\nmaintenance stats (server-side view):")
+            for field in (
+                "syncs",
+                "deltas_applied",
+                "keys_touched",
+                "fallback_recomputes",
+                "diff_refreshes",
+            ):
+                print(f"    {field:<20} {maintenance[field]}")
+            assert maintenance["fallback_recomputes"] == 0
+            total = sum(r["revenue"] for r in sub.snapshot.values())
+            local = sum(
+                db.orders(k)("amount") for k in db.orders.keys()
+            )
+            print(f"\nmirror total {total:.1f} == database total {local:.1f}")
+            assert abs(total - local) < 1e-9
+
+
+if __name__ == "__main__":
+    main()

@@ -53,6 +53,17 @@ from repro import storage, txn, types, workloads  # noqa: F401
 
 __version__ = "1.0.0"
 
+
+def __getattr__(name: str):
+    # the client/server subsystem (DESIGN.md §11) loads lazily: most
+    # embedded uses never open a socket, and the server package imports
+    # half the library back
+    if name in ("server", "client"):
+        import importlib
+
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
 __all__ = (
     list(_fdm_all)
     + list(_fql_all)
@@ -74,6 +85,8 @@ __all__ = (
         "range_partition",
         "set_parallel_mode",
         "using_parallel_mode",
+        "client",
+        "server",
         "errors",
         "fdm",
         "fql",

@@ -70,6 +70,29 @@ def normalize_key(key: Any) -> Any:
     return key
 
 
+def encode_tuple_key(key: Any, element: Any = None) -> Any:
+    """JSON-safe envelope for (possibly nested) tuple keys.
+
+    Tuples become ``{"__tuple__": [...]}`` so they survive JSON and
+    decode back to real tuples; non-tuple components pass through
+    *element* (identity by default). One codec serves both the WAL and
+    the wire protocol — the two must never drift apart, or replayed
+    logs and remote results would disagree about key identity.
+    """
+    if isinstance(key, tuple):
+        return {"__tuple__": [encode_tuple_key(k, element) for k in key]}
+    return key if element is None else element(key)
+
+
+def decode_tuple_key(key: Any, element: Any = None) -> Any:
+    """Invert :func:`encode_tuple_key`."""
+    if isinstance(key, dict) and "__tuple__" in key:
+        return tuple(
+            decode_tuple_key(k, element) for k in key["__tuple__"]
+        )
+    return key if element is None else element(key)
+
+
 def is_identifier(text: str) -> bool:
     """True if *text* can be used with attribute (dot) syntax."""
     return isinstance(text, str) and text.isidentifier()

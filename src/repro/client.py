@@ -1,0 +1,410 @@
+"""``repro.client`` — the network face of the functional database.
+
+:func:`connect` opens a :class:`RemoteDatabase`: a synchronous client
+speaking the length-prefixed JSON protocol of :mod:`repro.server`
+(DESIGN.md §11). Queries ship as FQL expression text evaluated against
+the server's database (``db`` in the expression namespace), parameters
+bind server-side to finished predicate syntax trees (injection-safe end
+to end), SQL SELECTs run against a snapshot-consistent relational
+mirror, and transactions span round trips with first-committer-wins
+conflicts raising the same :class:`~repro.errors.
+TransactionConflictError` a local commit would::
+
+    import repro.client
+
+    with repro.client.connect(port=7878) as db:
+        rows = db.fql("filter(db('customers'), 'age > $min', params)",
+                      params={"min": 40})
+        db.begin()
+        db.set_attr("customers", 1, "age", 48)
+        db.commit()
+
+Live subscriptions register a maintained view server-side; per-commit
+deltas arrive as push frames, drained by :meth:`RemoteDatabase.poll`
+(or implicitly whenever a response is read) and folded into the
+subscription's local snapshot mirror by
+:meth:`RemoteSubscription.apply`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import select
+import socket
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro._util import MISSING
+from repro.errors import ConnectionClosedError
+from repro.server import protocol
+
+__all__ = ["RemoteDatabase", "RemoteSubscription", "connect"]
+
+
+class RemoteSubscription:
+    """A live view subscription plus its client-side snapshot mirror."""
+
+    def __init__(self, client: "RemoteDatabase", sid: int, name: str,
+                 snapshot: dict, incremental: bool):
+        self.client = client
+        self.sid = sid
+        self.name = name
+        #: Local mirror of the server-side maintained view, kept
+        #: current by :meth:`apply`.
+        self.snapshot = dict(snapshot)
+        self.incremental = incremental
+        self.events_seen = 0
+
+    def apply(self, events: list[dict[str, Any]]) -> int:
+        """Fold pushed delta events into the local mirror.
+
+        :meth:`RemoteDatabase.poll` already routes every event to its
+        subscription, so callers rarely need this directly; it stays
+        public (and idempotent — re-applying a delta sets the same
+        state) for replaying saved event streams. Events belonging to
+        other subscriptions are ignored; returns the number applied.
+        """
+        applied = 0
+        for event in events:
+            if event.get("sid") != self.sid:
+                continue
+            applied += 1
+            self.events_seen += 1
+            if event["event"] == "resync":
+                self.snapshot = dict(event["snapshot"])
+                continue
+            for change in event["changes"]:
+                if change["new"] is None and change["deleted"]:
+                    self.snapshot.pop(change["key"], None)
+                else:
+                    self.snapshot[change["key"]] = change["new"]
+        return applied
+
+    def wait(self, timeout: float = 5.0) -> list[dict[str, Any]]:
+        """Poll until at least one event for this subscription arrives
+        (or *timeout* elapses). Every polled event is routed to its own
+        subscription's mirror; this subscription's events are returned.
+        """
+        deadline = time.monotonic() + timeout
+        mine: list[dict[str, Any]] = []
+        while not mine:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            events = self.client.poll(timeout=remaining)
+            mine = [e for e in events if e.get("sid") == self.sid]
+        return mine
+
+    def unsubscribe(self) -> None:
+        self.client.unsubscribe(self.sid)
+
+
+class RemoteDatabase:
+    """A synchronous client connection to a :mod:`repro.server`."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7878,
+        connect_timeout: float = 10.0,
+    ):
+        self._sock = socket.create_connection(
+            (host, port), timeout=connect_timeout
+        )
+        self._ids = itertools.count(1)
+        self._lock = threading.RLock()
+        self._pushes: deque[dict[str, Any]] = deque()
+        self._subs: dict[int, RemoteSubscription] = {}
+        self._closed = False
+        try:
+            # the handshake stays under connect_timeout: an overloaded
+            # server that neither admits nor refuses within it surfaces
+            # as a timeout here, not as an indefinite hang
+            self.server_info = self._call({"verb": "hello"})
+        except BaseException:
+            self._closed = True
+            self._sock.close()
+            raise
+        self._sock.settimeout(None)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _call(self, payload: dict[str, Any]) -> Any:
+        """One request/response round trip; buffers interleaved pushes."""
+        with self._lock:
+            if self._closed:
+                raise ConnectionClosedError("client is closed")
+            request_id = next(self._ids)
+            payload["id"] = request_id
+            protocol.send_frame(self._sock, payload)
+            while True:
+                frame = protocol.recv_frame(self._sock)
+                if frame is None:
+                    self._closed = True
+                    raise ConnectionClosedError(
+                        "server closed the connection"
+                    )
+                if "push" in frame:
+                    self._pushes.append(self._decode_push(frame))
+                    continue
+                if frame.get("id") is None and not frame.get("ok", True):
+                    # connection-fatal refusal (admission shedding)
+                    self._closed = True
+                    protocol.raise_remote(frame.get("error") or {})
+                if frame.get("id") != request_id:
+                    continue  # stale frame from an aborted exchange
+                if frame.get("ok"):
+                    return frame.get("result")
+                protocol.raise_remote(frame.get("error") or {})
+
+    @staticmethod
+    def _decode_push(frame: dict[str, Any]) -> dict[str, Any]:
+        event: dict[str, Any] = {
+            "event": frame["push"],
+            "sid": frame.get("sid"),
+            "name": frame.get("name"),
+        }
+        if frame["push"] == "resync":
+            event["snapshot"] = protocol.decode_value(
+                frame.get("snapshot")
+            )
+            return event
+        changes = []
+        for key, old, new in frame.get("changes", ()):
+            old_v = protocol.decode_value(old)
+            new_v = protocol.decode_value(new)
+            changes.append(
+                {
+                    "key": protocol.decode_key(key),
+                    "old": None if old_v is MISSING else old_v,
+                    "new": None if new_v is MISSING else new_v,
+                    "inserted": old_v is MISSING,
+                    "deleted": new_v is MISSING,
+                }
+            )
+        event["changes"] = changes
+        return event
+
+    # -- queries -----------------------------------------------------------------
+
+    def fql(
+        self,
+        expr: str,
+        params: dict[str, Any] | None = None,
+        max_rows: int | None = None,
+    ) -> Any:
+        """Evaluate an FQL expression server-side; returns plain data
+        (relations decode to ``{key: row}`` dicts)."""
+        return protocol.decode_value(
+            self._call(
+                {
+                    "verb": "fql",
+                    "expr": expr,
+                    "params": params or {},
+                    "max_rows": max_rows,
+                }
+            )
+        )
+
+    query = fql  # spelled both ways
+
+    def sql(
+        self, sql: str, params: list[Any] | None = None
+    ) -> dict[str, Any]:
+        """Run a SELECT; returns ``{"columns": [...], "rows": [...]}``
+        with NULLs as ``None``."""
+        result = self._call(
+            {"verb": "sql", "sql": sql, "params": params or []}
+        )
+        result["rows"] = [
+            [protocol.decode_value(v) for v in row]
+            for row in result["rows"]
+        ]
+        return result
+
+    def explain(self, expr: str | None = None,
+                params: dict[str, Any] | None = None) -> str:
+        """EXPLAIN an expression — or, with no argument, the session's
+        previous FQL statement (plan reuse: the server re-explains the
+        expression it already holds)."""
+        payload: dict[str, Any] = {"verb": "explain"}
+        if expr is not None:
+            payload["expr"] = expr
+            payload["params"] = params or {}
+        return self._call(payload)["explain"]
+
+    def stats(self) -> dict[str, Any]:
+        return self._call({"verb": "stats"})
+
+    def ping(self) -> bool:
+        return bool(self._call({"verb": "ping"}).get("pong"))
+
+    # -- DML ---------------------------------------------------------------------
+
+    def insert(self, table: str, key: Any, row: dict[str, Any]) -> Any:
+        self._dml("insert", table, key=key, row=row)
+        return key
+
+    def add(self, table: str, row: dict[str, Any]) -> Any:
+        """Insert under a server-assigned auto key; returns the key."""
+        result = self._dml("add", table, row=row)
+        return protocol.decode_key(result["key"])
+
+    def update(self, table: str, key: Any, row: dict[str, Any]) -> None:
+        self._dml("update", table, key=key, row=row)
+
+    def set_attr(self, table: str, key: Any, attr: str, value: Any) -> None:
+        self._dml("set", table, key=key, attr=attr, value=value)
+
+    def delete(self, table: str, key: Any) -> None:
+        self._dml("delete", table, key=key)
+
+    def _dml(self, op: str, table: str, **fields: Any) -> dict[str, Any]:
+        payload: dict[str, Any] = {"verb": "dml", "op": op, "table": table}
+        if "key" in fields:
+            payload["key"] = protocol.encode_key(fields["key"])
+        if "row" in fields:
+            payload["row"] = protocol.encode_value(fields["row"])
+        if "attr" in fields:
+            payload["attr"] = fields["attr"]
+        if "value" in fields:
+            payload["value"] = protocol.encode_value(fields["value"])
+        return self._call(payload)
+
+    # -- transactions ------------------------------------------------------------
+
+    def begin(self) -> dict[str, Any]:
+        """Open a snapshot-isolated transaction spanning round trips."""
+        return self._call({"verb": "begin"})
+
+    def commit(self) -> dict[str, Any]:
+        """First-committer-wins validation happens here; a conflict
+        raises :class:`~repro.errors.TransactionConflictError`."""
+        return self._call({"verb": "commit"})
+
+    def rollback(self) -> dict[str, Any]:
+        return self._call({"verb": "rollback"})
+
+    @contextmanager
+    def transaction(self) -> Iterator["RemoteDatabase"]:
+        """``with db.transaction():`` — commit on success, roll back on
+        error (conflicts propagate after the implicit rollback)."""
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            try:
+                self.rollback()
+            except Exception:
+                pass
+            raise
+        else:
+            self.commit()
+
+    # -- subscriptions -----------------------------------------------------------
+
+    def subscribe(
+        self,
+        expr: str,
+        params: dict[str, Any] | None = None,
+        name: str | None = None,
+        max_rows: int | None = None,
+    ) -> RemoteSubscription:
+        """Register a server-side maintained view over *expr* and
+        stream its per-commit deltas to this connection."""
+        result = self._call(
+            {
+                "verb": "subscribe",
+                "expr": expr,
+                "params": params or {},
+                "name": name,
+                "max_rows": max_rows,
+            }
+        )
+        subscription = RemoteSubscription(
+            self,
+            result["sid"],
+            result["name"],
+            protocol.decode_value(result["snapshot"]),
+            bool(result.get("incremental")),
+        )
+        self._subs[subscription.sid] = subscription
+        return subscription
+
+    def unsubscribe(self, sid: int) -> None:
+        self._subs.pop(sid, None)
+        self._call({"verb": "unsubscribe", "sid": sid})
+
+    def poll(self, timeout: float = 0.0) -> list[dict[str, Any]]:
+        """Drain pushed subscription events (buffered + on the wire).
+
+        Waits up to *timeout* seconds for the first wire event, then
+        keeps draining whatever is immediately readable. Every event is
+        folded into its own subscription's mirror before the whole
+        batch is returned — no subscription's deltas are lost because a
+        different one polled."""
+        with self._lock:
+            events = list(self._pushes)
+            self._pushes.clear()
+            deadline = time.monotonic() + timeout
+            while not self._closed:
+                wait = 0.0 if events else max(0.0, deadline - time.monotonic())
+                readable, _w, _x = select.select([self._sock], [], [], wait)
+                if not readable:
+                    break
+                frame = protocol.recv_frame(self._sock)
+                if frame is None:
+                    self._closed = True
+                    break
+                if "push" in frame:
+                    events.append(self._decode_push(frame))
+                # non-push frames outside a call have no owner; drop
+            for event in events:
+                subscription = self._subs.get(event.get("sid"))
+                if subscription is not None:
+                    subscription.apply([event])
+            return events
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        try:
+            with self._lock:
+                request_id = next(self._ids)
+                protocol.send_frame(
+                    self._sock, {"verb": "bye", "id": request_id}
+                )
+        except OSError:
+            pass
+        finally:
+            self._closed = True
+            self._subs.clear()
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "RemoteDatabase":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:
+        peer = self._sock.getpeername() if not self._closed else "closed"
+        return f"<RemoteDatabase {peer}>"
+
+
+def connect(
+    host: str = "127.0.0.1",
+    port: int = 7878,
+    connect_timeout: float = 10.0,
+) -> RemoteDatabase:
+    """Open a client connection to a running :mod:`repro.server`."""
+    return RemoteDatabase(host, port, connect_timeout=connect_timeout)

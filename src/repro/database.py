@@ -20,6 +20,7 @@ figures works on it:
 
 from __future__ import annotations
 
+import os
 from typing import Any, Iterator, Mapping
 
 from repro._util import normalize_key
@@ -32,6 +33,7 @@ from repro.fdm.relationships import RelationshipFunction
 from repro.fdm.tuples import TupleFunction
 from repro.storage.engine import StorageEngine
 from repro.storage.persist import load_checkpoint, save_checkpoint
+from repro.storage.wal import WriteAheadLog
 from repro.storage.relation import (
     StoredRelationFunction,
     StoredRelationshipFunction,
@@ -46,10 +48,16 @@ class FunctionalDatabase(DatabaseFunction):
 
     def __init__(self, name: str = "DB", wal_path: str | None = None):
         super().__init__(name=name)
-        self._engine = StorageEngine(name=name, wal_path=wal_path)
+        self._engine = _open_engine(name, wal_path)
         self._manager = TransactionManager(self._engine)
-        self._stored: dict[str, FDMFunction] = {}
+        self._stored: dict[str, FDMFunction] = {
+            table_name: StoredRelationFunction(
+                self._engine, self._manager, table_name, name=table_name
+            )
+            for table_name in self._engine.table_names()
+        }
         self._views: dict[str, FDMFunction] = {}
+        self._closed = False
 
     # -- engine access ---------------------------------------------------------------
 
@@ -345,6 +353,86 @@ class FunctionalDatabase(DatabaseFunction):
     def vacuum(self) -> int:
         return self._manager.vacuum()
 
+    # -- lifecycle (DESIGN.md §11) ----------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Flush and release the WAL handle; drop cached plans.
+
+        Idempotent. A closed durable database refuses further commits
+        (the WAL would silently lose them otherwise); reopening is just
+        ``connect(wal_path=same_path)`` — the constructor replays the
+        existing log back into version chains.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._engine.close()
+
+    def __enter__(self) -> "FunctionalDatabase":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self.close()
+        return False
+
+    # -- introspection (DESIGN.md §11: the STATS verb) --------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """One dict describing the runtime state of this database.
+
+        Covers the executor plan cache, per-view maintenance counters,
+        per-table row counts and partition layout, WAL size, changelog
+        depth, and the transaction manager's commit/abort totals —
+        everything a dashboard (or the server's STATS verb) needs
+        without reaching into subsystem internals.
+        """
+        engine = self._engine
+        manager = self._manager
+        views: dict[str, Any] = {}
+        for view_name, view in self._views.items():
+            maintenance = getattr(view, "maintenance_stats", None)
+            if maintenance is not None:
+                views[view_name] = dict(maintenance)
+        changelog = engine.changelog
+        return {
+            "name": self._name,
+            "closed": self._closed,
+            "plan_cache": (
+                engine.plan_cache.stats()
+                if engine.plan_cache is not None
+                else None
+            ),
+            "views": views,
+            "tables": {
+                table_name: self.partition_layout(table_name)
+                for table_name in engine.table_names()
+            },
+            "wal": {
+                "records": len(engine.wal),
+                "bytes": engine.wal.size_bytes(),
+                "path": engine.wal.path,
+            },
+            "changelog": (
+                None
+                if changelog is None
+                else {
+                    "records": len(changelog._records),
+                    "watermark": changelog.watermark,
+                }
+            ),
+            "transactions": {
+                "commits": manager.commits,
+                "aborts": manager.aborts,
+                "active": len(manager._active),
+                "clock": manager.now(),
+            },
+            "versions": engine.version_count(),
+        }
+
     # -- durability ------------------------------------------------------------------------------
 
     def checkpoint(self, path: str) -> None:
@@ -365,6 +453,7 @@ class FunctionalDatabase(DatabaseFunction):
             for table_name in engine.table_names()
         }
         db._views = {}
+        db._closed = False
         return db
 
     def __repr__(self) -> str:
@@ -372,6 +461,29 @@ class FunctionalDatabase(DatabaseFunction):
             f"<FunctionalDatabase {self._name!r}: "
             f"{len(self._stored)} stored, {len(self._views)} views>"
         )
+
+
+def _open_engine(name: str, wal_path: str | None) -> StorageEngine:
+    """A fresh engine — or one recovered from an existing WAL file.
+
+    ``connect(wal_path=p)`` against a non-empty log replays it back
+    into version chains (reopen-after-close), then reattaches the
+    append handle so new commits extend the same file. The WAL records
+    data, not DDL, so recovered tables come back without ``key_name``
+    or partition schemes; ``StorageEngine.recover`` accepts both
+    explicitly for callers that track schema out of band.
+    """
+    if (
+        wal_path is not None
+        and os.path.exists(wal_path)
+        and os.path.getsize(wal_path) > 0
+    ):
+        wal = WriteAheadLog.load(wal_path)
+        engine = StorageEngine.recover(wal, name=name)
+        engine.wal = wal
+        wal.reopen()
+        return engine
+    return StorageEngine(name=name, wal_path=wal_path)
 
 
 def _coerce_stored(row: Any) -> Any:

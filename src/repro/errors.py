@@ -243,6 +243,42 @@ class SQLExecutionError(SQLError, RuntimeError):
 
 
 # ---------------------------------------------------------------------------
+# Client/server (DESIGN.md §11)
+# ---------------------------------------------------------------------------
+
+
+class ServerError(ReproError):
+    """Base class for client/server subsystem errors.
+
+    Errors raised *inside* the server while executing a request travel
+    back over the wire typed by class name; the client re-raises the
+    matching :class:`ReproError` subclass (a conflict aborts the same
+    ``TransactionConflictError`` remotely as locally). Errors about the
+    connection itself derive from this class.
+    """
+
+
+class ProtocolError(ServerError):
+    """A malformed, oversized, or out-of-protocol frame."""
+
+
+class ServerBusyError(ServerError):
+    """The admission queue is full; retry later (backpressure)."""
+
+
+class ConnectionClosedError(ServerError):
+    """The peer closed the connection mid-conversation."""
+
+
+class RemoteError(ServerError):
+    """A server-side failure with no matching local exception class."""
+
+    def __init__(self, type_name: str, message: str):
+        self.type_name = type_name
+        super().__init__(f"{type_name}: {message}")
+
+
+# ---------------------------------------------------------------------------
 # ER model
 # ---------------------------------------------------------------------------
 

@@ -15,6 +15,7 @@ in-memory graphs share a process-wide default cache.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any
 
@@ -24,34 +25,43 @@ __all__ = ["PlanCache", "fingerprint", "cache_for", "default_plan_cache"]
 
 
 class PlanCache:
-    """A small LRU keyed by graph fingerprint, with hit/miss counters."""
+    """A small LRU keyed by graph fingerprint, with hit/miss counters.
+
+    Mutations are lock-protected: one database's cache is shared by
+    every concurrent server session reading through its engine
+    (DESIGN.md §11), so LRU reordering and eviction must not race.
+    """
 
     def __init__(self, maxsize: int = 256):
         self.maxsize = maxsize
         self._entries: OrderedDict[Any, Any] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def get(self, key: Any) -> Any:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: Any, value: Any) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
-        self.hits = self.misses = self.evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -118,7 +128,7 @@ def _version_token(fn: FDMFunction) -> Any:
         manager = fn._manager
         txn = manager.current()
         txn_token = (
-            (txn.start_ts, len(txn.writes)) if txn is not None else None
+            (txn.start_ts, txn.write_seq) if txn is not None else None
         )
         return (
             "stored",

@@ -10,6 +10,7 @@ are held weakly — dropping the last reference unregisters it.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Any
 
@@ -17,32 +18,44 @@ __all__ = ["ViewRegistry", "registry_for"]
 
 
 class ViewRegistry:
-    """Weakly-held maintained views interested in one change source."""
+    """Weakly-held maintained views interested in one change source.
+
+    Registration and pruning are lock-protected: server sessions
+    subscribe and unsubscribe views concurrently with commit
+    notifications from other sessions (DESIGN.md §11), and the
+    prune-on-read rebuild of the reference list must not drop a
+    registration racing in from another thread.
+    """
 
     def __init__(self) -> None:
         self._refs: list[weakref.ref] = []
+        self._lock = threading.Lock()
 
     def register(self, view: Any) -> None:
-        if view not in self.views():
+        with self._lock:
+            if any(ref() is view for ref in self._refs):
+                return
             self._refs.append(weakref.ref(view))
 
     def unregister(self, view: Any) -> None:
-        self._refs = [
-            ref for ref in self._refs
-            if ref() is not None and ref() is not view
-        ]
+        with self._lock:
+            self._refs = [
+                ref for ref in self._refs
+                if ref() is not None and ref() is not view
+            ]
 
     def views(self) -> list[Any]:
         """The live registered views (dead references are pruned)."""
-        alive = []
-        refs = []
-        for ref in self._refs:
-            view = ref()
-            if view is not None:
-                alive.append(view)
-                refs.append(ref)
-        self._refs = refs
-        return alive
+        with self._lock:
+            alive = []
+            refs = []
+            for ref in self._refs:
+                view = ref()
+                if view is not None:
+                    alive.append(view)
+                    refs.append(ref)
+            self._refs = refs
+            return alive
 
     def notify_commit(self, commit_ts: int) -> None:
         """Fan a committed transaction out to eager views.

@@ -17,6 +17,7 @@ delta-join probes).
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Any, Iterator
 
@@ -316,7 +317,24 @@ def apply_incremental(view: MaterializedView) -> int | None:
     state.stats.commits_consumed += consumed
     state.stats.deltas_applied += sum(len(d) for d in base.values())
     state.stats.keys_touched += len(delta)
+    if delta:
+        _notify_delta_listeners(view, delta)
     return len(delta)
+
+
+def _notify_delta_listeners(view: MaterializedView, delta: Any) -> None:
+    """Fan an applied view delta out to subscribers (DESIGN.md §11).
+
+    ``delta`` is the :class:`Delta` just patched into the snapshot, or
+    ``None`` after a non-incremental rebuild (the subscriber must
+    resync from the full snapshot). Listener failures never propagate:
+    maintenance correctness cannot depend on a push channel.
+    """
+    for listener in tuple(getattr(view, "_delta_listeners", ()) or ()):
+        try:
+            listener(delta)
+        except Exception:
+            pass
 
 
 def _delta_reaches_view(state: IVMState, leaf_id: int, delta: Delta) -> bool:
@@ -400,6 +418,14 @@ class MaintainedView(MaterializedView):
         )
         self._eager = bool(eager)
         self._in_sync = False
+        #: Serializes maintenance: under a concurrent server, commits
+        #: from many session threads notify eager views simultaneously,
+        #: and reads race them — per-node aux state and the snapshot
+        #: must only ever be patched by one thread at a time. Reentrant
+        #: because nested maintained views sync through their parent.
+        self._sync_lock = threading.RLock()
+        #: Subscription callbacks fed by ``_notify_delta_listeners``.
+        self._delta_listeners: list[Any] = []
         self._register()
 
     # -- registration ------------------------------------------------------------
@@ -444,6 +470,10 @@ class MaintainedView(MaterializedView):
 
     def _maintenance_sync(self) -> int:
         """Consume pending changes; returns snapshot mappings touched."""
+        with self._sync_lock:
+            return self._maintenance_sync_locked()
+
+    def _maintenance_sync_locked(self) -> int:
         if self._in_sync:
             return 0
         state = self._ivm
@@ -482,6 +512,7 @@ class MaintainedView(MaterializedView):
             state.reset()
             state.stats.fallback_recomputes += 1
             state.stats.syncs += 1
+        _notify_delta_listeners(self, None)  # subscribers must resync
 
     def _diff_sync(self) -> int:
         """The ``REPRO_IVM=off`` path: classic scan-and-diff upkeep."""
@@ -499,6 +530,7 @@ class MaintainedView(MaterializedView):
         touched = self._apply_diff(*self._stale_keys_scan())
         if touched:
             self._snapshot_version += 1
+            _notify_delta_listeners(self, None)  # diff path: resync
         if state is not None:
             state.reset()
             state.stats.diff_refreshes += 1
@@ -548,6 +580,21 @@ class MaintainedView(MaterializedView):
             self.last_refresh_changes = touched
             return touched
         return super().refresh(incremental=False)
+
+    def add_delta_listener(self, listener: Any) -> None:
+        """Subscribe to applied deltas (server SUBSCRIBE, DESIGN.md §11).
+
+        *listener* is called with the applied :class:`Delta` after each
+        incremental sync that touched the snapshot, or with ``None``
+        after a full rebuild (the subscriber must re-read the snapshot).
+        """
+        self._delta_listeners.append(listener)
+
+    def remove_delta_listener(self, listener: Any) -> None:
+        try:
+            self._delta_listeners.remove(listener)
+        except ValueError:
+            pass
 
     def maintenance_version(self) -> int:
         """Settle pending maintenance first, so plan-cache fingerprints

@@ -1,0 +1,46 @@
+"""Client/server subsystem: the functional database over a socket.
+
+``serve(db, port)`` exposes one :class:`~repro.database.
+FunctionalDatabase` to concurrent network clients through a
+length-prefixed JSON wire protocol carrying FQL expressions, read-only
+SQL, DML, transaction control (BEGIN/COMMIT/ROLLBACK spanning round
+trips via detachable transactions), EXPLAIN, STATS, and live
+SUBSCRIBE streams fed by the incremental-view-maintenance deltas.
+The matching client lives in :mod:`repro.client`. DESIGN.md §11 is the
+protocol reference.
+"""
+
+from repro.server.protocol import (
+    MAX_FRAME,
+    RemoteRows,
+    decode_key,
+    decode_value,
+    encode_delta,
+    encode_key,
+    encode_value,
+    error_payload,
+    raise_remote,
+    recv_frame,
+    send_frame,
+)
+from repro.server.server import ReproServer, serve
+from repro.server.session import Session, Subscription, compile_fql
+
+__all__ = [
+    "MAX_FRAME",
+    "RemoteRows",
+    "ReproServer",
+    "Session",
+    "Subscription",
+    "compile_fql",
+    "decode_key",
+    "decode_value",
+    "encode_delta",
+    "encode_key",
+    "encode_value",
+    "error_payload",
+    "raise_remote",
+    "recv_frame",
+    "send_frame",
+    "serve",
+]

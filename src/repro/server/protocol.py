@@ -1,0 +1,294 @@
+"""The wire protocol: length-prefixed JSON frames (DESIGN.md §11).
+
+One frame is a 4-byte big-endian length followed by that many bytes of
+UTF-8 JSON. Requests are ``{"id": n, "verb": "...", ...}``; responses
+echo the id with ``{"ok": true, "result": ...}`` or ``{"ok": false,
+"error": {"type": ..., "message": ...}}``. Server-initiated frames —
+subscription deltas — carry ``"push"`` instead of an id and may arrive
+between any request and its response; both sides must tolerate the
+interleaving.
+
+Values cross the boundary through small typed envelopes (``{"@":
+"tuple"}``, ``{"@": "relation"}``, ``{"@": "missing"}``) so that FDM
+results — tuple functions, relations, grouped databases, deltas with
+MISSING endpoints — survive JSON without ambiguity. Errors travel typed
+by exception class name; :func:`raise_remote` rebuilds the matching
+:class:`~repro.errors.ReproError` subclass on the client so a remote
+write-write conflict raises the same ``TransactionConflictError`` a
+local one does.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any
+
+from repro._util import (
+    MISSING,
+    TOMBSTONE,
+    decode_tuple_key,
+    encode_tuple_key,
+)
+from repro.errors import ConnectionClosedError, ProtocolError, RemoteError
+
+__all__ = [
+    "MAX_FRAME",
+    "send_frame",
+    "recv_frame",
+    "encode_key",
+    "decode_key",
+    "encode_value",
+    "decode_value",
+    "encode_delta",
+    "error_payload",
+    "raise_remote",
+    "RemoteRows",
+]
+
+_HEADER = struct.Struct(">I")
+
+#: Upper bound on one frame's JSON body. Large enough for any sane
+#: result page, small enough that a corrupt length prefix cannot make
+#: the receiver allocate gigabytes.
+MAX_FRAME = 64 * 1024 * 1024
+
+#: Envelope-recursion guard: deeper nesting than this is almost
+#: certainly a cyclic structure, not data.
+_MAX_DEPTH = 16
+
+
+# ---------------------------------------------------------------------------
+# Frame codec
+# ---------------------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, payload: dict[str, Any]) -> None:
+    """Serialize *payload* and write one length-prefixed frame."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the {MAX_FRAME}-byte limit"
+        )
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly *n* bytes; ``None`` on a clean EOF at a boundary."""
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            return None
+        buf += chunk
+    return bytes(buf)
+
+
+def recv_frame(sock: socket.socket) -> dict[str, Any] | None:
+    """Read one frame; ``None`` when the peer closed between frames."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"incoming frame claims {length} bytes (limit {MAX_FRAME}); "
+            "stream is corrupt or not speaking this protocol"
+        )
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ConnectionClosedError("connection closed mid-frame")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+# ---------------------------------------------------------------------------
+# Key and value envelopes
+# ---------------------------------------------------------------------------
+
+
+def _encode_key_element(key: Any) -> Any:
+    if key is None or isinstance(key, (bool, int, float, str)):
+        return key
+    # non-JSON key types degrade to their repr — a stable, hashable
+    # stand-in (the WAL's on-disk mirror makes the same tradeoff)
+    return {"@": "repr", "type": type(key).__name__, "repr": repr(key)}
+
+
+def _decode_key_element(key: Any) -> Any:
+    if isinstance(key, dict) and key.get("@") == "repr":
+        return key.get("repr")
+    return key
+
+
+def encode_key(key: Any) -> Any:
+    """Tuple keys ride in a marker object (same codec as the WAL)."""
+    return encode_tuple_key(key, _encode_key_element)
+
+
+def decode_key(key: Any) -> Any:
+    return decode_tuple_key(key, _decode_key_element)
+
+
+class RemoteRows(dict):
+    """A decoded relation: plain ``{key: row}`` plus result metadata.
+
+    Compares equal to an ordinary dict, so differential tests can diff
+    remote results against in-process enumerations directly.
+    """
+
+    kind: str = "relation"
+    name: str = ""
+    truncated: bool = False
+
+
+def encode_value(
+    value: Any, max_rows: int | None = None, _depth: int = 0
+) -> Any:
+    """Encode one result value (scalar, row, or FDM function) for JSON.
+
+    Enumerable FDM functions become ``{"@": "relation", "rows": [[key,
+    value], ...]}``, recursively, so grouped databases and nested
+    relations survive; *max_rows* caps every level of the enumeration
+    and marks the envelope ``"truncated"`` when it bites — a page limit
+    must degrade to a smaller answer, never to a silent lie.
+    """
+    if _depth > _MAX_DEPTH:
+        raise ProtocolError("result nesting exceeds the protocol depth cap")
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if value is MISSING:
+        return {"@": "missing"}
+    if value is TOMBSTONE:
+        return {"@": "missing"}
+    from repro.fdm.functions import FDMFunction
+    from repro.relational.nulls import is_null
+
+    if is_null(value):
+        return None
+    if isinstance(value, dict):
+        return {
+            "@": "tuple",
+            "attrs": {
+                str(attr): encode_value(v, max_rows, _depth + 1)
+                for attr, v in value.items()
+            },
+        }
+    if isinstance(value, FDMFunction):
+        if value.kind == "tuple" and value.is_enumerable:
+            return {
+                "@": "tuple",
+                "attrs": {
+                    str(attr): encode_value(v, max_rows, _depth + 1)
+                    for attr, v in value.items()
+                },
+            }
+        if value.is_enumerable:
+            rows = []
+            truncated = False
+            for key in value.keys():
+                if max_rows is not None and len(rows) >= max_rows:
+                    truncated = True
+                    break
+                rows.append(
+                    [
+                        encode_key(key),
+                        encode_value(value(key), max_rows, _depth + 1),
+                    ]
+                )
+            envelope: dict[str, Any] = {
+                "@": "relation",
+                "kind": value.kind,
+                "name": value.name,
+                "rows": rows,
+            }
+            if truncated:
+                envelope["truncated"] = True
+            return envelope
+        return {
+            "@": "repr",
+            "type": type(value).__name__,
+            "repr": repr(value),
+        }
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return {
+            "@": "list",
+            "items": [
+                encode_value(item, max_rows, _depth + 1) for item in value
+            ],
+        }
+    return {"@": "repr", "type": type(value).__name__, "repr": repr(value)}
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value` into plain Python structures."""
+    if not isinstance(value, dict):
+        return value
+    tag = value.get("@")
+    if tag == "tuple":
+        return {
+            attr: decode_value(v) for attr, v in value["attrs"].items()
+        }
+    if tag == "relation":
+        rows = RemoteRows(
+            (decode_key(key), decode_value(v)) for key, v in value["rows"]
+        )
+        rows.kind = value.get("kind", "relation")
+        rows.name = value.get("name", "")
+        rows.truncated = bool(value.get("truncated", False))
+        return rows
+    if tag == "list":
+        return [decode_value(item) for item in value["items"]]
+    if tag == "missing":
+        return MISSING
+    if tag == "repr":
+        return value.get("repr")
+    return {attr: decode_value(v) for attr, v in value.items()}
+
+
+def encode_delta(delta: Any) -> list[list[Any]]:
+    """``Delta`` → ``[[key, old, new], ...]`` with MISSING envelopes."""
+    return [
+        [encode_key(key), encode_value(old), encode_value(new)]
+        for key, (old, new) in delta.items()
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Typed errors over the wire
+# ---------------------------------------------------------------------------
+
+
+def error_payload(exc: BaseException) -> dict[str, Any]:
+    return {
+        "ok": False,
+        "error": {"type": type(exc).__name__, "message": str(exc)},
+    }
+
+
+def raise_remote(error: dict[str, Any]) -> None:
+    """Re-raise a server-side error as its local exception class.
+
+    The class is resolved by name against :mod:`repro.errors`; anything
+    unknown (or outside the ReproError hierarchy) degrades to
+    :class:`RemoteError`. Construction bypasses subclass ``__init__``
+    signatures — only the class identity and message survive the wire.
+    """
+    from repro import errors as errors_module
+
+    type_name = str(error.get("type", "RemoteError"))
+    message = str(error.get("message", ""))
+    cls = getattr(errors_module, type_name, None)
+    if isinstance(cls, type) and issubclass(cls, errors_module.ReproError):
+        exc = cls.__new__(cls)
+        Exception.__init__(exc, message)
+        raise exc
+    raise RemoteError(type_name, message)

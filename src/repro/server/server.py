@@ -1,0 +1,347 @@
+"""The concurrent database server (DESIGN.md §11).
+
+Thread-per-connection over a *bounded admission pipeline*: the accept
+loop pushes raw connections into a fixed-size queue, and a dispatcher
+admits them into session threads only while free session slots exist.
+Overload therefore degrades in two graceful steps — first arrivals
+queue (clients see latency), then, when even the queue is full, they
+are refused with a typed ``ServerBusyError`` frame (clients see a
+retryable error). The server process never falls over from admission
+pressure.
+
+Each session thread serves its connection's requests strictly in order;
+the session's open transaction is detached between requests, so the
+snapshot (and first-committer-wins validation) spans round trips
+regardless of which thread runs them. Subscription pushes originate on
+*other* sessions' committing threads and interleave with responses
+through a per-connection write lock.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import socket
+import threading
+from typing import Any
+
+from repro.server import protocol
+from repro.server.session import Session
+
+__all__ = ["ReproServer", "serve"]
+
+#: Poison pill for the dispatcher queue.
+_STOP = object()
+
+#: Upper bound on enqueuing one subscription push. The committing
+#: thread pays this at most once per stalled subscriber: a timed-out
+#: enqueue closes the subscription.
+_PUSH_TIMEOUT = 5.0
+
+#: Outbound frames buffered per connection before pushes start timing
+#: out (responses always enqueue, blocking the session's own thread).
+_OUTBOUND_QUEUE = 128
+
+
+class _ConnectionWriter:
+    """Single-writer outbound path for one connection.
+
+    Responses come from the session thread; pushes come from *other*
+    sessions' committing threads. Funneling every frame through one
+    queue-draining thread means no frame is ever interleaved or torn
+    (only this thread touches the socket for writes), the socket's
+    blocking state is never mutated cross-thread, and a subscriber
+    that stops reading costs a committer at most the bounded enqueue
+    timeout — the writer thread is the only one that ever blocks on
+    the stalled socket.
+    """
+
+    _STOP = object()
+
+    def __init__(self, conn: socket.socket):
+        self._conn = conn
+        self._queue: queue.Queue = queue.Queue(maxsize=_OUTBOUND_QUEUE)
+        self.dead = False
+        self._thread = threading.Thread(
+            target=self._drain, daemon=True, name="repro-conn-writer"
+        )
+        self._thread.start()
+
+    def _drain(self) -> None:
+        while True:
+            payload = self._queue.get()
+            if payload is self._STOP:
+                break
+            try:
+                protocol.send_frame(self._conn, payload)
+            except Exception:
+                # the stream is unusable (peer gone, or a partial
+                # frame): kill the whole connection so the reader
+                # exits too — serving on a torn stream would feed the
+                # client garbage lengths
+                self.dead = True
+                try:
+                    self._conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                break
+        self.dead = True
+
+    def send_response(self, payload: dict[str, Any]) -> None:
+        """Enqueue a response; blocks the session's own thread only."""
+        if self.dead:
+            raise OSError("connection writer is dead")
+        self._queue.put(payload)
+
+    def send_push(self, payload: dict[str, Any]) -> None:
+        """Enqueue a push with a bounded wait (commit-path safety)."""
+        if self.dead:
+            raise OSError("connection writer is dead")
+        self._queue.put(payload, timeout=_PUSH_TIMEOUT)
+
+    def close(self) -> None:
+        # graceful first (flush queued responses), then force: a writer
+        # wedged on a stalled peer is unstuck by the socket shutdown
+        try:
+            self._queue.put_nowait(self._STOP)
+        except queue.Full:
+            pass
+        self._thread.join(timeout=2)
+        if self._thread.is_alive():
+            self.dead = True
+            try:
+                self._conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._thread.join(timeout=2)
+
+
+class ReproServer:
+    """A concurrent server for one :class:`FunctionalDatabase`."""
+
+    def __init__(
+        self,
+        db: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_sessions: int = 32,
+        admission_queue: int = 64,
+    ):
+        self.db = db
+        self._listener = socket.create_server(
+            (host, port), backlog=max(max_sessions, 8)
+        )
+        self.host, self.port = self._listener.getsockname()[:2]
+        self.max_sessions = max_sessions
+        self._admission: queue.Queue = queue.Queue(maxsize=admission_queue)
+        self._slots = threading.BoundedSemaphore(max_sessions)
+        self._running = threading.Event()
+        self._lock = threading.Lock()
+        self._sessions: dict[int, tuple[Session, socket.socket]] = {}
+        self._next_session = itertools.count(1)
+        self._threads: list[threading.Thread] = []
+        # admission counters (surfaced through STATS)
+        self.accepted = 0
+        self.rejected_busy = 0
+        self.requests_served = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "ReproServer":
+        if self._running.is_set():
+            return self
+        self._running.set()
+        for target, label in (
+            (self._accept_loop, "accept"),
+            (self._dispatch_loop, "dispatch"),
+        ):
+            thread = threading.Thread(
+                target=target,
+                daemon=True,
+                name=f"repro-server-{label}:{self.port}",
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, unblock everything, close live connections."""
+        if not self._running.is_set():
+            return
+        self._running.clear()
+        # Wake a blocked accept(): closing the listening fd from another
+        # thread does not reliably interrupt accept() on Linux, but a
+        # no-op connection always does.
+        try:
+            with socket.create_connection(
+                (self.host, self.port), timeout=1
+            ):
+                pass
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._admission.put(_STOP)
+        with self._lock:
+            live = list(self._sessions.values())
+        for _session, conn in live:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        for thread in self._threads:
+            thread.join(timeout=5)
+        self._threads.clear()
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        self.stop()
+        return False
+
+    # -- introspection -----------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            active = len(self._sessions)
+        return {
+            "host": self.host,
+            "port": self.port,
+            "max_sessions": self.max_sessions,
+            "active_sessions": active,
+            "queued": self._admission.qsize(),
+            "accepted": self.accepted,
+            "rejected_busy": self.rejected_busy,
+            "requests": self.requests_served,
+        }
+
+    # -- admission pipeline ------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while self._running.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            self.accepted += 1
+            try:
+                self._admission.put_nowait(conn)
+            except queue.Full:
+                # beyond-capacity shedding: a typed, retryable refusal
+                self.rejected_busy += 1
+                try:
+                    protocol.send_frame(
+                        conn,
+                        {
+                            "id": None,
+                            "ok": False,
+                            "error": {
+                                "type": "ServerBusyError",
+                                "message": (
+                                    "admission queue full "
+                                    f"({self._admission.maxsize} waiting, "
+                                    f"{self.max_sessions} sessions); "
+                                    "retry later"
+                                ),
+                            },
+                        },
+                    )
+                except OSError:
+                    pass
+                _close_quietly(conn)
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            conn = self._admission.get()
+            if conn is _STOP:
+                break
+            # Backpressure: queued connections wait here for a slot
+            # instead of spawning unbounded threads. The wait polls so
+            # stop() never leaves the dispatcher parked on a semaphore.
+            admitted = False
+            while self._running.is_set():
+                if self._slots.acquire(timeout=0.2):
+                    admitted = True
+                    break
+            if not admitted:
+                _close_quietly(conn)
+                continue
+            if not self._running.is_set():
+                self._slots.release()
+                _close_quietly(conn)
+                continue
+            session_id = next(self._next_session)
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn, session_id),
+                daemon=True,
+                name=f"repro-session-{session_id}",
+            )
+            thread.start()
+
+    # -- one connection ----------------------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket, session_id: int) -> None:
+        session = Session(self.db, session_id, server=self)
+        writer = _ConnectionWriter(conn)
+        session.send_push = writer.send_push
+        with self._lock:
+            self._sessions[session_id] = (session, conn)
+        try:
+            while self._running.is_set() and not writer.dead:
+                try:
+                    request = protocol.recv_frame(conn)
+                except Exception:
+                    break  # torn frame / reset: the connection is gone
+                if request is None:
+                    break
+                response = session.handle(request)
+                response["id"] = request.get("id")
+                self.requests_served += 1
+                try:
+                    writer.send_response(response)
+                except OSError:
+                    break
+                if session.closing:
+                    break
+        finally:
+            with self._lock:
+                self._sessions.pop(session_id, None)
+            session.close()
+            writer.close()
+            _close_quietly(conn)
+            self._slots.release()
+
+
+def _close_quietly(conn: socket.socket) -> None:
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+def serve(
+    db: Any,
+    port: int = 0,
+    host: str = "127.0.0.1",
+    max_sessions: int = 32,
+    admission_queue: int = 64,
+) -> ReproServer:
+    """Start serving *db* on ``host:port`` (0 picks a free port).
+
+    Returns the running :class:`ReproServer`; use it as a context
+    manager (or call :meth:`ReproServer.stop`) to shut down::
+
+        with repro.server.serve(db, port=7878) as srv:
+            ...  # clients connect to srv.port
+    """
+    return ReproServer(
+        db,
+        host=host,
+        port=port,
+        max_sessions=max_sessions,
+        admission_queue=admission_queue,
+    ).start()

@@ -1,0 +1,560 @@
+"""One client's conversation with the database (DESIGN.md §11).
+
+A :class:`Session` owns everything per-connection: the optional open
+transaction (detached from any thread between round trips and attached
+to whichever thread serves the next request), the FQL evaluation
+namespace, the last statement for ``EXPLAIN`` reuse, and the live
+subscriptions. It is transport-agnostic — the server hands it decoded
+request dicts and sends back the response dicts it returns — so tests
+can drive a session without a socket.
+
+The FQL surface over the wire is the expression language itself,
+serialized as text (the FuncADL shape: ship the functional expression,
+not a bespoke grammar). Expressions evaluate in a closed namespace —
+the FQL operators, the session's database as ``db``, the request's
+``params``, and a whitelist of pure builtins. A pre-compile AST walk
+rejects every underscore-prefixed name and attribute, so the expression
+language cannot reach dunder machinery; injection-unsafe string
+concatenation stays impossible for *data* because predicate parameters
+bind to finished syntax trees exactly as in-process (paper
+contribution 10).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import itertools
+from typing import Any, Callable
+
+from repro.errors import (
+    OperatorError,
+    ProtocolError,
+    SchemaError,
+    SQLExecutionError,
+    TransactionStateError,
+)
+from repro.fdm.databases import DatabaseFunction
+from repro.fdm.functions import FDMFunction
+from repro.server import protocol
+
+__all__ = ["Session", "Subscription", "compile_fql", "fql_namespace"]
+
+#: Pure builtins an FQL expression may call.
+_SAFE_BUILTINS = (
+    "abs", "all", "any", "bool", "dict", "divmod", "enumerate", "float",
+    "frozenset", "int", "len", "list", "max", "min", "range", "repr",
+    "reversed", "round", "set", "sorted", "str", "sum", "tuple", "zip",
+)
+
+
+def compile_fql(text: str):
+    """Parse, harden, and compile one FQL expression.
+
+    Rejects statements (the wire carries expressions; DML has its own
+    verb), every underscore-prefixed name or attribute (no reaching
+    into interpreter internals), and syntax errors — all as
+    :class:`OperatorError` so the client sees an FQL-typed failure.
+    """
+    if not isinstance(text, str):
+        raise ProtocolError("FQL statement must be a string")
+    try:
+        tree = ast.parse(text, mode="eval")
+    except SyntaxError as exc:
+        raise OperatorError(f"FQL syntax error: {exc.msg}") from exc
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute) and node.attr.startswith("_"):
+            raise OperatorError(
+                f"FQL expressions may not access {node.attr!r}"
+            )
+        if isinstance(node, ast.Name) and node.id.startswith("_"):
+            raise OperatorError(
+                f"FQL expressions may not reference {node.id!r}"
+            )
+    return compile(tree, "<fql>", "eval")
+
+
+class DatabaseView(DatabaseFunction):
+    """The query-surface face of the served database.
+
+    FQL expressions evaluate against *this*, never the raw
+    :class:`FunctionalDatabase`: relations resolve exactly as
+    in-process (``db('customers')``, ``db.customers``, database-level
+    operators), but the administration and lifecycle surface —
+    ``close()``, ``checkpoint()``, ``engine``, ``manager``, index DDL,
+    re-partitioning — does not exist on the view, so a remote
+    expression cannot take the database down or bypass the verb layer.
+    Data-plane mutation stays possible only through the DML verb.
+    """
+
+    def __init__(self, db: Any):
+        super().__init__(name=db._name)
+        self._db = db
+
+    @property
+    def domain(self) -> Any:
+        return self._db.domain
+
+    @property
+    def _version(self) -> int:
+        # plan-cache fingerprints treat the view as a versioned leaf:
+        # the WAL length moves on every commit
+        return len(self._db.engine.wal)
+
+    def _apply(self, key: Any) -> Any:
+        return self._db._apply(key)
+
+    def defined_at(self, *args: Any) -> bool:
+        return self._db.defined_at(*args)
+
+    def keys(self):
+        return self._db.keys()
+
+    def __len__(self) -> int:
+        return len(self._db)
+
+
+def fql_namespace(db: Any) -> dict[str, Any]:
+    """The closed evaluation namespace for one session."""
+    from repro import fql as fql_module
+    from repro.ivm import maintained_view
+
+    namespace: dict[str, Any] = {
+        name: getattr(fql_module, name) for name in fql_module.__all__
+    }
+    namespace.update(
+        {name: getattr(builtins, name) for name in _SAFE_BUILTINS}
+    )
+    namespace["fql"] = fql_module
+    namespace["maintained_view"] = maintained_view
+    namespace["db"] = DatabaseView(db)
+    return namespace
+
+
+class Subscription:
+    """One live view subscription: a maintained view plus its push path.
+
+    The delta listener fires on *whichever session thread commits* —
+    the committer pays the maintenance, every subscriber gets the
+    per-commit delta pushed without re-running the view. The listener
+    must therefore never touch this session's transaction state; it
+    only serializes and sends.
+    """
+
+    def __init__(
+        self,
+        sid: int,
+        name: str,
+        view: Any,
+        send: Callable[[dict[str, Any]], None],
+    ):
+        self.sid = sid
+        self.name = name
+        self.view = view
+        self._send = send
+        self.pushes = 0
+        view.add_delta_listener(self._on_delta)
+
+    def _on_delta(self, delta: Any) -> None:
+        if self.view is None:
+            return  # already torn down
+        if delta is None:
+            # non-incremental rebuild: the client must resync from the
+            # full snapshot (rare by design; the push test pins zero)
+            payload = {
+                "push": "resync",
+                "sid": self.sid,
+                "name": self.name,
+                "snapshot": protocol.encode_value(self.view._snapshot),
+            }
+        else:
+            payload = {
+                "push": "delta",
+                "sid": self.sid,
+                "name": self.name,
+                "changes": protocol.encode_delta(delta),
+            }
+        self.pushes += 1
+        try:
+            self._send(payload)
+        except Exception:
+            # a subscriber that cannot be written (stalled socket, torn
+            # connection) must not stall the committing thread again:
+            # drop the subscription, keep the commit path alive
+            self.close()
+
+    def close(self) -> None:
+        if self.view is not None:
+            self.view.remove_delta_listener(self._on_delta)
+            self.view = None
+
+
+class Session:
+    """Server-side state for one client connection."""
+
+    def __init__(self, db: Any, session_id: int, server: Any = None):
+        self.db = db
+        self.session_id = session_id
+        self.server = server
+        #: The open transaction, detached whenever no request is in
+        #: flight. One snapshot-isolated transaction spans any number
+        #: of network round trips; first-committer-wins validation
+        #: happens at COMMIT and surfaces as a typed protocol error.
+        self.txn: Any = None
+        self.subscriptions: dict[int, Subscription] = {}
+        self._next_sid = itertools.count(1)
+        self._namespace = fql_namespace(db)
+        #: Last evaluated FQL statement ``(text, expression)`` — lets a
+        #: bare EXPLAIN reuse the session's previous query (and its
+        #: cached plan) instead of shipping the text twice.
+        self._last_fql: tuple[str, Any] | None = None
+        #: table name → (version token, Relation): the SQL verb's
+        #: snapshot mirror, re-materialized only when the snapshot moves.
+        self._sql_mirror: dict[str, Any] = {}
+        self.requests = 0
+        self.closing = False
+        #: Transport hook installed by the server: enqueue one push
+        #: frame (the connection's writer thread serializes all frame
+        #: writes; the enqueue itself is bounded).
+        self.send_push: Callable[[dict[str, Any]], None] = lambda p: None
+
+    # -- request dispatch --------------------------------------------------------
+
+    def handle(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Execute one request dict; always returns a response dict."""
+        self.requests += 1
+        verb = str(request.get("verb", "")).lower()
+        handler = getattr(self, f"_verb_{verb}", None)
+        if handler is None or verb.startswith("_"):
+            return protocol.error_payload(
+                ProtocolError(f"unknown verb {verb!r}")
+            )
+        if self.txn is not None and self.txn.state == "active":
+            self.txn.attach()
+        try:
+            result = handler(request)
+            return {"ok": True, "result": result}
+        except Exception as exc:  # typed errors cross the wire
+            return protocol.error_payload(exc)
+        finally:
+            if self.txn is not None and self.txn.state != "active":
+                self.txn = None  # finished under us (conflict abort)
+            elif self.txn is not None:
+                # park between round trips: the transaction must not
+                # stay current on this thread (BEGIN just created it on
+                # it) — the next request may run anywhere
+                self.txn.detach()
+
+    def close(self) -> None:
+        """Tear down: drop subscriptions, roll back any open work."""
+        for sub in list(self.subscriptions.values()):
+            sub.close()
+        self.subscriptions.clear()
+        txn, self.txn = self.txn, None
+        if txn is not None and txn.state == "active":
+            self.db.manager.abort(txn)
+
+    # -- FQL / EXPLAIN -----------------------------------------------------------
+
+    def _eval_fql(self, text: str, params: Any) -> Any:
+        code = compile_fql(text)
+        scope = dict(self._namespace)
+        scope["params"] = params if isinstance(params, dict) else {}
+        expression = eval(code, {"__builtins__": {}}, scope)
+        self._last_fql = (text, expression)
+        return expression
+
+    def _verb_hello(self, request: dict[str, Any]) -> dict[str, Any]:
+        import repro
+
+        return {
+            "server": self.db._name,
+            "version": repro.__version__,
+            "session": self.session_id,
+            "relations": list(self.db.keys()),
+        }
+
+    def _verb_ping(self, request: dict[str, Any]) -> dict[str, Any]:
+        return {"pong": True}
+
+    def _verb_bye(self, request: dict[str, Any]) -> dict[str, Any]:
+        self.closing = True
+        return {"bye": True}
+
+    def _verb_fql(self, request: dict[str, Any]) -> Any:
+        expr = request.get("expr")
+        if not isinstance(expr, str):
+            raise ProtocolError("FQL verb requires an 'expr' string")
+        result = self._eval_fql(expr, request.get("params"))
+        return protocol.encode_value(result, request.get("max_rows"))
+
+    def _verb_explain(self, request: dict[str, Any]) -> dict[str, Any]:
+        from repro.exec import explain
+
+        expr = request.get("expr")
+        if isinstance(expr, str):
+            expression = self._eval_fql(expr, request.get("params"))
+            text = expr
+        elif self._last_fql is not None:
+            text, expression = self._last_fql
+        else:
+            raise OperatorError(
+                "nothing to explain: send 'expr' or run an FQL statement "
+                "first"
+            )
+        if not isinstance(expression, FDMFunction):
+            raise OperatorError("EXPLAIN requires an FDM expression")
+        return {"expr": text, "explain": explain(expression)}
+
+    # -- SQL (read-only mirror) --------------------------------------------------
+
+    def _verb_sql(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Run a SELECT against a relational mirror of the snapshot.
+
+        The referenced stored tables are materialized as relations
+        *through the session's own transaction* (buffered writes
+        included), so SQL answers exactly what FQL would — one model,
+        two query surfaces. Writes use the DML verb: the mirror is a
+        copy, and silently dropping SQL DML on the floor would be worse
+        than refusing it.
+        """
+        from repro.relational.sql.ast import SelectStmt, SetOpStmt
+        from repro.relational.sql.engine import SQLDatabase
+        from repro.relational.sql.parser import parse_sql
+
+        sql_text = request.get("sql")
+        if not isinstance(sql_text, str):
+            raise ProtocolError("SQL verb requires a 'sql' string")
+        statement = parse_sql(sql_text)
+        if not isinstance(statement, (SelectStmt, SetOpStmt)):
+            raise SQLExecutionError(
+                "the SQL verb is read-only (SELECT / set operations); "
+                "route writes through the DML verb"
+            )
+        mirror = SQLDatabase(f"{self.db._name}-mirror")
+        for table_name in self._statement_tables(statement):
+            if table_name in self.db._stored:
+                mirror.load(self._mirror_relation(table_name))
+        params = request.get("params") or []
+        if not isinstance(params, list):
+            raise ProtocolError("SQL params must be a positional list")
+        relation = mirror._executor.execute(statement, tuple(params))
+        from repro.relational.nulls import is_null
+
+        return {
+            "columns": list(relation.columns),
+            "rows": [
+                [None if is_null(v) else protocol.encode_value(v) for v in row]
+                for row in relation.rows
+            ],
+        }
+
+    @staticmethod
+    def _statement_tables(statement: Any) -> list[str]:
+        """Table names the parsed statement actually references —
+        FROM and JOIN clauses, through set operations (the SQL subset
+        has no subqueries)."""
+        from repro.relational.sql.ast import SetOpStmt
+
+        names: list[str] = []
+
+        def walk(stmt: Any) -> None:
+            if isinstance(stmt, SetOpStmt):
+                walk(stmt.left)
+                walk(stmt.right)
+                return
+            if stmt.table is not None:
+                names.append(stmt.table.name)
+            for join in stmt.joins:
+                names.append(join.table.name)
+
+        walk(statement)
+        return list(dict.fromkeys(names))
+
+    def _mirror_relation(self, table_name: str):
+        """The relational mirror of one table, cached per session.
+
+        Version token: the WAL length moves on every commit (the plan
+        cache keys on the same counter), and an open transaction adds
+        its identity plus buffered-write count — so point SELECTs stop
+        paying a full re-materialization unless the visible snapshot
+        actually changed.
+        """
+        from repro.relational.relation import Relation
+
+        txn = self.txn
+        token = (
+            len(self.db.engine.wal),
+            (txn.txn_id, txn.write_seq) if txn is not None else None,
+        )
+        cached = self._sql_mirror.get(table_name)
+        if cached is not None and cached[0] == token:
+            return cached[1]
+        relation = Relation.from_dicts(
+            table_name, self._table_dicts(table_name)
+        )
+        self._sql_mirror[table_name] = (token, relation)
+        return relation
+
+    def _table_dicts(self, table_name: str) -> list[dict[str, Any]]:
+        """Stored rows as attribute dicts, key included as a column."""
+        relation = self.db._stored[table_name]
+        key_name = relation.key_name
+        dicts = []
+        for key in relation.keys():
+            data = relation._raw_read(key)
+            if not isinstance(data, dict):
+                continue  # nested functions have no relational shape
+            row = dict(data)
+            if isinstance(key_name, tuple):
+                for part, component in zip(
+                    key_name, key if isinstance(key, tuple) else (key,)
+                ):
+                    row.setdefault(part, component)
+            else:
+                row.setdefault(key_name or "_key", key)
+            dicts.append(row)
+        return dicts
+
+    # -- DML ---------------------------------------------------------------------
+
+    def _verb_dml(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Fig. 10's mutation costumes, one verb: insert / add / update
+        / set / delete. Runs inside the session transaction when one is
+        open (buffered until COMMIT), else as an implicit statement
+        transaction — identical to in-process semantics."""
+        from repro.storage.relation import StoredRelationFunction
+
+        op = request.get("op")
+        table = request.get("table")
+        if not isinstance(table, str):
+            raise ProtocolError("DML verb requires a 'table' string")
+        relation = self.db(table)
+        if not isinstance(relation, StoredRelationFunction):
+            raise SchemaError(f"{table!r} is not a stored relation")
+        key = protocol.decode_key(request.get("key"))
+        row = protocol.decode_value(request.get("row"))
+        if op == "insert":
+            relation.insert(key, row)
+        elif op == "add":
+            key = relation.add(row)
+        elif op == "update":
+            relation[key] = row
+        elif op == "set":
+            attr = request.get("attr")
+            if not isinstance(attr, str):
+                raise ProtocolError("DML 'set' requires an 'attr' string")
+            relation(key)[attr] = protocol.decode_value(request.get("value"))
+        elif op == "delete":
+            del relation[key]
+        else:
+            raise ProtocolError(f"unknown DML op {op!r}")
+        return {"op": op, "table": table, "key": protocol.encode_key(key)}
+
+    # -- transaction control -----------------------------------------------------
+
+    def _verb_begin(self, request: dict[str, Any]) -> dict[str, Any]:
+        if self.txn is not None:
+            raise TransactionStateError(
+                "this session already has an open transaction"
+            )
+        self.txn = self.db.manager.begin(activate=True)
+        return {"txn": self.txn.txn_id, "snapshot": self.txn.start_ts}
+
+    def _verb_commit(self, request: dict[str, Any]) -> dict[str, Any]:
+        if self.txn is None:
+            raise TransactionStateError(
+                "no transaction is open on this session"
+            )
+        txn, self.txn = self.txn, None
+        self.db.manager.commit(txn)  # conflicts raise through the wire
+        return {"txn": txn.txn_id, "committed": True}
+
+    def _verb_rollback(self, request: dict[str, Any]) -> dict[str, Any]:
+        if self.txn is None:
+            raise TransactionStateError(
+                "no transaction is open on this session"
+            )
+        txn, self.txn = self.txn, None
+        self.db.manager.abort(txn)
+        return {"txn": txn.txn_id, "rolled_back": True}
+
+    # -- STATS -------------------------------------------------------------------
+
+    def _verb_stats(self, request: dict[str, Any]) -> dict[str, Any]:
+        stats = self.db.stats()
+        stats["session"] = {
+            "id": self.session_id,
+            "requests": self.requests,
+            "transaction_open": self.txn is not None,
+            "subscriptions": {
+                sub.name: dict(sub.view.maintenance_stats)
+                for sub in self.subscriptions.values()
+                if sub.view is not None
+            },
+        }
+        if self.server is not None:
+            stats["server"] = self.server.stats()
+        return stats
+
+    # -- SUBSCRIBE ---------------------------------------------------------------
+
+    def _verb_subscribe(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Register a maintained view and stream its per-commit deltas.
+
+        The view goes into the engine's IVM :class:`ViewRegistry` as an
+        *eager* view: every commit anywhere on the database syncs it
+        through the delta-propagation rules, and the applied delta — not
+        the recomputed result — is pushed to this client.
+        """
+        from repro.ivm import MaintainedView
+
+        if self.txn is not None:
+            raise TransactionStateError(
+                "cannot subscribe inside an open transaction: the "
+                "initial snapshot would be tainted by buffered writes"
+            )
+        expr = request.get("expr")
+        if not isinstance(expr, str):
+            raise ProtocolError("SUBSCRIBE requires an 'expr' string")
+        expression = self._eval_fql(expr, request.get("params"))
+        if not isinstance(expression, FDMFunction):
+            raise OperatorError("SUBSCRIBE requires an FDM expression")
+        sid = next(self._next_sid)
+        name = request.get("name") or f"sub{self.session_id}.{sid}"
+        view = MaintainedView(expression, name=str(name), eager=True)
+        subscription = Subscription(sid, str(name), view, self._push)
+        self.subscriptions[sid] = subscription
+        with view._sync_lock:
+            # the view is already registered: another session's commit
+            # could patch the snapshot dict mid-enumeration otherwise
+            snapshot = protocol.encode_value(view, request.get("max_rows"))
+        return {
+            "sid": sid,
+            "name": subscription.name,
+            # views whose graphs resist delta analysis still answer
+            # reads, but cannot push: tell the client up front
+            "incremental": view._ivm is not None,
+            "snapshot": snapshot,
+        }
+
+    def _verb_unsubscribe(self, request: dict[str, Any]) -> dict[str, Any]:
+        sid = request.get("sid")
+        subscription = self.subscriptions.pop(sid, None)
+        if subscription is None:
+            raise ProtocolError(f"no subscription with sid {sid!r}")
+        subscription.close()
+        return {"sid": sid, "unsubscribed": True}
+
+    def _push(self, payload: dict[str, Any]) -> None:
+        """Enqueue a push frame; raises when the connection's outbound
+        path is dead or saturated (the subscription then closes
+        itself — see :meth:`Subscription._on_delta`)."""
+        self.send_push(payload)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Session {self.session_id}: {self.requests} requests, "
+            f"txn={'open' if self.txn else 'none'}, "
+            f"{len(self.subscriptions)} subscriptions>"
+        )

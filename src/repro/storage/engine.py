@@ -217,6 +217,19 @@ class StorageEngine:
         if changelog is not None:
             changelog.append(commit_ts, deltas)
 
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and release durable resources (idempotent).
+
+        The WAL handle is the only OS resource an engine owns; plans
+        cached for this engine are dropped too so a closed database
+        cannot serve stale reads through the executor.
+        """
+        self.wal.close()
+        if self.plan_cache is not None:
+            self.plan_cache.clear()
+
     # -- maintenance ------------------------------------------------------------------
 
     def vacuum(self, watermark: int) -> int:

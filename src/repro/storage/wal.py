@@ -17,7 +17,7 @@ import json
 import os
 from typing import Any, Iterator
 
-from repro._util import TOMBSTONE
+from repro._util import TOMBSTONE, decode_tuple_key, encode_tuple_key
 from repro.errors import WALError
 
 __all__ = ["WALRecord", "WriteAheadLog"]
@@ -67,16 +67,9 @@ class WALRecord:
         return f"<WAL @{self.commit_ts}: {len(self.writes)} writes>"
 
 
-def _encode_key(key: Any) -> Any:
-    if isinstance(key, tuple):
-        return {"__tuple__": [_encode_key(k) for k in key]}
-    return key
-
-
-def _decode_key(key: Any) -> Any:
-    if isinstance(key, dict) and "__tuple__" in key:
-        return tuple(_decode_key(k) for k in key["__tuple__"])
-    return key
+# the tuple-key envelope is shared with the wire protocol (repro._util)
+_encode_key = encode_tuple_key
+_decode_key = decode_tuple_key
 
 
 def _encode_opaque(value: Any) -> Any:
@@ -92,6 +85,7 @@ class WriteAheadLog:
         self._records: list[WALRecord] = []
         self._path = path
         self._file = None
+        self._closed = False
         if path is not None:
             self._file = open(path, "a", encoding="utf-8")
 
@@ -99,7 +93,16 @@ class WriteAheadLog:
     def path(self) -> str | None:
         return self._path
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def append(self, record: WALRecord) -> None:
+        if self._closed:
+            raise WALError(
+                f"write-ahead log {self._path!r} is closed; reopen the "
+                "database before committing"
+            )
         self._records.append(record)
         if self._file is not None:
             self._file.write(record.to_json() + "\n")
@@ -112,13 +115,47 @@ class WriteAheadLog:
     def __len__(self) -> int:
         return len(self._records)
 
+    def size_bytes(self) -> int:
+        """On-disk size of the log file (0 for a memory-only log)."""
+        if self._path is None or not os.path.exists(self._path):
+            return 0
+        return os.path.getsize(self._path)
+
     def last_commit_ts(self) -> int:
         return self._records[-1].commit_ts if self._records else 0
 
-    def close(self) -> None:
+    def flush(self) -> None:
+        """Force buffered bytes to durable storage."""
         if self._file is not None:
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        """Flush and release the file handle (idempotent).
+
+        A durable (file-backed) log refuses further appends once
+        closed; a memory-only log keeps working — there is no handle to
+        protect, and close() on it is a no-op by design.
+        """
+        if self._file is not None:
+            self.flush()
             self._file.close()
             self._file = None
+            self._closed = True
+
+    def reopen(self) -> None:
+        """(Re)open the append handle of a file-backed log."""
+        if self._path is not None and self._file is None:
+            self._file = open(self._path, "a", encoding="utf-8")
+            self._closed = False
+
+    def __del__(self) -> None:
+        # Belt-and-braces: a database dropped without close() must not
+        # leak its file handle for the rest of the process lifetime.
+        try:
+            self.close()
+        except Exception:
+            pass
 
     @classmethod
     def load(cls, path: str) -> "WriteAheadLog":

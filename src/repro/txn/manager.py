@@ -19,6 +19,14 @@ Interleaving: the *current* transaction is tracked per thread as a stack.
 units of work) interleave transactions on one thread — which is also how
 the Fig. 11 contention benchmark drives conflicting writers
 deterministically.
+
+Network sessions (DESIGN.md §11) need the converse: one transaction that
+*outlives* any particular thread, because consecutive round trips of the
+same client connection may be served by different threads.
+``detach()``/``attach()`` move a transaction off and onto the calling
+thread's stack explicitly; a detached transaction stays active (its
+snapshot still pins the vacuum watermark) but is current nowhere until
+re-attached.
 """
 
 from __future__ import annotations
@@ -45,14 +53,21 @@ class Transaction:
     """One unit of snapshot-isolated work."""
 
     _ids = iter(range(1, 2**62))
+    _ids_lock = threading.Lock()
 
     def __init__(self, manager: "TransactionManager", start_ts: int):
         self.manager = manager
-        self.txn_id = next(Transaction._ids)
+        with Transaction._ids_lock:
+            self.txn_id = next(Transaction._ids)
         self.start_ts = start_ts
         self.state = ACTIVE
         #: (table, key) → row dict or TOMBSTONE, in write order
         self.writes: dict[tuple[str, Any], Any] = {}
+        #: Monotonic count of write/delete calls. Unlike
+        #: ``len(writes)`` it moves when a buffered key is
+        #: *overwritten*, so snapshot-mirror caches keyed on it can
+        #: never serve a stale pre-overwrite read.
+        self.write_seq = 0
 
     # -- buffered access ---------------------------------------------------------
 
@@ -63,10 +78,12 @@ class Transaction:
     def write(self, table: str, key: Any, data: Any) -> None:
         self._check_active("write")
         self.writes[(table, key)] = data
+        self.write_seq += 1
 
     def delete(self, table: str, key: Any) -> None:
         self._check_active("delete")
         self.writes[(table, key)] = TOMBSTONE
+        self.write_seq += 1
 
     def written_keys(self, table: str) -> Iterator[tuple[Any, Any]]:
         for (t, key), data in self.writes.items():
@@ -95,6 +112,24 @@ class Transaction:
         """Reactivate a paused transaction on this thread."""
         self._check_active("resume")
         self.manager._activate(self)
+
+    def detach(self) -> "Transaction":
+        """Remove this transaction from whichever thread stack holds it.
+
+        The transaction stays active — buffered writes and the snapshot
+        survive — but it is *current* on no thread until :meth:`attach`
+        runs. This is the session handoff primitive: a server parks the
+        transaction between round trips and re-attaches it on whichever
+        thread serves the next request.
+        """
+        self.manager._deactivate(self)
+        return self
+
+    def attach(self) -> "Transaction":
+        """Make this transaction current on the calling thread."""
+        self._check_active("attach")
+        self.manager._activate(self)
+        return self
 
     def __enter__(self) -> "Transaction":
         return self
@@ -156,11 +191,17 @@ class TransactionManager:
                         txn.txn_id, key=key, table=table_name
                     )
             if txn.writes:
-                self._clock += 1
+                # Apply at clock+1 and publish the new clock only after
+                # the version chains are fully written: concurrent
+                # autocommit readers sample `now()` without taking this
+                # lock, and must never adopt a snapshot whose commit is
+                # still mid-application (a torn read).
+                commit_at = self._clock + 1
                 self.engine.apply_commit(
-                    self._clock,
+                    commit_at,
                     [(t, k, data) for (t, k), data in txn.writes.items()],
                 )
+                self._clock = commit_at
             self._finish(txn, COMMITTED)
             self.commits += 1
             commit_ts = self._clock
@@ -193,7 +234,9 @@ class TransactionManager:
         return stack
 
     def _activate(self, txn: Transaction) -> None:
-        self._stack().append(txn)
+        stack = self._stack()
+        if txn not in stack:  # attach is idempotent per thread
+            stack.append(txn)
 
     def _deactivate(self, txn: Transaction) -> None:
         stack = self._stack()

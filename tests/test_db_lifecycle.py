@@ -1,0 +1,145 @@
+"""Database lifecycle: close()/context-manager, WAL handle release,
+reopen-after-close via WAL replay, and the db.stats() introspection
+dict (DESIGN.md §11 satellites)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro
+from repro.errors import WALError
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return str(tmp_path / "lifecycle.wal")
+
+
+class TestCloseAndContextManager:
+    def test_close_releases_the_wal_handle(self, wal_path):
+        db = repro.connect(name="lc", wal_path=wal_path, default=False)
+        db["t"] = {1: {"v": 10}}
+        assert db._engine.wal._file is not None
+        db.close()
+        assert db.closed
+        assert db._engine.wal._file is None
+        assert db._engine.wal.closed
+        db.close()  # idempotent
+
+    def test_context_manager_closes(self, wal_path):
+        with repro.connect(name="lc", wal_path=wal_path,
+                           default=False) as db:
+            db["t"] = {1: {"v": 10}}
+            assert not db.closed
+        assert db.closed
+
+    def test_commit_after_close_is_refused(self, wal_path):
+        db = repro.connect(name="lc", wal_path=wal_path, default=False)
+        db["t"] = {1: {"v": 10}}
+        db.close()
+        with pytest.raises(WALError):
+            db.t[1] = {"v": 11}  # the WAL would silently lose this
+
+    def test_memory_only_close_is_harmless(self):
+        db = repro.connect(name="mem", default=False)
+        db["t"] = {1: {"v": 10}}
+        db.close()
+        assert db.closed
+        # no durable log to protect: in-memory commits still work
+        db.t[1] = {"v": 11}
+        assert db.t(1)("v") == 11
+
+
+class TestReopenAfterClose:
+    def test_rows_survive_close_and_reopen(self, wal_path):
+        with repro.connect(name="lc", wal_path=wal_path,
+                           default=False) as db:
+            db["t"] = {1: {"v": 10}, 2: {"v": 20}}
+            db.t[1]["v"] = 11
+            del db.t[2]
+        db2 = repro.connect(name="lc", wal_path=wal_path, default=False)
+        assert sorted(db2.t.keys()) == [1]
+        assert db2.t(1)("v") == 11
+        db2.close()
+
+    def test_reopen_extends_not_truncates(self, wal_path):
+        with repro.connect(name="lc", wal_path=wal_path,
+                           default=False) as db:
+            db["t"] = {1: {"v": 10}}
+        size_after_first = os.path.getsize(wal_path)
+        with repro.connect(name="lc", wal_path=wal_path,
+                           default=False) as db2:
+            db2.t[2] = {"v": 20}
+        assert os.path.getsize(wal_path) > size_after_first
+        with repro.connect(name="lc", wal_path=wal_path,
+                           default=False) as db3:
+            assert sorted(db3.t.keys()) == [1, 2]
+
+    def test_clock_continues_across_reopen(self, wal_path):
+        with repro.connect(name="lc", wal_path=wal_path,
+                           default=False) as db:
+            db["t"] = {1: {"v": 10}}
+            clock_before = db.manager.now()
+        db2 = repro.connect(name="lc", wal_path=wal_path, default=False)
+        assert db2.manager.now() == clock_before
+        db2.t[2] = {"v": 20}
+        assert db2.manager.now() > clock_before
+        db2.close()
+
+    def test_transactions_and_conflicts_after_reopen(self, wal_path):
+        with repro.connect(name="lc", wal_path=wal_path,
+                           default=False) as db:
+            db["t"] = {1: {"v": 10}}
+        db2 = repro.connect(name="lc", wal_path=wal_path, default=False)
+        txn_a = db2.manager.begin()
+        txn_a.write("t", 1, {"v": 100})
+        txn_a.pause()
+        txn_b = db2.manager.begin()
+        txn_b.write("t", 1, {"v": 200})
+        db2.manager.commit(txn_b)
+        txn_a.resume()
+        with pytest.raises(repro.errors.TransactionConflictError):
+            db2.manager.commit(txn_a)
+        assert db2.t(1)("v") == 200
+        db2.close()
+
+
+class TestStats:
+    def test_stats_shape_and_counters(self, wal_path):
+        db = repro.connect(name="st", wal_path=wal_path, default=False)
+        db["t"] = {k: {"v": k, "g": k % 2} for k in range(1, 11)}
+        view = db.create_maintained_view(
+            "evens", repro.fql.filter(db.t, "g == 0")
+        )
+        len(view)  # force a sync so maintenance stats exist
+        expr = repro.fql.filter(db.t, "v > 3")
+        list(expr.keys())
+        list(expr.keys())  # second run hits the plan cache
+        stats = db.stats()
+        assert stats["name"] == "st"
+        assert stats["tables"]["t"]["rows"] == 10
+        assert stats["tables"]["t"]["partitioned"] is False
+        assert stats["wal"]["records"] >= 1
+        assert stats["wal"]["bytes"] > 0
+        assert stats["transactions"]["commits"] >= 1
+        assert stats["views"]["evens"]["syncs"] >= 0
+        if repro.exec.exec_mode() == "batch":
+            assert stats["plan_cache"]["hits"] >= 1
+        assert stats["changelog"]["watermark"] >= 0
+        db.close()
+        assert db.stats()["closed"] is True
+
+    def test_stats_reports_partition_layout(self):
+        db = repro.connect(name="stp", default=False)
+        db.create_table(
+            "e",
+            {k: {"g": k % 3} for k in range(12)},
+            partition_by=repro.hash_partition("g", n=3),
+        )
+        layout = db.stats()["tables"]["e"]
+        assert layout["partitioned"] is True
+        rows = layout["rows"]
+        counts = rows.values() if isinstance(rows, dict) else rows
+        assert sum(counts) == 12
