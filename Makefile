@@ -1,23 +1,30 @@
 PY ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench-smoke bench lint
+.PHONY: test bench-smoke bench lint docs-check
 
 # tier-1: the full correctness suite
 test:
 	$(PY) -m pytest -x -q
 
 # quick perf check: the executor-sensitive figures plus view
-# maintenance and server throughput; writes benchmarks/BENCH_<module>.json
-# files for the perf trajectory
+# maintenance, server throughput, and replica read scaling; writes
+# benchmarks/BENCH_<module>.json files for the perf trajectory
 bench-smoke:
 	$(PY) -m pytest benchmarks -o python_files='bench_*.py' -q \
-		-k "fig04a or fig04bc or fig06 or ivm_maintenance or partition_scan or server_throughput" \
+		-k "fig04a or fig04bc or fig06 or ivm_maintenance or partition_scan or server_throughput or replica_read_scaling" \
 		--benchmark-min-rounds=3
 
 # the full benchmark matrix (slow)
 bench:
 	$(PY) -m pytest benchmarks -o python_files='bench_*.py' -q
+
+# documentation health: public-API docstrings (protocol surface
+# included) and cross-reference link/anchor integrity over
+# README / DESIGN.md / docs/. Uses pydocstyle additionally when the
+# environment has it; never requires a download.
+docs-check:
+	$(PY) tools/docs_check.py
 
 # use whichever linter the environment has; never require a download
 lint:

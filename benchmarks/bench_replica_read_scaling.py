@@ -1,0 +1,138 @@
+"""Replica read scaling: 1 leader + 0/2/4 followers (DESIGN.md §12).
+
+Concurrent reader threads drive routed clients against the leader and
+its replica pool; the benchmark records read throughput per pool size
+plus the replication-lag catch-up time after a write burst into
+``BENCH_replica_read_scaling.json`` (via ``extra_info``).
+
+Shape claims certified alongside the timings: every routed read
+returns the correct answer (the read-your-writes barrier holds across
+the write burst), reads actually land on followers when a pool exists,
+and every follower drains its lag to zero after the burst.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro
+import repro.client
+import repro.replication
+import repro.server
+
+N_ROWS = 400
+N_READERS = 4
+READS_PER_READER = 25
+WRITE_BURST = 20
+
+
+def _build_leader() -> repro.FunctionalDatabase:
+    db = repro.connect(name="bench-repl-leader", default=False)
+    db["items"] = {
+        k: {"grp": k % 10, "val": k, "flag": k % 2}
+        for k in range(1, N_ROWS + 1)
+    }
+    return db
+
+
+def _reader(port: int, replica_ports: list[int], results: list, idx: int):
+    """One reader thread: its own routed client, counted reads."""
+    client = repro.client.connect(port=port, replicas=replica_ports or None)
+    try:
+        latencies = []
+        for i in range(READS_PER_READER):
+            start = time.perf_counter()
+            rows = client.fql(
+                "filter(db('items'), 'grp == $g', params)",
+                params={"g": (idx + i) % 10},
+            )
+            latencies.append(time.perf_counter() - start)
+            assert len(rows) == N_ROWS // 10
+        results[idx] = (latencies, client.replica_reads, client.leader_reads)
+    finally:
+        client.close()
+
+
+def _drive(port: int, replica_ports: list[int]) -> dict:
+    results: list = [None] * N_READERS
+    threads = [
+        threading.Thread(
+            target=_reader, args=(port, replica_ports, results, idx)
+        )
+        for idx in range(N_READERS)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    elapsed = time.perf_counter() - start
+    assert all(r is not None for r in results), "a reader died"
+    total = N_READERS * READS_PER_READER
+    replica_reads = sum(r[1] for r in results)
+    leader_reads = sum(r[2] for r in results)
+    return {
+        "reads": total,
+        "elapsed_s": elapsed,
+        "qps": total / elapsed,
+        "replica_reads": replica_reads,
+        "leader_reads": leader_reads,
+    }
+
+
+@pytest.mark.benchmark(group="replica-read-scaling")
+@pytest.mark.parametrize("n_replicas", [0, 2, 4])
+def test_replica_read_scaling(benchmark, n_replicas):
+    leader = _build_leader()
+    srv = repro.server.serve(leader, port=0, max_sessions=N_READERS * 2 + 4)
+    replicas = [
+        repro.replication.start_replica(
+            port=srv.port, name=f"bench-replica-{i}", poll_interval=0.02
+        )
+        for i in range(n_replicas)
+    ]
+    replica_srvs = [
+        repro.server.serve(r, port=0, max_sessions=N_READERS * 2 + 4)
+        for r in replicas
+    ]
+    try:
+        for replica in replicas:
+            replica.ensure_read_at(min_ts=leader.manager.now(), timeout=10)
+        ports = [s.port for s in replica_srvs]
+        stats = benchmark(_drive, srv.port, ports)
+        if n_replicas:
+            assert stats["replica_reads"] > 0, "pool configured, never used"
+
+        # replication lag: burst writes on the leader, time the drain
+        writer = repro.client.connect(port=srv.port)
+        with writer:
+            for i in range(WRITE_BURST):
+                writer.set_attr("items", i + 1, "val", -i)
+        burst_start = time.perf_counter()
+        for replica in replicas:
+            replica.ensure_read_at(
+                min_ts=writer.last_commit_ts, timeout=10
+            )
+        catchup_ms = (time.perf_counter() - burst_start) * 1e3
+        for replica in replicas:
+            assert replica.lag() == 0
+            assert replica("items")(1)("val") == 0  # burst visible
+
+        benchmark.extra_info["n_replicas"] = n_replicas
+        benchmark.extra_info["readers"] = N_READERS
+        benchmark.extra_info["reads_per_round"] = stats["reads"]
+        benchmark.extra_info["qps"] = round(stats["qps"], 1)
+        benchmark.extra_info["replica_read_share"] = round(
+            stats["replica_reads"] / stats["reads"], 3
+        )
+        benchmark.extra_info["lag_catchup_ms"] = round(catchup_ms, 2)
+    finally:
+        for replica_srv in replica_srvs:
+            replica_srv.stop()
+        srv.stop()
+        for replica in replicas:
+            replica.close()
+        leader.close()

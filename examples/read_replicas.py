@@ -1,0 +1,129 @@
+"""Read replicas with WAL shipping (DESIGN.md §12, docs/operations.md).
+
+Run:  python examples/read_replicas.py
+
+One process, four roles: a *leader* database served on a loopback port,
+two *followers* streaming its WAL (each served on its own port), and a
+routed *client* whose read-only FQL fans out across the followers while
+DML and transactions stay on the leader. The walkthrough shows:
+
+1. initial sync — followers replay the leader's WAL and answer the
+   same query identically at the same commit stamp;
+2. read-your-writes — the client's own commit stamp rides every read
+   as a ``min_ts`` barrier, so a follower either catches up or bounces
+   the read back to the always-current leader;
+3. live maintained views on a follower — the apply loop feeds the IVM
+   changelog, so a view on the replica stays fresh without recomputes;
+4. manual failover — ``promote()`` mints a fencing token, ``fence()``
+   demotes the old leader, and its next write is refused.
+"""
+
+import repro
+import repro.client
+import repro.replication
+import repro.server
+
+STATES = ("NY", "CA", "TX", "WA")
+
+
+def build_leader() -> repro.FunctionalDatabase:
+    db = repro.connect(name="primary", default=False)
+    db.create_table(
+        "customers",
+        rows={
+            i: {"name": f"c{i}", "age": 20 + (i * 7) % 50,
+                "state": STATES[i % len(STATES)]}
+            for i in range(1, 41)
+        },
+        key_name="cid",
+        partition_by=repro.hash_partition("state", 4),
+    )
+    return db
+
+
+def main() -> None:
+    leader = build_leader()
+    leader_srv = repro.server.serve(leader, port=0)
+    print(f"leader '{leader._name}' serving on :{leader_srv.port}")
+
+    # -- 1. two followers stream the WAL ------------------------------------
+    replicas = [
+        repro.replication.start_replica(
+            port=leader_srv.port, name=f"replica-{i}", poll_interval=0.05
+        )
+        for i in (1, 2)
+    ]
+    replica_srvs = [repro.server.serve(r, port=0) for r in replicas]
+    for replica in replicas:
+        replica.ensure_read_at(min_ts=leader.manager.now(), timeout=5)
+        print(
+            f"  {replica._name}: applied_ts={replica.applied_ts()} "
+            f"lag={replica.lag()} "
+            f"layout={replica.partition_layout('customers')['rows']}"
+        )
+
+    query = "len(filter(db('customers'), 'age > $min', params))"
+    on_leader = repro.server.Session(leader, 0).handle(
+        {"verb": "fql", "expr": query, "params": {"min": 40}}
+    )["result"]
+    print(f"leader answers {on_leader}; followers answer the same:")
+
+    # -- 2. a routed client: reads → replicas, writes → leader ---------------
+    client = repro.client.connect(
+        port=leader_srv.port,
+        replicas=[srv.port for srv in replica_srvs],
+    )
+    for _ in range(4):
+        assert client.fql(query, params={"min": 40}) == on_leader
+    print(
+        f"  4 routed reads: {client.replica_reads} on replicas, "
+        f"{client.leader_reads} on leader, "
+        f"{client.replica_bounces} bounced"
+    )
+
+    client.set_attr("customers", 1, "age", 95)
+    fresh = client.fql("db('customers')(1)")  # min_ts barrier guarantees
+    print(
+        f"read-your-writes: commit_ts={client.last_commit_ts}, "
+        f"routed read sees age={fresh['age']}"
+    )
+
+    # -- 3. a maintained view stays live on a follower -----------------------
+    view = replicas[0].create_maintained_view(
+        "elders",
+        repro.filter(replicas[0].customers, "age > 90"),
+        eager=True,
+    )
+    client.set_attr("customers", 2, "age", 93)
+    replicas[0].ensure_read_at(min_ts=client.last_commit_ts, timeout=5)
+    print(
+        f"replica view 'elders' now holds keys {sorted(view.keys())} "
+        f"(maintenance: {view.maintenance_stats['deltas_applied']} deltas, "
+        f"{view.maintenance_stats['fallback_recomputes']} recomputes)"
+    )
+
+    # -- 4. manual failover with fencing -------------------------------------
+    token = replicas[1].promote()
+    leader.fence(token)
+    try:
+        leader.customers[1]["age"] = 0
+    except repro.errors.FencedLeaderError as exc:
+        print(f"fenced old leader refuses writes: {exc}")
+    replicas[1].customers[1]["age"] = 50
+    print(
+        f"promoted {replicas[1]._name} (epoch {token}) accepts writes; "
+        f"age(1)={replicas[1].customers(1)('age')}"
+    )
+
+    client.close()
+    for srv in replica_srvs:
+        srv.stop()
+    leader_srv.stop()
+    for replica in replicas:
+        replica.close()
+    leader.close()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

@@ -55,10 +55,10 @@ __version__ = "1.0.0"
 
 
 def __getattr__(name: str):
-    # the client/server subsystem (DESIGN.md §11) loads lazily: most
-    # embedded uses never open a socket, and the server package imports
-    # half the library back
-    if name in ("server", "client"):
+    # the client/server and replication subsystems (DESIGN.md §11–§12)
+    # load lazily: most embedded uses never open a socket, and both
+    # packages import half the library back
+    if name in ("server", "client", "replication"):
         import importlib
 
         return importlib.import_module(f"repro.{name}")
@@ -86,6 +86,7 @@ __all__ = (
         "set_parallel_mode",
         "using_parallel_mode",
         "client",
+        "replication",
         "server",
         "errors",
         "fdm",

@@ -24,6 +24,21 @@ deltas arrive as push frames, drained by :meth:`RemoteDatabase.poll`
 (or implicitly whenever a response is read) and folded into the
 subscription's local snapshot mirror by
 :meth:`RemoteSubscription.apply`.
+
+**Read routing** (DESIGN.md §12): pass ``replicas=[port, ...]`` and
+read-only FQL/SQL fans out round-robin to follower servers while DML,
+transactions, EXPLAIN, STATS, and subscriptions stay on the leader.
+The client tracks its ``last_commit_ts`` from DML/COMMIT responses and
+sends it as the ``min_ts`` read barrier (read-your-writes); an
+optional ``staleness_bound`` adds a bounded-staleness ``max_lag``. A
+follower that cannot catch up in time bounces the read with
+:class:`~repro.errors.ReplicaLagError` and the client transparently
+retries it on the leader::
+
+    with repro.client.connect(port=7878, replicas=[7879, 7880]) as db:
+        db.set_attr("customers", 1, "age", 48)        # → leader
+        rows = db.fql("filter(db('customers'), 'age > 40')")  # → replica,
+        # guaranteed to see the write above (min_ts barrier)
 """
 
 from __future__ import annotations
@@ -38,7 +53,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro._util import MISSING
-from repro.errors import ConnectionClosedError
+from repro.errors import ConnectionClosedError, ReplicaLagError
 from repro.server import protocol
 
 __all__ = ["RemoteDatabase", "RemoteSubscription", "connect"]
@@ -99,6 +114,7 @@ class RemoteSubscription:
         return mine
 
     def unsubscribe(self) -> None:
+        """Tear this subscription down server-side."""
         self.client.unsubscribe(self.sid)
 
 
@@ -110,6 +126,11 @@ class RemoteDatabase:
         host: str = "127.0.0.1",
         port: int = 7878,
         connect_timeout: float = 10.0,
+        replicas: list[Any] | None = None,
+        read_mode: str | None = None,
+        read_your_writes: bool = True,
+        staleness_bound: int | None = None,
+        catchup_timeout: float = 2.0,
     ):
         self._sock = socket.create_connection(
             (host, port), timeout=connect_timeout
@@ -119,6 +140,34 @@ class RemoteDatabase:
         self._pushes: deque[dict[str, Any]] = deque()
         self._subs: dict[int, RemoteSubscription] = {}
         self._closed = False
+        #: Read routing (DESIGN.md §12): follower addresses, lazily
+        #: opened connections, and the staleness policy.
+        self._replica_addrs = [
+            _replica_addr(spec, host) for spec in (replicas or [])
+        ]
+        self._replica_conns: list["RemoteDatabase" | None] = [
+            None for _ in self._replica_addrs
+        ]
+        #: Per-replica cooldown deadline (monotonic seconds): a
+        #: follower that bounced or dropped is skipped until then, so
+        #: a persistently lagging replica costs one stalled read per
+        #: cooldown window instead of one per read.
+        self._replica_down_until = [0.0 for _ in self._replica_addrs]
+        self.replica_cooldown = 5.0
+        self._rr = 0
+        self.read_mode = read_mode or (
+            "replica" if self._replica_addrs else "leader"
+        )
+        self.read_your_writes = read_your_writes
+        self.staleness_bound = staleness_bound
+        self.catchup_timeout = catchup_timeout
+        #: Newest commit stamp this client produced (DML/COMMIT
+        #: responses) — the ``min_ts`` read-your-writes token.
+        self.last_commit_ts = 0
+        self._txn_open = False
+        self.leader_reads = 0
+        self.replica_reads = 0
+        self.replica_bounces = 0
         try:
             # the handshake stays under connect_timeout: an overloaded
             # server that neither admits nor refuses within it surfaces
@@ -129,6 +178,80 @@ class RemoteDatabase:
             self._sock.close()
             raise
         self._sock.settimeout(None)
+
+    # -- read routing (DESIGN.md §12) --------------------------------------------
+
+    def _routed_read(self, payload: dict[str, Any]) -> Any:
+        """Send one read-only request to a follower when policy allows.
+
+        Inside an open transaction every read goes to the leader (only
+        it sees the buffered writes). Otherwise the request gains the
+        session's freshness barriers (``min_ts`` from read-your-writes,
+        ``max_lag`` from the staleness bound) and round-robins across
+        the replica pool; a lag bounce or a dead follower falls back to
+        the leader, which is always current and always correct.
+        """
+        if (
+            not self._replica_addrs
+            or self.read_mode == "leader"
+            or self._txn_open
+        ):
+            self.leader_reads += 1
+            return self._call(payload)
+        routed = dict(payload)
+        if self.read_your_writes and self.last_commit_ts:
+            routed["min_ts"] = self.last_commit_ts
+        if self.staleness_bound is not None:
+            routed["max_lag"] = self.staleness_bound
+        routed["catchup_timeout"] = self.catchup_timeout
+        for _attempt in range(len(self._replica_addrs)):
+            index = self._rr % len(self._replica_addrs)
+            self._rr += 1
+            if time.monotonic() < self._replica_down_until[index]:
+                continue  # cooling down after a bounce or drop
+            try:
+                conn = self.replica_connection(index)
+            except OSError:
+                self._replica_down_until[index] = (
+                    time.monotonic() + self.replica_cooldown
+                )
+                continue  # follower down: try the next one
+            try:
+                result = conn._call(dict(routed))
+                self.replica_reads += 1
+                self._replica_down_until[index] = 0.0
+                return result
+            except ReplicaLagError:
+                # the follower cannot catch up in time: bounce to the
+                # leader rather than serve (or wait on) stale data,
+                # and skip this follower until the cooldown passes
+                self.replica_bounces += 1
+                self._replica_down_until[index] = (
+                    time.monotonic() + self.replica_cooldown
+                )
+                break
+            except (ConnectionClosedError, OSError):
+                self._replica_conns[index] = None
+                self._replica_down_until[index] = (
+                    time.monotonic() + self.replica_cooldown
+                )
+                continue
+        self.leader_reads += 1
+        return self._call(payload)
+
+    def replica_connection(self, index: int) -> "RemoteDatabase":
+        """The plain connection to replica *index* (opened lazily).
+
+        Exposed for advanced use — e.g. subscribing to a maintained
+        view on a specific follower so its IVM deltas are pushed from
+        there instead of the leader.
+        """
+        conn = self._replica_conns[index]
+        if conn is None or conn._closed:
+            replica_host, replica_port = self._replica_addrs[index]
+            conn = RemoteDatabase(replica_host, replica_port)
+            self._replica_conns[index] = conn
+        return conn
 
     # -- plumbing ----------------------------------------------------------------
 
@@ -162,11 +285,24 @@ class RemoteDatabase:
 
     @staticmethod
     def _decode_push(frame: dict[str, Any]) -> dict[str, Any]:
+        """One push frame → one event dict (subscription deltas decode
+        here; WAL-shipping frames pass through raw for the replication
+        client to decode with its own codec)."""
         event: dict[str, Any] = {
             "event": frame["push"],
             "sid": frame.get("sid"),
             "name": frame.get("name"),
         }
+        if frame["push"] in ("wal_batch", "wal_resync"):
+            event.update(
+                {
+                    "records": frame.get("records", []),
+                    "schemas": frame.get("schemas", {}),
+                    "leader_ts": frame.get("leader_ts", 0),
+                    "epoch": frame.get("epoch", 0),
+                }
+            )
+            return event
         if frame["push"] == "resync":
             event["snapshot"] = protocol.decode_value(
                 frame.get("snapshot")
@@ -197,9 +333,10 @@ class RemoteDatabase:
         max_rows: int | None = None,
     ) -> Any:
         """Evaluate an FQL expression server-side; returns plain data
-        (relations decode to ``{key: row}`` dicts)."""
+        (relations decode to ``{key: row}`` dicts). Routed to a read
+        replica when one is configured and policy allows."""
         return protocol.decode_value(
-            self._call(
+            self._routed_read(
                 {
                     "verb": "fql",
                     "expr": expr,
@@ -215,8 +352,9 @@ class RemoteDatabase:
         self, sql: str, params: list[Any] | None = None
     ) -> dict[str, Any]:
         """Run a SELECT; returns ``{"columns": [...], "rows": [...]}``
-        with NULLs as ``None``."""
-        result = self._call(
+        with NULLs as ``None``. Routed to a read replica when one is
+        configured and policy allows."""
+        result = self._routed_read(
             {"verb": "sql", "sql": sql, "params": params or []}
         )
         result["rows"] = [
@@ -237,14 +375,19 @@ class RemoteDatabase:
         return self._call(payload)["explain"]
 
     def stats(self) -> dict[str, Any]:
+        """The leader's introspection dict (STATS verb) — database,
+        session, server, and replication sections; the field reference
+        lives in docs/operations.md."""
         return self._call({"verb": "stats"})
 
     def ping(self) -> bool:
+        """Round-trip liveness probe against the leader."""
         return bool(self._call({"verb": "ping"}).get("pong"))
 
     # -- DML ---------------------------------------------------------------------
 
     def insert(self, table: str, key: Any, row: dict[str, Any]) -> Any:
+        """Insert *row* under *key* (leader only); returns the key."""
         self._dml("insert", table, key=key, row=row)
         return key
 
@@ -254,15 +397,20 @@ class RemoteDatabase:
         return protocol.decode_key(result["key"])
 
     def update(self, table: str, key: Any, row: dict[str, Any]) -> None:
+        """Replace the row under *key* (upsert semantics)."""
         self._dml("update", table, key=key, row=row)
 
     def set_attr(self, table: str, key: Any, attr: str, value: Any) -> None:
+        """Set one attribute of the row under *key*."""
         self._dml("set", table, key=key, attr=attr, value=value)
 
     def delete(self, table: str, key: Any) -> None:
+        """Delete the row under *key*."""
         self._dml("delete", table, key=key)
 
     def _dml(self, op: str, table: str, **fields: Any) -> dict[str, Any]:
+        """Ship one mutation to the leader (writes never touch a
+        replica) and remember its commit stamp for read-your-writes."""
         payload: dict[str, Any] = {"verb": "dml", "op": op, "table": table}
         if "key" in fields:
             payload["key"] = protocol.encode_key(fields["key"])
@@ -272,21 +420,43 @@ class RemoteDatabase:
             payload["attr"] = fields["attr"]
         if "value" in fields:
             payload["value"] = protocol.encode_value(fields["value"])
-        return self._call(payload)
+        result = self._call(payload)
+        if not self._txn_open:
+            self.last_commit_ts = max(
+                self.last_commit_ts, int(result.get("commit_ts") or 0)
+            )
+        return result
 
     # -- transactions ------------------------------------------------------------
 
     def begin(self) -> dict[str, Any]:
-        """Open a snapshot-isolated transaction spanning round trips."""
-        return self._call({"verb": "begin"})
+        """Open a snapshot-isolated transaction spanning round trips.
+
+        While it is open every read routes to the leader — only the
+        leader sees the transaction's buffered writes."""
+        result = self._call({"verb": "begin"})
+        self._txn_open = True
+        return result
 
     def commit(self) -> dict[str, Any]:
         """First-committer-wins validation happens here; a conflict
-        raises :class:`~repro.errors.TransactionConflictError`."""
-        return self._call({"verb": "commit"})
+        raises :class:`~repro.errors.TransactionConflictError`. The
+        returned commit stamp becomes the read-your-writes token."""
+        try:
+            result = self._call({"verb": "commit"})
+        finally:
+            self._txn_open = False
+        self.last_commit_ts = max(
+            self.last_commit_ts, int(result.get("commit_ts") or 0)
+        )
+        return result
 
     def rollback(self) -> dict[str, Any]:
-        return self._call({"verb": "rollback"})
+        """Abort the open transaction; nothing reached the engine."""
+        try:
+            return self._call({"verb": "rollback"})
+        finally:
+            self._txn_open = False
 
     @contextmanager
     def transaction(self) -> Iterator["RemoteDatabase"]:
@@ -303,6 +473,54 @@ class RemoteDatabase:
             raise
         else:
             self.commit()
+
+    # -- failover (DESIGN.md §12) -------------------------------------------------
+
+    def promote(self, replica: int = 0) -> int:
+        """Manually fail over to replica *replica*.
+
+        Sends PROMOTE to the follower (it stops streaming, starts
+        accepting writes, and mints a fencing epoch), then re-points
+        this client's *leader* connection at it, so subsequent DML and
+        transactions land on the new leader. Returns the fencing token
+        — hand it to :meth:`fence` on a connection to the old leader if
+        that process is still alive.
+
+        Subscriptions were registered on the *old* leader's session
+        and die with it: the swap drops them locally (their mirrors
+        stop updating), and callers re-``subscribe`` on the new
+        leader. Pushes already buffered on either connection are
+        preserved and drain through the next :meth:`poll`.
+        """
+        if not self._replica_addrs:
+            raise ValueError(
+                "promote() requires a configured replica pool"
+            )
+        conn = self.replica_connection(replica)
+        result = conn._call({"verb": "promote"})
+        epoch = int(result["epoch"])
+        # the promoted follower is the leader now: swap connections so
+        # writes route there, and retire it from the read pool
+        with self._lock:
+            old_leader, self._sock = self._sock, conn._sock
+            self._pushes.extend(conn._pushes)
+            conn._pushes.clear()
+            self._subs.clear()  # bound to the old leader's session
+            self._replica_addrs.pop(replica)
+            self._replica_conns.pop(replica)
+            self._replica_down_until.pop(replica)
+            conn._closed = True  # the socket now belongs to this client
+        try:
+            old_leader.close()
+        except OSError:
+            pass
+        return epoch
+
+    def fence(self, token: int | None = None) -> dict[str, Any]:
+        """Demote the server this client is connected to (the *old*
+        leader) with the fencing *token* minted by ``promote()``; its
+        writing commits abort from then on."""
+        return self._call({"verb": "fence", "token": token})
 
     # -- subscriptions -----------------------------------------------------------
 
@@ -335,6 +553,7 @@ class RemoteDatabase:
         return subscription
 
     def unsubscribe(self, sid: int) -> None:
+        """Drop subscription *sid* locally and server-side."""
         self._subs.pop(sid, None)
         self._call({"verb": "unsubscribe", "sid": sid})
 
@@ -371,6 +590,8 @@ class RemoteDatabase:
     # -- lifecycle ---------------------------------------------------------------
 
     def close(self) -> None:
+        """Send BYE and release the leader and replica sockets
+        (idempotent)."""
         if self._closed:
             return
         try:
@@ -384,6 +605,9 @@ class RemoteDatabase:
         finally:
             self._closed = True
             self._subs.clear()
+            for conn in self._replica_conns:
+                if conn is not None and not conn._closed:
+                    conn.close()
             try:
                 self._sock.close()
             except OSError:
@@ -401,10 +625,48 @@ class RemoteDatabase:
         return f"<RemoteDatabase {peer}>"
 
 
+def _replica_addr(spec: Any, default_host: str) -> tuple[str, int]:
+    """Normalize one replica address: a port, ``(host, port)``, or
+    ``"host:port"`` string."""
+    if isinstance(spec, int):
+        return (default_host, spec)
+    if isinstance(spec, str) and ":" in spec:
+        replica_host, _, replica_port = spec.rpartition(":")
+        return (replica_host, int(replica_port))
+    if isinstance(spec, (tuple, list)) and len(spec) == 2:
+        return (str(spec[0]), int(spec[1]))
+    raise ValueError(f"unintelligible replica address {spec!r}")
+
+
 def connect(
     host: str = "127.0.0.1",
     port: int = 7878,
     connect_timeout: float = 10.0,
+    replicas: list[Any] | None = None,
+    read_mode: str | None = None,
+    read_your_writes: bool = True,
+    staleness_bound: int | None = None,
+    catchup_timeout: float = 2.0,
 ) -> RemoteDatabase:
-    """Open a client connection to a running :mod:`repro.server`."""
-    return RemoteDatabase(host, port, connect_timeout=connect_timeout)
+    """Open a client connection to a running :mod:`repro.server`.
+
+    ``host:port`` is the leader. *replicas* lists follower servers
+    (ports, ``(host, port)`` pairs, or ``"host:port"`` strings);
+    read-only FQL/SQL then round-robins across them under the
+    read-your-writes barrier (on by default) and the optional
+    bounded-staleness *staleness_bound*, while writes, transactions,
+    and subscriptions stay on the leader. *catchup_timeout* bounds how
+    long a follower may block catching up before the read bounces to
+    the leader. ``read_mode="leader"`` keeps every request on the
+    leader without dropping the pool.
+    """
+    return RemoteDatabase(
+        host,
+        port,
+        connect_timeout=connect_timeout,
+        replicas=replicas,
+        read_mode=read_mode,
+        read_your_writes=read_your_writes,
+        staleness_bound=staleness_bound,
+        catchup_timeout=catchup_timeout,
+    )

@@ -46,10 +46,15 @@ __all__ = ["FunctionalDatabase", "connect"]
 class FunctionalDatabase(DatabaseFunction):
     """A database function over an MVCC engine plus dynamic views."""
 
+    #: Hook for subclasses that need different commit semantics — the
+    #: replica database substitutes a read-only manager here so every
+    #: stored relation built below shares it.
+    _manager_cls = TransactionManager
+
     def __init__(self, name: str = "DB", wal_path: str | None = None):
         super().__init__(name=name)
         self._engine = _open_engine(name, wal_path)
-        self._manager = TransactionManager(self._engine)
+        self._manager = self._manager_cls(self._engine)
         self._stored: dict[str, FDMFunction] = {
             table_name: StoredRelationFunction(
                 self._engine, self._manager, table_name, name=table_name
@@ -353,6 +358,52 @@ class FunctionalDatabase(DatabaseFunction):
     def vacuum(self) -> int:
         return self._manager.vacuum()
 
+    # -- failover fencing (DESIGN.md §12) ---------------------------------------------------
+
+    def fence(self, token: int | None = None) -> None:
+        """Demote this database after a failover: writes are rejected.
+
+        Call this on the *old leader* with the fencing token returned
+        by the promoted follower's ``promote()``. Reads keep answering
+        from the frozen snapshot; every writing commit raises
+        :class:`~repro.errors.FencedLeaderError` from then on.
+
+        A token this node has itself minted or witnessed is refused —
+        and so is a bare ``fence()`` against a promoted node: the
+        promoted leader's own epoch is at least the token, so fencing
+        it (the classic post-failover mis-aim — the routed client's
+        leader connection now points at the *new* leader) would take
+        down the only writable node. To force-demote anyway, call
+        ``db.manager.fence()`` directly.
+        """
+        own = (
+            int(self.epoch)
+            if hasattr(type(self), "epoch")
+            else (
+                self._engine.replication_hub.epoch
+                if self._engine.replication_hub is not None
+                else 1
+            )
+        )
+        if (token is not None and own >= int(token)) or (
+            token is None and own > 1
+        ):
+            from repro.errors import ReplicationError
+
+            raise ReplicationError(
+                f"refusing to fence: this node is at fencing epoch "
+                f"{own}"
+                + (f" >= token {token}" if token is not None else "")
+                + ", so it is the current leader — aim the fence at "
+                "the demoted one"
+            )
+        self._manager.fence(token)
+
+    @property
+    def fenced(self) -> bool:
+        """Whether a failover fence currently rejects writes here."""
+        return self._manager.fenced
+
     # -- lifecycle (DESIGN.md §11) ----------------------------------------------------------------
 
     @property
@@ -431,6 +482,11 @@ class FunctionalDatabase(DatabaseFunction):
                 "clock": manager.now(),
             },
             "versions": engine.version_count(),
+            "replication": (
+                engine.replication_hub.stats()
+                if engine.replication_hub is not None
+                else None
+            ),
         }
 
     # -- durability ------------------------------------------------------------------------------
@@ -441,10 +497,13 @@ class FunctionalDatabase(DatabaseFunction):
     @classmethod
     def restore(cls, path: str, name: str = "DB") -> "FunctionalDatabase":
         engine, clock = load_checkpoint(path, name=name)
+        # the fresh WAL holds nothing below the checkpoint stamp: a
+        # follower syncing from further back must take a snapshot
+        engine.wal.set_floor(clock)
         db = cls.__new__(cls)
         DatabaseFunction.__init__(db, name=name)
         db._engine = engine
-        db._manager = TransactionManager(engine)
+        db._manager = cls._manager_cls(engine)
         db._manager._clock = clock
         db._stored = {
             table_name: StoredRelationFunction(

@@ -279,6 +279,61 @@ class RemoteError(ServerError):
 
 
 # ---------------------------------------------------------------------------
+# Replication (DESIGN.md §12)
+# ---------------------------------------------------------------------------
+
+
+class ReplicationError(ReproError):
+    """Base class for WAL-shipping replication errors.
+
+    Like every :class:`ReproError` subclass, replication errors travel
+    over the wire typed by class name, so a client routed to a lagging
+    follower catches the same :class:`ReplicaLagError` a co-located
+    reader would.
+    """
+
+
+class ReadOnlyReplicaError(ReplicationError, TransactionError):
+    """A write was committed against a follower.
+
+    Followers apply the leader's WAL stream and nothing else; local
+    commits would fork the history. Route DML and transactions to the
+    leader (the client's read router does this automatically), or
+    :meth:`~repro.replication.ReplicaDatabase.promote` the follower
+    first.
+    """
+
+
+class ReplicaLagError(ReplicationError):
+    """A follower could not satisfy a read's freshness requirement.
+
+    Raised when a read carrying ``min_ts`` (read-your-writes) or
+    ``max_lag`` (bounded staleness) times out waiting for the apply
+    loop to catch up. The client treats this as a *bounce*: it retries
+    the read on the leader, which is always current.
+    """
+
+    def __init__(self, required_ts: int, applied_ts: int, timeout: float):
+        self.required_ts = required_ts
+        self.applied_ts = applied_ts
+        super().__init__(
+            f"replica is at commit ts {applied_ts}, read requires "
+            f"{required_ts}; gave up after {timeout:.1f}s"
+        )
+
+
+class FencedLeaderError(ReplicationError, TransactionError):
+    """A commit or WAL batch was rejected by an epoch fence.
+
+    After a manual failover (:meth:`~repro.replication.ReplicaDatabase.
+    promote`), the promoted follower owns a higher *fencing epoch*.
+    A demoted leader that was fenced refuses further commits, and a
+    promoted follower refuses WAL batches stamped with a stale epoch —
+    both sides of the split-brain are closed.
+    """
+
+
+# ---------------------------------------------------------------------------
 # ER model
 # ---------------------------------------------------------------------------
 

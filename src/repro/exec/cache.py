@@ -130,11 +130,14 @@ def _version_token(fn: FDMFunction) -> Any:
         txn_token = (
             (txn.start_ts, txn.write_seq) if txn is not None else None
         )
+        # the commit clock, not the WAL length: the clock is monotonic
+        # even across a replica snapshot resync (which truncates and
+        # re-seeds the WAL, letting its length revisit old values)
         return (
             "stored",
             id(fn._engine),
             fn.table_name,
-            len(fn._engine.wal),
+            manager.now(),
             txn_token,
         )
     version = getattr(fn, "_version", None)

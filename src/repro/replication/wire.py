@@ -1,0 +1,149 @@
+"""Wire codecs for WAL shipping (DESIGN.md §12).
+
+Replication reuses the client/server frame and value envelopes of
+:mod:`repro.server.protocol`; this module only defines the three
+payload shapes that ride inside them:
+
+* **records** — one :class:`~repro.storage.wal.WALRecord` per committed
+  transaction, keys and rows through the shared typed envelopes (rows
+  must be JSON-representable, the same constraint checkpoints impose);
+* **schemas** — per-table DDL sidecars (key names, partition scheme
+  spec, secondary indexes), shipped with every batch that touches a
+  table the follower may not have, because the WAL records data, not
+  DDL;
+* **snapshots** — a checkpoint-shaped full copy of the latest committed
+  state, used for initial sync and for followers whose watermark fell
+  below the leader's WAL floor.
+
+Placement is a pure function of the partition scheme and the write
+order, and both survive these codecs unchanged — which is why a
+follower's partition layout (and its own WAL) come out byte-for-byte
+identical to the leader's.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro._util import TOMBSTONE
+from repro.errors import ReplicationError
+from repro.server import protocol
+from repro.storage.wal import WALRecord
+
+__all__ = [
+    "decode_record",
+    "decode_records",
+    "encode_record",
+    "encode_records",
+    "snapshot_payload",
+    "table_schema",
+]
+
+
+def encode_record(record: WALRecord) -> dict[str, Any]:
+    """One WAL record as a JSON-safe dict (tombstones marked, keys and
+    rows through the protocol envelopes)."""
+    return {
+        "ts": record.commit_ts,
+        "writes": [
+            {
+                "table": table,
+                "key": protocol.encode_key(key),
+                "data": (
+                    None
+                    if data is TOMBSTONE
+                    else protocol.encode_value(data)
+                ),
+                "del": data is TOMBSTONE,
+            }
+            for table, key, data in record.writes
+        ],
+    }
+
+
+def decode_record(payload: dict[str, Any]) -> WALRecord:
+    """Invert :func:`encode_record`; malformed payloads raise
+    :class:`~repro.errors.ReplicationError`."""
+    try:
+        writes = [
+            (
+                w["table"],
+                protocol.decode_key(w["key"]),
+                TOMBSTONE if w["del"] else protocol.decode_value(w["data"]),
+            )
+            for w in payload["writes"]
+        ]
+        return WALRecord(int(payload["ts"]), writes)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReplicationError(
+            f"corrupt WAL batch record: {exc}"
+        ) from exc
+
+
+def encode_records(records: list[WALRecord]) -> list[dict[str, Any]]:
+    """A batch of records, oldest first."""
+    return [encode_record(record) for record in records]
+
+
+def decode_records(payloads: list[dict[str, Any]]) -> list[WALRecord]:
+    """Invert :func:`encode_records`."""
+    return [decode_record(payload) for payload in payloads]
+
+
+def table_schema(engine: Any, name: str) -> dict[str, Any]:
+    """The DDL sidecar for one table: everything a follower needs to
+    recreate it with an identical physical layout."""
+    table = engine.table(name)
+    key_name = table.key_name
+    index_set = engine.indexes.get(name)
+    return {
+        "key_name": (
+            list(key_name) if isinstance(key_name, tuple) else key_name
+        ),
+        "composite": isinstance(key_name, tuple),
+        "partition": (
+            table.scheme.spec() if table.is_partitioned else None
+        ),
+        "indexes": (
+            [
+                {"attr": attr, "kind": index_set.get(attr).kind}
+                for attr in index_set.attrs()
+            ]
+            if index_set is not None
+            else []
+        ),
+    }
+
+
+def decode_key_name(schema: dict[str, Any]) -> Any:
+    """``key_name`` from a schema sidecar (tuple restored for
+    composite keys)."""
+    key_name = schema.get("key_name")
+    if schema.get("composite") and isinstance(key_name, list):
+        return tuple(key_name)
+    return key_name
+
+
+def snapshot_payload(db: Any) -> dict[str, Any]:
+    """A consistent full copy of *db*'s latest committed state.
+
+    The scan runs under a pinned read transaction so a concurrent
+    vacuum cannot collect the versions mid-copy; the payload carries
+    the snapshot stamp, per-table schema sidecars, and every live row.
+    """
+    engine = db.engine
+    txn = db.manager.begin(activate=False)  # pin the snapshot
+    try:
+        ts = txn.start_ts
+        tables: dict[str, Any] = {}
+        for name in engine.table_names():
+            tables[name] = {
+                "schema": table_schema(engine, name),
+                "rows": [
+                    [protocol.encode_key(key), protocol.encode_value(data)]
+                    for key, data in engine.table(name).scan_at(ts)
+                ],
+            }
+        return {"ts": ts, "tables": tables}
+    finally:
+        db.manager.abort(txn)

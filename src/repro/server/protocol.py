@@ -135,6 +135,7 @@ def encode_key(key: Any) -> Any:
 
 
 def decode_key(key: Any) -> Any:
+    """Invert :func:`encode_key` back into a (possibly tuple) key."""
     return decode_tuple_key(key, _decode_key_element)
 
 
@@ -268,6 +269,8 @@ def encode_delta(delta: Any) -> list[list[Any]]:
 
 
 def error_payload(exc: BaseException) -> dict[str, Any]:
+    """The failure half of a response frame: the exception's class
+    name and message, typed for :func:`raise_remote` on the client."""
     return {
         "ok": False,
         "error": {"type": type(exc).__name__, "message": str(exc)},

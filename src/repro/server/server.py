@@ -100,6 +100,7 @@ class _ConnectionWriter:
         self._queue.put(payload, timeout=_PUSH_TIMEOUT)
 
     def close(self) -> None:
+        """Stop the drain thread, flushing what it can."""
         # graceful first (flush queued responses), then force: a writer
         # wedged on a stalled peer is unstuck by the socket shutdown
         try:
@@ -148,6 +149,7 @@ class ReproServer:
     # -- lifecycle ---------------------------------------------------------------
 
     def start(self) -> "ReproServer":
+        """Launch the accept and dispatch threads (idempotent)."""
         if self._running.is_set():
             return self
         self._running.set()
@@ -205,8 +207,12 @@ class ReproServer:
     # -- introspection -----------------------------------------------------------
 
     def stats(self) -> dict[str, Any]:
+        """Admission-pipeline counters plus, when this database ships
+        its WAL, the replication hub's per-follower rows (see
+        docs/operations.md for the field reference)."""
         with self._lock:
             active = len(self._sessions)
+        hub = getattr(self.db.engine, "replication_hub", None)
         return {
             "host": self.host,
             "port": self.port,
@@ -216,6 +222,7 @@ class ReproServer:
             "accepted": self.accepted,
             "rejected_busy": self.rejected_busy,
             "requests": self.requests_served,
+            "replication": hub.stats() if hub is not None else None,
         }
 
     # -- admission pipeline ------------------------------------------------------

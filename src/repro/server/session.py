@@ -93,21 +93,25 @@ class DatabaseView(DatabaseFunction):
 
     @property
     def domain(self) -> Any:
+        """The served database's relation-name domain, unchanged."""
         return self._db.domain
 
     @property
     def _version(self) -> int:
         # plan-cache fingerprints treat the view as a versioned leaf:
-        # the WAL length moves on every commit
-        return len(self._db.engine.wal)
+        # the commit clock moves on every commit and stays monotonic
+        # across a replica snapshot resync (WAL length does not)
+        return self._db.manager.now()
 
     def _apply(self, key: Any) -> Any:
         return self._db._apply(key)
 
     def defined_at(self, *args: Any) -> bool:
+        """Delegate relation-name membership to the served database."""
         return self._db.defined_at(*args)
 
     def keys(self):
+        """Enumerate the served database's relation names."""
         return self._db.keys()
 
     def __len__(self) -> int:
@@ -184,6 +188,8 @@ class Subscription:
             self.close()
 
     def close(self) -> None:
+        """Detach from the view; later deltas no longer reach this
+        subscriber (idempotent)."""
         if self.view is not None:
             self.view.remove_delta_listener(self._on_delta)
             self.view = None
@@ -246,10 +252,14 @@ class Session:
                 self.txn.detach()
 
     def close(self) -> None:
-        """Tear down: drop subscriptions, roll back any open work."""
+        """Tear down: drop subscriptions and replication attachment,
+        roll back any open work."""
         for sub in list(self.subscriptions.values()):
             sub.close()
         self.subscriptions.clear()
+        hub = getattr(self.db.engine, "replication_hub", None)
+        if hub is not None:
+            hub.detach(self.session_id)
         txn, self.txn = self.txn, None
         if txn is not None and txn.state == "active":
             self.db.manager.abort(txn)
@@ -257,6 +267,8 @@ class Session:
     # -- FQL / EXPLAIN -----------------------------------------------------------
 
     def _eval_fql(self, text: str, params: Any) -> Any:
+        """Compile and evaluate one FQL expression in the session's
+        closed namespace; remembers it for a bare EXPLAIN."""
         code = compile_fql(text)
         scope = dict(self._namespace)
         scope["params"] = params if isinstance(params, dict) else {}
@@ -265,6 +277,8 @@ class Session:
         return expression
 
     def _verb_hello(self, request: dict[str, Any]) -> dict[str, Any]:
+        """HELLO: the connection handshake — server name, library
+        version, session id, and the visible relation names."""
         import repro
 
         return {
@@ -275,20 +289,54 @@ class Session:
         }
 
     def _verb_ping(self, request: dict[str, Any]) -> dict[str, Any]:
+        """PING: liveness probe; answers ``{"pong": true}``."""
         return {"pong": True}
 
     def _verb_bye(self, request: dict[str, Any]) -> dict[str, Any]:
+        """BYE: orderly shutdown — the server closes after responding."""
         self.closing = True
         return {"bye": True}
 
+    def _read_barrier(self, request: dict[str, Any]) -> None:
+        """Apply a read's freshness requirements before executing it.
+
+        ``min_ts`` (read-your-writes) and ``max_lag`` (bounded
+        staleness) only bind on a replica — it blocks until its apply
+        loop catches up, or bounces with :class:`~repro.errors.
+        ReplicaLagError` after ``catchup_timeout`` seconds. A leader is
+        always current, so the barrier is a no-op there and clients
+        need not know which kind of database answers them.
+        """
+        min_ts = request.get("min_ts")
+        max_lag = request.get("max_lag")
+        if min_ts is None and max_lag is None:
+            return
+        # class-level probe: a database function resolves unknown
+        # *instance* attributes as relation names
+        if not hasattr(type(self.db), "ensure_read_at"):
+            return  # a leader serves its own commits by definition
+        timeout = request.get("catchup_timeout")
+        self.db.ensure_read_at(
+            min_ts=min_ts,
+            max_lag=max_lag,
+            timeout=2.0 if timeout is None else float(timeout),
+        )
+
     def _verb_fql(self, request: dict[str, Any]) -> Any:
+        """FQL: evaluate an expression and return its encoded value
+        (relations enumerate into row envelopes, ``max_rows`` caps
+        them). Honors the replica read barrier."""
         expr = request.get("expr")
         if not isinstance(expr, str):
             raise ProtocolError("FQL verb requires an 'expr' string")
+        self._read_barrier(request)
         result = self._eval_fql(expr, request.get("params"))
         return protocol.encode_value(result, request.get("max_rows"))
 
     def _verb_explain(self, request: dict[str, Any]) -> dict[str, Any]:
+        """EXPLAIN: render the physical plan of ``expr`` — or, with no
+        expression, of the session's previous FQL statement (whose
+        cached plan is thereby reused)."""
         from repro.exec import explain
 
         expr = request.get("expr")
@@ -325,6 +373,7 @@ class Session:
         sql_text = request.get("sql")
         if not isinstance(sql_text, str):
             raise ProtocolError("SQL verb requires a 'sql' string")
+        self._read_barrier(request)
         statement = parse_sql(sql_text)
         if not isinstance(statement, (SelectStmt, SetOpStmt)):
             raise SQLExecutionError(
@@ -374,17 +423,18 @@ class Session:
     def _mirror_relation(self, table_name: str):
         """The relational mirror of one table, cached per session.
 
-        Version token: the WAL length moves on every commit (the plan
-        cache keys on the same counter), and an open transaction adds
-        its identity plus buffered-write count — so point SELECTs stop
-        paying a full re-materialization unless the visible snapshot
-        actually changed.
+        Version token: the commit clock moves on every commit (the
+        plan cache keys on the same counter, and unlike the WAL length
+        it is monotonic across a replica snapshot resync), and an open
+        transaction adds its identity plus buffered-write count — so
+        point SELECTs stop paying a full re-materialization unless the
+        visible snapshot actually changed.
         """
         from repro.relational.relation import Relation
 
         txn = self.txn
         token = (
-            len(self.db.engine.wal),
+            self.db.manager.now(),
             (txn.txn_id, txn.write_seq) if txn is not None else None,
         )
         cached = self._sql_mirror.get(table_name)
@@ -449,11 +499,21 @@ class Session:
             del relation[key]
         else:
             raise ProtocolError(f"unknown DML op {op!r}")
-        return {"op": op, "table": table, "key": protocol.encode_key(key)}
+        return {
+            "op": op,
+            "table": table,
+            "key": protocol.encode_key(key),
+            # outside a transaction the statement committed: its stamp
+            # is the client's read-your-writes token (inside one, the
+            # COMMIT response carries the authoritative stamp)
+            "commit_ts": self.db.manager.now(),
+        }
 
     # -- transaction control -----------------------------------------------------
 
     def _verb_begin(self, request: dict[str, Any]) -> dict[str, Any]:
+        """BEGIN: open the session's snapshot-isolated transaction
+        (one per session; it spans round trips until COMMIT/ROLLBACK)."""
         if self.txn is not None:
             raise TransactionStateError(
                 "this session already has an open transaction"
@@ -462,15 +522,20 @@ class Session:
         return {"txn": self.txn.txn_id, "snapshot": self.txn.start_ts}
 
     def _verb_commit(self, request: dict[str, Any]) -> dict[str, Any]:
+        """COMMIT: first-committer-wins validation; a conflict crosses
+        the wire as ``TransactionConflictError``. The response carries
+        the commit stamp — the client's read-your-writes token."""
         if self.txn is None:
             raise TransactionStateError(
                 "no transaction is open on this session"
             )
         txn, self.txn = self.txn, None
-        self.db.manager.commit(txn)  # conflicts raise through the wire
-        return {"txn": txn.txn_id, "committed": True}
+        commit_ts = self.db.manager.commit(txn)  # conflicts raise
+        return {"txn": txn.txn_id, "committed": True, "commit_ts": commit_ts}
 
     def _verb_rollback(self, request: dict[str, Any]) -> dict[str, Any]:
+        """ROLLBACK: abort the session transaction; its buffer never
+        reached the engine or the WAL."""
         if self.txn is None:
             raise TransactionStateError(
                 "no transaction is open on this session"
@@ -482,6 +547,10 @@ class Session:
     # -- STATS -------------------------------------------------------------------
 
     def _verb_stats(self, request: dict[str, Any]) -> dict[str, Any]:
+        """STATS: the database's introspection dict (``db.stats()``)
+        plus this session's counters and, when socket-served, the
+        server's admission stats (see docs/operations.md for the field
+        reference)."""
         stats = self.db.stats()
         stats["session"] = {
             "id": self.session_id,
@@ -539,6 +608,8 @@ class Session:
         }
 
     def _verb_unsubscribe(self, request: dict[str, Any]) -> dict[str, Any]:
+        """UNSUBSCRIBE: tear down one subscription by sid; its view
+        unregisters from the IVM registry and pushes stop."""
         sid = request.get("sid")
         subscription = self.subscriptions.pop(sid, None)
         if subscription is None:
@@ -551,6 +622,65 @@ class Session:
         path is dead or saturated (the subscription then closes
         itself — see :meth:`Subscription._on_delta`)."""
         self.send_push(payload)
+
+    # -- replication (DESIGN.md §12) ---------------------------------------------
+
+    def _verb_replica_hello(self, request: dict[str, Any]) -> dict[str, Any]:
+        """REPLICA_HELLO: attach this session as a WAL-shipping
+        follower.
+
+        ``since`` is the follower's applied commit stamp, ``epoch`` the
+        newest fencing epoch it has witnessed. The response either
+        carries the WAL backlog (``mode: "stream"``) or a full snapshot
+        (``mode: "snapshot"``) when the requested history fell below
+        the leader's WAL floor; every later commit then arrives as a
+        ``WAL_BATCH`` push frame on this connection. Works on any
+        database — including a replica, so read fan-out can cascade.
+        """
+        from repro.replication import hub_for
+
+        hub = hub_for(self.db)
+        return hub.hello(
+            self.session_id,
+            int(request.get("since") or 0),
+            int(request.get("epoch") or 0),
+            self._push,
+        )
+
+    def _verb_replica_ack(self, request: dict[str, Any]) -> dict[str, Any]:
+        """REPLICA_ACK: the follower reports its applied stamp; the
+        response carries the leader's clock and the resulting lag."""
+        from repro.errors import ReplicationError
+
+        hub = getattr(self.db.engine, "replication_hub", None)
+        if hub is None:
+            raise ReplicationError(
+                "this server ships no WAL (no REPLICA_HELLO was seen)"
+            )
+        return hub.ack(
+            self.session_id, int(request.get("applied_ts") or 0)
+        )
+
+    def _verb_promote(self, request: dict[str, Any]) -> dict[str, Any]:
+        """PROMOTE: manual failover — turn a replica into a writable
+        leader and mint the fencing epoch the operator must hand to
+        the demoted leader's FENCE."""
+        from repro.errors import ReplicationError
+
+        if not hasattr(type(self.db), "promote"):
+            raise ReplicationError(
+                "PROMOTE requires a replica database; this server is "
+                "already a leader"
+            )
+        return {"epoch": self.db.promote(), "promoted": True}
+
+    def _verb_fence(self, request: dict[str, Any]) -> dict[str, Any]:
+        """FENCE: demote this (old) leader after a failover — every
+        later writing commit aborts with ``FencedLeaderError``. The
+        ``token`` is the epoch minted by the promoted replica."""
+        token = request.get("token")
+        self.db.fence(token)
+        return {"fenced": True, "token": token}
 
     def __repr__(self) -> str:
         return (

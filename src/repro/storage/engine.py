@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from repro._util import TOMBSTONE
-from repro.errors import StorageError, UnknownRelationError
+from repro.errors import StorageError, UnknownRelationError, WALError
 from repro.ivm.changelog import ChangeLog
 from repro.ivm.delta import Delta
 from repro.storage.index import HashIndex, IndexSet, SortedIndex
@@ -43,6 +43,10 @@ class StorageEngine:
         #: Maintained views over this engine; created lazily by
         #: :func:`repro.ivm.registry.registry_for`.
         self.view_registry = None
+        #: Leader-side WAL shipping (DESIGN.md §12); created lazily by
+        #: :func:`repro.replication.hub_for` on the first REPLICA_HELLO
+        #: so unreplicated databases pay nothing on the commit path.
+        self.replication_hub = None
 
     def ensure_changelog(self) -> ChangeLog:
         """Start change capture (idempotent). The floor sits at the
@@ -260,7 +264,13 @@ class StorageEngine:
         engine = cls(name=name)
         schemas = schemas or {}
         partition_schemes = partition_schemes or {}
-        for record in wal.records():
+        records = wal.records_since(0)
+        if records is None:
+            raise WALError(
+                f"WAL history below ts {wal.floor} was truncated; replay "
+                "the checkpoint first, then the WAL suffix"
+            )
+        for record in records:
             for table_name, key, data in record.writes:
                 if not engine.has_table(table_name):
                     engine.create_table(

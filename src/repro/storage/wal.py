@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import json
 import os
+from bisect import bisect_right
 from typing import Any, Iterator
 
 from repro._util import TOMBSTONE, decode_tuple_key, encode_tuple_key
@@ -86,6 +87,11 @@ class WriteAheadLog:
         self._path = path
         self._file = None
         self._closed = False
+        #: History at or below this stamp is not in the log (it was
+        #: truncated away by a checkpoint, or the engine was restored
+        #: from a checkpoint into a fresh log). Consumers asking for
+        #: records below the floor must resync from a snapshot.
+        self._floor = 0
         if path is not None:
             self._file = open(path, "a", encoding="utf-8")
 
@@ -96,6 +102,16 @@ class WriteAheadLog:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def floor(self) -> int:
+        """Newest stamp whose history this log can no longer replay."""
+        return self._floor
+
+    def set_floor(self, commit_ts: int) -> None:
+        """Record that history at or below *commit_ts* lives elsewhere
+        (a checkpoint); :meth:`records_since` refuses requests below it."""
+        self._floor = max(self._floor, commit_ts)
 
     def append(self, record: WALRecord) -> None:
         if self._closed:
@@ -110,7 +126,25 @@ class WriteAheadLog:
             os.fsync(self._file.fileno())
 
     def records(self) -> Iterator[WALRecord]:
+        """Every retained record in commit order (full replay)."""
         return iter(self._records)
+
+    def records_since(self, commit_ts: int) -> list[WALRecord] | None:
+        """Records strictly newer than *commit_ts*, or ``None`` if the
+        log can no longer answer (history below the floor was truncated
+        — the consumer must resync from a checkpoint snapshot).
+
+        Records are kept in commit order, so the suffix is located by
+        binary search instead of a full scan: this is the log-shipping
+        iterator (DESIGN.md §12) and the reopen-replay path, both of
+        which would otherwise re-walk the whole log on every call.
+        """
+        if commit_ts < self._floor:
+            return None
+        start = bisect_right(
+            self._records, commit_ts, key=lambda r: r.commit_ts
+        )
+        return self._records[start:]
 
     def __len__(self) -> int:
         return len(self._records)
@@ -122,7 +156,10 @@ class WriteAheadLog:
         return os.path.getsize(self._path)
 
     def last_commit_ts(self) -> int:
-        return self._records[-1].commit_ts if self._records else 0
+        """Stamp of the newest retained record (the floor if empty)."""
+        return (
+            self._records[-1].commit_ts if self._records else self._floor
+        )
 
     def flush(self) -> None:
         """Force buffered bytes to durable storage."""
@@ -170,7 +207,14 @@ class WriteAheadLog:
         return log
 
     def truncate(self) -> None:
-        """Discard all records (after a checkpoint)."""
+        """Discard all records (after a checkpoint).
+
+        The floor rises to the newest discarded stamp, so a later
+        :meth:`records_since` below it reports the history as gone
+        instead of silently returning an incomplete suffix.
+        """
+        if self._records:
+            self._floor = max(self._floor, self._records[-1].commit_ts)
         self._records.clear()
         if self._file is not None and self._path is not None:
             self._file.close()

@@ -37,6 +37,7 @@ from typing import Any, Iterator
 
 from repro._util import TOMBSTONE
 from repro.errors import (
+    FencedLeaderError,
     TransactionConflictError,
     TransactionStateError,
 )
@@ -162,6 +163,11 @@ class TransactionManager:
         self._local = threading.local()
         self.commits = 0
         self.aborts = 0
+        #: Set by :meth:`fence` after a failover promoted a follower:
+        #: a fenced (demoted) leader aborts every writing commit with
+        #: :class:`FencedLeaderError` so the old timeline cannot fork.
+        self.fenced = False
+        self.fence_token: int | None = None
 
     # -- clock ----------------------------------------------------------------------
 
@@ -179,9 +185,33 @@ class TransactionManager:
             self._activate(txn)
         return txn
 
-    def commit(self, txn: Transaction) -> None:
+    def fence(self, token: int | None = None) -> None:
+        """Demote this database: reject every future writing commit.
+
+        *token* is the promoted follower's fencing epoch, kept for
+        diagnostics; read-only transactions keep working (a demoted
+        leader is still a consistent, if frozen, snapshot).
+        """
+        with self._lock:
+            self.fenced = True
+            self.fence_token = token
+
+    def commit(self, txn: Transaction) -> int:
+        """Validate and durably apply *txn*; returns its commit stamp
+        (the unchanged clock for a read-only transaction)."""
         txn._check_active("commit")
         with self._lock:
+            # checked under the lock: fence() must win against any
+            # commit it did not observe completing — a write slipping
+            # through after fence() returned would fork the timeline
+            if self.fenced and txn.writes:
+                self._finish(txn, ABORTED)
+                self.aborts += 1
+                raise FencedLeaderError(
+                    f"transaction {txn.txn_id} rejected: this database "
+                    f"was fenced by failover token {self.fence_token!r} "
+                    "and no longer accepts writes"
+                )
             for (table_name, key) in txn.writes:
                 table = self.engine.table(table_name)
                 if table.latest_ts(key) > txn.start_ts:
@@ -212,6 +242,13 @@ class TransactionManager:
             registry = getattr(self.engine, "view_registry", None)
             if registry is not None:
                 registry.notify_commit(commit_ts)
+            # WAL shipping rides the same post-commit hook: the hub
+            # reads the new suffix via records_since and pushes it to
+            # every attached follower (DESIGN.md §12)
+            hub = getattr(self.engine, "replication_hub", None)
+            if hub is not None:
+                hub.on_commit(commit_ts)
+        return commit_ts
 
     def abort(self, txn: Transaction) -> None:
         txn._check_active("rollback")
