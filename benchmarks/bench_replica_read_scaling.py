@@ -38,9 +38,9 @@ def _build_leader() -> repro.FunctionalDatabase:
     return db
 
 
-def _reader(port: int, replica_ports: list[int], results: list, idx: int):
-    """One reader thread: its own routed client, counted reads."""
-    client = repro.client.connect(port=port, replicas=replica_ports or None)
+def _reader(port: int, my_replicas: list[int], results: list, idx: int):
+    """One reader thread: its own client, pinned to one backend."""
+    client = repro.client.connect(port=port, replicas=my_replicas or None)
     try:
         latencies = []
         for i in range(READS_PER_READER):
@@ -57,12 +57,31 @@ def _reader(port: int, replica_ports: list[int], results: list, idx: int):
 
 
 def _drive(port: int, replica_ports: list[int]) -> dict:
-    results: list = [None] * N_READERS
+    """Concurrent read workers, scaled with the follower pool.
+
+    Earlier revisions kept a fixed four workers whose clients
+    round-robined across the whole pool — total in-flight reads never
+    grew with the pool, so 0/2/4 followers measured identically (the
+    ROADMAP's flat ~250 qps). Now each *backend* gets ``N_READERS``
+    dedicated workers, each worker's client pinned to one follower (or
+    the leader when the pool is empty): offered concurrency — and thus
+    measured throughput — scales with the followers actually deployed.
+    """
+    n_workers = N_READERS * max(1, len(replica_ports))
+    results: list = [None] * n_workers
     threads = [
         threading.Thread(
-            target=_reader, args=(port, replica_ports, results, idx)
+            target=_reader,
+            args=(
+                port,
+                [replica_ports[idx % len(replica_ports)]]
+                if replica_ports
+                else [],
+                results,
+                idx,
+            ),
         )
-        for idx in range(N_READERS)
+        for idx in range(n_workers)
     ]
     start = time.perf_counter()
     for thread in threads:
@@ -71,7 +90,7 @@ def _drive(port: int, replica_ports: list[int]) -> dict:
         thread.join(timeout=60)
     elapsed = time.perf_counter() - start
     assert all(r is not None for r in results), "a reader died"
-    total = N_READERS * READS_PER_READER
+    total = n_workers * READS_PER_READER
     replica_reads = sum(r[1] for r in results)
     leader_reads = sum(r[2] for r in results)
     return {
@@ -87,7 +106,10 @@ def _drive(port: int, replica_ports: list[int]) -> dict:
 @pytest.mark.parametrize("n_replicas", [0, 2, 4])
 def test_replica_read_scaling(benchmark, n_replicas):
     leader = _build_leader()
-    srv = repro.server.serve(leader, port=0, max_sessions=N_READERS * 2 + 4)
+    # every pinned worker also holds a leader connection (DML and
+    # bounce fallback), so the leader cap scales with the worker count
+    n_workers = N_READERS * max(1, n_replicas)
+    srv = repro.server.serve(leader, port=0, max_sessions=n_workers * 2 + 8)
     replicas = [
         repro.replication.start_replica(
             port=srv.port, name=f"bench-replica-{i}", poll_interval=0.02
@@ -95,7 +117,7 @@ def test_replica_read_scaling(benchmark, n_replicas):
         for i in range(n_replicas)
     ]
     replica_srvs = [
-        repro.server.serve(r, port=0, max_sessions=N_READERS * 2 + 4)
+        repro.server.serve(r, port=0, max_sessions=N_READERS * 2 + 8)
         for r in replicas
     ]
     try:

@@ -441,6 +441,9 @@ class FunctionalDatabase(DatabaseFunction):
         everything a dashboard (or the server's STATS verb) needs
         without reaching into subsystem internals.
         """
+        from repro.exec.batch import batch_mode, counters
+        from repro.exec.kernels import kernel_backend
+
         engine = self._engine
         manager = self._manager
         views: dict[str, Any] = {}
@@ -457,6 +460,13 @@ class FunctionalDatabase(DatabaseFunction):
                 if engine.plan_cache is not None
                 else None
             ),
+            # process-wide executor counters (the batch/kernel switches
+            # and zone-map effectiveness are global, not per database)
+            "executor": {
+                "batch_mode": batch_mode(),
+                "kernel_backend": kernel_backend(),
+                **counters.snapshot(),
+            },
             "views": views,
             "tables": {
                 table_name: self.partition_layout(table_name)

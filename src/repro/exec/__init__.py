@@ -19,13 +19,25 @@ Public surface:
   :func:`fingerprint`
 """
 
+from repro.exec.batch import (
+    COLUMNAR_BATCH_SIZE,
+    ColumnBatch,
+    batch_mode,
+    set_batch_mode,
+    using_batch_mode,
+)
 from repro.exec.cache import (
     PlanCache,
     cache_for,
     default_plan_cache,
     fingerprint,
 )
-from repro.exec.explain import explain
+from repro.exec.explain import analyze, explain
+from repro.exec.kernels import (
+    kernel_backend,
+    set_kernel_backend,
+    using_kernel_backend,
+)
 from repro.exec.lower import PhysicalPipeline, lower
 from repro.exec.nodes import BATCH_SIZE, PhysicalNode
 from repro.exec.run import (
@@ -40,19 +52,28 @@ from repro.exec.run import (
 
 __all__ = [
     "BATCH_SIZE",
+    "COLUMNAR_BATCH_SIZE",
+    "ColumnBatch",
     "PhysicalNode",
     "PhysicalPipeline",
     "PlanCache",
+    "analyze",
+    "batch_mode",
     "cache_for",
     "default_plan_cache",
     "exec_mode",
     "explain",
     "fingerprint",
     "join_bindings",
+    "kernel_backend",
     "lower",
     "pipeline_for",
     "route_items",
     "route_keys",
+    "set_batch_mode",
     "set_exec_mode",
+    "set_kernel_backend",
+    "using_batch_mode",
     "using_exec_mode",
+    "using_kernel_backend",
 ]

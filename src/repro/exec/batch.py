@@ -1,0 +1,178 @@
+"""Columnar batches: the physical tuple representation (DESIGN.md §13).
+
+A :class:`ColumnBatch` carries a chunk of a relation as parallel lists —
+``keys`` plus the committed row dicts — and materializes *views* of that
+data lazily:
+
+* ``col(attr)`` extracts one attribute column (undefined slots become the
+  shared ``MISSING`` sentinel), which is what predicate kernels and
+  vectorized aggregates consume;
+* ``pairs()`` re-assembles ``(key, tuple_function)`` rows, which only
+  happens at the client/wire boundary, the view-refresh boundary, or
+  inside an operator that genuinely needs tuples (late materialization).
+
+Selection is a *mask + take*: filters compute a boolean mask over the
+batch and :meth:`ColumnBatch.take` compresses keys and rows without
+touching per-row tuple objects.
+
+``REPRO_BATCH=rows`` is the escape hatch back to the PR-1 row-batch
+executor, mirroring ``REPRO_EXEC``/``REPRO_PARALLEL``; the plan cache
+keys pipelines by this mode so cached plans never cross modes.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from itertools import compress
+from typing import Any, Iterator
+
+from repro._util import MISSING
+
+__all__ = [
+    "COLUMNAR_BATCH_SIZE",
+    "ColumnBatch",
+    "batch_mode",
+    "set_batch_mode",
+    "using_batch_mode",
+    "counters",
+    "reset_counters",
+]
+
+#: Columnar batches are larger than row batches (exec.nodes.BATCH_SIZE):
+#: per-batch overhead (column extraction, numpy conversion) amortizes
+#: over more rows, and columns of this size still fit comfortably in
+#: cache.
+COLUMNAR_BATCH_SIZE = 1024
+
+#: Session override; ``None`` means "read the REPRO_BATCH env var".
+_MODE_OVERRIDE: str | None = None
+
+
+def batch_mode() -> str:
+    """``"columnar"`` (default) or ``"rows"`` (``REPRO_BATCH=rows``)."""
+    if _MODE_OVERRIDE is not None:
+        return _MODE_OVERRIDE
+    mode = os.environ.get("REPRO_BATCH", "").strip().lower()
+    if mode in ("rows", "row", "off", "0"):
+        return "rows"
+    return "columnar"
+
+
+def set_batch_mode(mode: str | None) -> None:
+    """Force a batch mode for this process (``None`` restores env control)."""
+    global _MODE_OVERRIDE
+    if mode is not None and mode not in ("columnar", "rows"):
+        raise ValueError(
+            f"batch mode must be 'columnar' or 'rows', got {mode!r}"
+        )
+    _MODE_OVERRIDE = mode
+
+
+@contextmanager
+def using_batch_mode(mode: str | None) -> Iterator[None]:
+    """Temporarily force a batch mode (used by the differential tests)."""
+    previous = _MODE_OVERRIDE
+    set_batch_mode(mode)
+    try:
+        yield
+    finally:
+        set_batch_mode(previous)
+
+
+class ColumnBatch:
+    """A chunk of rows held column-accessible, materialized late."""
+
+    __slots__ = ("keys", "rows", "name", "np_cache", "_cols", "_pairs")
+
+    def __init__(self, keys: list, rows: list, name: str = "batch"):
+        self.keys = keys
+        self.rows = rows  # committed dicts, shared (never mutated in place)
+        self.name = name
+        self.np_cache: dict = {}
+        self._cols: dict = {}
+        self._pairs: list | None = None
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def col(self, attr: str) -> list:
+        """One attribute as a value list; undefined slots are MISSING."""
+        got = self._cols.get(attr)
+        if got is None:
+            got = [row.get(attr, MISSING) for row in self.rows]
+            self._cols[attr] = got
+        return got
+
+    def pairs(self) -> list:
+        """Materialize ``(key, tuple)`` rows — the late boundary."""
+        if self._pairs is None:
+            from repro.fdm.tuples import RowTuple
+
+            name = self.name
+            self._pairs = [
+                (key, RowTuple(row, name))
+                for key, row in zip(self.keys, self.rows)
+            ]
+        return self._pairs
+
+    def __iter__(self) -> Iterator[tuple[Any, Any]]:
+        return iter(self.pairs())
+
+    def __getitem__(self, index: Any) -> Any:
+        if isinstance(index, slice):
+            return ColumnBatch(
+                self.keys[index], self.rows[index], self.name
+            )
+        return self.pairs()[index]
+
+    def take(self, mask: Any) -> "ColumnBatch":
+        """Rows selected by a boolean mask, as a new batch."""
+        if not isinstance(mask, list):
+            mask = mask.tolist()
+        return ColumnBatch(
+            list(compress(self.keys, mask)),
+            list(compress(self.rows, mask)),
+            self.name,
+        )
+
+    def __repr__(self) -> str:
+        return f"<ColumnBatch {self.name!r}: {len(self.keys)} rows>"
+
+
+class ExecutorCounters:
+    """Process-wide executor telemetry, surfaced via ``db.stats()``.
+
+    Plain unlocked increments: counts are informational (explain/stats),
+    and a rare lost update under threads is acceptable.
+    """
+
+    __slots__ = (
+        "columnar_batches",
+        "columnar_rows",
+        "row_batches",
+        "row_rows",
+        "zone_segments_skipped",
+        "zone_segments_scanned",
+    )
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.columnar_batches = 0
+        self.columnar_rows = 0
+        self.row_batches = 0
+        self.row_rows = 0
+        self.zone_segments_skipped = 0
+        self.zone_segments_scanned = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+
+counters = ExecutorCounters()
+
+
+def reset_counters() -> None:
+    counters.reset()

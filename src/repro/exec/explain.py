@@ -9,10 +9,13 @@ output; README.md documents the format.
 
 from __future__ import annotations
 
+import time
+from typing import Any
+
 from repro.fdm.functions import FDMFunction
 from repro.exec.lower import lower
 
-__all__ = ["explain"]
+__all__ = ["explain", "analyze"]
 
 
 def explain(fn: FDMFunction, estimates: bool = True) -> str:
@@ -58,7 +61,167 @@ def explain(fn: FDMFunction, estimates: bool = True) -> str:
         lines.append("  (naive per-key interpretation)")
     else:
         lines.append(pipeline.explain())
+
+    lines.append("")
+    lines.append("== batching ==")
+    lines.extend(_batching_summary(pipeline))
     return "\n".join(lines)
+
+
+def _batching_summary(pipeline: Any) -> list[str]:
+    """Batch representation, kernel backend, and static zone verdicts."""
+    from repro.exec.batch import batch_mode
+    from repro.exec.kernels import HAVE_NUMPY, kernel_backend
+
+    mode = batch_mode()
+    out = [
+        f"  batches: {mode}",
+        f"  kernels: {kernel_backend()}"
+        + ("" if HAVE_NUMPY else " (numpy unavailable)"),
+    ]
+    if pipeline is None or mode != "columnar":
+        return out
+    for node, _depth in _walk(pipeline.root):
+        zone_line = _zone_verdict(node)
+        if zone_line is not None:
+            out.append(zone_line)
+    return out
+
+
+def _walk(node: Any, depth: int = 0):
+    yield node, depth
+    for child in getattr(node, "children", ()):
+        yield from _walk(child, depth + 1)
+
+
+def _zone_verdict(node: Any) -> str | None:
+    """Static zone-map verdict for a node carrying a zone predicate.
+
+    Covers both carriers: serial scans over stored relations, and
+    scatter–gather nodes (which check zones per partition at scatter
+    time). The verdict is computed against the *current* committed zone
+    maps — the same maps execution will consult.
+    """
+    from repro.exec.nodes import ScanNode
+    from repro.partition.parallel import ScatterGatherNode
+    from repro.storage.stats import zone_may_match
+
+    if isinstance(node, ScanNode):
+        fn = node.fn
+    elif isinstance(node, ScatterGatherNode):
+        fn = node.relation
+    else:
+        return None
+    pred = node.zone_predicate
+    if pred is None:
+        return None
+    engine = getattr(fn, "_engine", None)
+    if engine is None:
+        return None
+    zones = engine.zones.get(fn.table_name)
+    if zones is None:
+        return None
+    skipped = sum(1 for z in zones if not zone_may_match(z, pred))
+    return (
+        f"  zone maps {fn.fn_name!r}: scan {len(zones) - skipped}/"
+        f"{len(zones)} segments ({skipped} skipped) "
+        f"[{pred.to_source()}]"
+    )
+
+
+def analyze(fn: FDMFunction) -> str:
+    """Run *fn* once and report per-node batch/row/time counters.
+
+    Plans a **fresh** pipeline (never the cached one — instrumentation
+    must not leak into plans served to ordinary queries), wraps every
+    physical node's batch stream with counting and wall-clock shims,
+    drains the root, and renders the operator tree annotated with
+    ``batches / rows / wall`` per node plus the zone-map skip totals the
+    run accumulated.
+    """
+    from repro.optimizer import optimize
+    from repro.exec.batch import counters
+    from repro.exec.run import pipeline_rules
+
+    trace: list[str] = []
+    optimized = optimize(fn, rules=pipeline_rules(), trace=trace)
+    pipeline = lower(optimized, logical=fn, fired_rules=trace)
+
+    lines: list[str] = ["== analyze =="]
+    if pipeline is None:
+        start = time.perf_counter_ns()
+        n = sum(1 for _ in fn.items())
+        wall = time.perf_counter_ns() - start
+        lines.append("  (naive per-key interpretation)")
+        lines.append(f"  rows={n} wall={_fmt_ns(wall)}")
+        return "\n".join(lines)
+
+    stats = _instrument(pipeline.root)
+    before = counters.snapshot()
+    start = time.perf_counter_ns()
+    for _batch in pipeline.root.batches():
+        pass
+    total_wall = time.perf_counter_ns() - start
+    after = counters.snapshot()
+
+    def visit(node: Any, indent: int) -> None:
+        st = stats[id(node)]
+        rows_in = sum(stats[id(c)]["rows"] for c in node.children)
+        lines.append(
+            "  " * (indent + 1)
+            + node.describe()
+            + f"  [batches={st['batches']} rows_in={rows_in}"
+            + f" rows_out={st['rows']} wall={_fmt_ns(st['wall_ns'])}]"
+        )
+        for child in node.children:
+            visit(child, indent + 1)
+
+    visit(pipeline.root, 0)
+    skipped = after["zone_segments_skipped"] - before["zone_segments_skipped"]
+    scanned = after["zone_segments_scanned"] - before["zone_segments_scanned"]
+    if skipped or scanned:
+        lines.append(
+            f"  zone maps: {skipped} segment(s) skipped, {scanned} scanned"
+        )
+    lines.append(f"  total wall={_fmt_ns(total_wall)}")
+    lines.extend(_batching_summary(pipeline))
+    return "\n".join(lines)
+
+
+def _instrument(root: Any) -> dict:
+    """Wrap every node's ``batches`` with counting/timing shims."""
+    stats: dict[int, dict] = {}
+    for node, _depth in _walk(root):
+        if id(node) in stats:
+            continue
+        st = {"batches": 0, "rows": 0, "wall_ns": 0}
+        stats[id(node)] = st
+        original = node.batches
+
+        def wrapped(original=original, st=st):
+            it = original()
+            while True:
+                t0 = time.perf_counter_ns()
+                try:
+                    batch = next(it)
+                except StopIteration:
+                    st["wall_ns"] += time.perf_counter_ns() - t0
+                    return
+                st["wall_ns"] += time.perf_counter_ns() - t0
+                st["batches"] += 1
+                st["rows"] += len(batch)
+                yield batch
+
+        node.batches = wrapped
+    return stats
+
+
+def _fmt_ns(ns: int) -> str:
+    if ns >= 1_000_000:
+        return f"{ns / 1_000_000:.2f}ms"
+    if ns >= 1_000:
+        return f"{ns / 1_000:.1f}us"
+    return f"{ns}ns"
 
 
 def _partition_summary(fn: FDMFunction) -> list[str]:

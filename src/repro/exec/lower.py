@@ -91,10 +91,52 @@ def lower(
     root = _node_for(fn)
     if isinstance(root, NaiveNode) and root.fn is fn:
         return None
+    _attach_zone_predicates(root)
     # NB: not `logical or fn` — truthiness of an FDM function is len()
     return PhysicalPipeline(
         root, fn if logical is None else logical, fired_rules
     )
+
+
+def _attach_zone_predicates(node: PhysicalNode, pending: list | None = None) -> None:
+    """Push transparent filter conjunctions down onto their scan leaves.
+
+    Walks the physical tree collecting the transparent predicates of
+    consecutive filter/restrict nodes; when the chain bottoms out at a
+    :class:`ScanNode` over a stored relation, the conjunction becomes the
+    scan's zone predicate — the may-analysis that skips whole segments
+    whose zone maps rule the filters out. Any other node breaks the
+    chain (a map re-shapes tuples, a limit re-orders nothing but the
+    pending filters no longer sit directly above the scan's output).
+    """
+    from repro.predicates.ast import And
+
+    if pending is None:
+        pending = []
+    if isinstance(node, FilterNode):
+        below = (
+            pending + [node.predicate]
+            if node.predicate.is_transparent
+            else []
+        )
+        _attach_zone_predicates(node.children[0], below)
+        return
+    if isinstance(node, RestrictNode):
+        # restriction only drops keys: filters above still apply to
+        # every row the scan produces
+        _attach_zone_predicates(node.children[0], pending)
+        return
+    if isinstance(node, ScanNode):
+        if pending:
+            from repro.storage.relation import StoredRelationFunction
+
+            if isinstance(node.fn, StoredRelationFunction):
+                node.zone_predicate = (
+                    pending[0] if len(pending) == 1 else And(*pending)
+                )
+        return
+    for child in node.children:
+        _attach_zone_predicates(child, [])
 
 
 def _node_for(fn: FDMFunction) -> PhysicalNode:
@@ -139,7 +181,14 @@ def _node_for(fn: FDMFunction) -> PhysicalNode:
         return RestrictNode(_node_for(fn.source), fn.restricted_keys)
     if isinstance(fn, MappedFunction):
         return MapNode(
-            _node_for(fn.source), fn._transform, label=fn.op_name
+            _node_for(fn.source),
+            fn._transform,
+            label=fn.op_name,
+            attrs=(
+                fn.op_params().get("attrs")
+                if fn.op_name == "project"
+                else None
+            ),
         )
     if isinstance(fn, OrderedFunction):
         return OrderNode(
@@ -159,7 +208,16 @@ def _node_for(fn: FDMFunction) -> PhysicalNode:
             inner = inner.source
         node: PhysicalNode = LimitNode(_node_for(inner), fn._n)
         for mapped in reversed(maps):
-            node = MapNode(node, mapped._transform, label=mapped.op_name)
+            node = MapNode(
+                node,
+                mapped._transform,
+                label=mapped.op_name,
+                attrs=(
+                    mapped.op_params().get("attrs")
+                    if mapped.op_name == "project"
+                    else None
+                ),
+            )
         return node
     if isinstance(fn, GroupedDatabaseFunction):
         return GroupNode(_node_for(fn.source), fn)

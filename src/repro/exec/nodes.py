@@ -17,7 +17,14 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
+from repro._util import MISSING
 from repro.errors import MergeConflictError, UndefinedInputError
+from repro.exec.batch import (
+    COLUMNAR_BATCH_SIZE,
+    ColumnBatch,
+    batch_mode,
+    counters,
+)
 from repro.fdm.functions import FDMFunction, values_equal
 
 __all__ = [
@@ -41,6 +48,7 @@ __all__ = [
     "KeyLookupNode",
     "IndexLookupNode",
     "rebatch",
+    "fold_group_batches",
 ]
 
 #: Default number of entries per batch. Large enough to amortize the
@@ -97,17 +105,44 @@ class ScanNode(PhysicalNode):
 
     op = "scan"
 
-    def __init__(self, fn: FDMFunction):
+    def __init__(self, fn: FDMFunction, zone_predicate: Any = None):
         self.fn = fn
+        #: Conjunction of the transparent filters directly above this
+        #: scan (attached by the lowerer); drives zone-map segment
+        #: skipping inside the columnar scan.
+        self.zone_predicate = zone_predicate
 
     def batches(self) -> Iterator[list]:
-        return self.fn.iter_batches(BATCH_SIZE)
+        # class-level lookup: FDM functions route instance attribute
+        # access through __getattr__ (relation lookup), so a plain
+        # getattr(fn, ...) on a database function raises instead of
+        # returning the default
+        columnar = getattr(type(self.fn), "iter_columnar_batches", None)
+        if columnar is None or batch_mode() != "columnar":
+            for batch in self.fn.iter_batches(BATCH_SIZE):
+                counters.row_batches += 1
+                counters.row_rows += len(batch)
+                yield batch
+            return
+        for batch in columnar(
+            self.fn, COLUMNAR_BATCH_SIZE, zone_predicate=self.zone_predicate
+        ):
+            if isinstance(batch, ColumnBatch):
+                counters.columnar_batches += 1
+                counters.columnar_rows += len(batch)
+            else:
+                counters.row_batches += 1
+                counters.row_rows += len(batch)
+            yield batch
 
     def key_batches(self) -> Iterator[list]:
         return rebatch(self.fn.keys())
 
     def describe(self) -> str:
-        return f"scan {self.fn.fn_name!r} [{self.fn.kind}]"
+        label = f"scan {self.fn.fn_name!r} [{self.fn.kind}]"
+        if self.zone_predicate is not None:
+            label += f" [zones: {self.zone_predicate.to_source()}]"
+        return label
 
 
 class NaiveNode(PhysicalNode):
@@ -141,10 +176,22 @@ class FilterNode(PhysicalNode):
         self.children = (child,)
         self.predicate = predicate
         self._compiled = predicate.compile_batch()
+        #: ``None`` when the predicate shape has no per-column form
+        #: (opaque lambdas, Not, nested paths) — those batches fall back
+        #: to the row-compiled loop over materialized pairs.
+        self._columnar = predicate.compile_columnar()
 
     def batches(self) -> Iterator[list]:
         compiled = self._compiled
+        columnar = self._columnar
         for batch in self.children[0].batches():
+            if isinstance(batch, ColumnBatch):
+                if columnar is not None:
+                    out = batch.take(columnar(batch))
+                    if len(out):
+                        yield out
+                    continue
+                batch = batch.pairs()
             mask = compiled(batch)
             out = [pair for pair, ok in zip(batch, mask) if ok]
             if out:
@@ -152,7 +199,16 @@ class FilterNode(PhysicalNode):
 
     def key_batches(self) -> Iterator[list]:
         compiled = self._compiled
+        columnar = self._columnar
         for batch in self.children[0].batches():
+            if isinstance(batch, ColumnBatch):
+                if columnar is not None:
+                    mask = columnar(batch)
+                    out = [k for k, ok in zip(batch.keys, mask) if ok]
+                    if out:
+                        yield out
+                    continue
+                batch = batch.pairs()
             mask = compiled(batch)
             out = [pair[0] for pair, ok in zip(batch, mask) if ok]
             if out:
@@ -174,6 +230,11 @@ class RestrictNode(PhysicalNode):
     def batches(self) -> Iterator[list]:
         keys = self.keys
         for batch in self.children[0].batches():
+            if isinstance(batch, ColumnBatch):
+                out = batch.take([k in keys for k in batch.keys])
+                if len(out):
+                    yield out
+                continue
             out = [pair for pair in batch if pair[0] in keys]
             if out:
                 yield out
@@ -194,15 +255,43 @@ class MapNode(PhysicalNode):
 
     op = "map"
 
-    def __init__(self, child: PhysicalNode, transform: Any, label: str = "map"):
+    def __init__(
+        self,
+        child: PhysicalNode,
+        transform: Any,
+        label: str = "map",
+        attrs: Any = None,
+    ):
         self.children = (child,)
         self.transform = transform
         self.label = label
+        #: For ``project`` maps the lowerer passes the attribute list so
+        #: columnar batches can be narrowed dict-to-dict without
+        #: materializing tuples.
+        self.attrs = list(attrs) if attrs is not None else None
 
     def batches(self) -> Iterator[list]:
         transform = self.transform
+        attrs = self.attrs
         for batch in self.children[0].batches():
+            if isinstance(batch, ColumnBatch) and attrs is not None:
+                yield self._project_columnar(batch, attrs)
+                continue
             yield [(key, transform(key, value)) for key, value in batch]
+
+    def _project_columnar(self, batch: ColumnBatch, attrs: list) -> ColumnBatch:
+        from repro.fdm.tuples import RowTuple
+
+        out = []
+        for row in batch.rows:
+            try:
+                out.append({a: row[a] for a in attrs})
+            except KeyError:
+                # Re-raise through the tuple path for the exact
+                # UndefinedInputError the naive project would produce.
+                RowTuple(row, batch.name).project(attrs)
+                raise  # unreachable: project() always raises here
+        return ColumnBatch(batch.keys, out, batch.name)
 
     def key_batches(self) -> Iterator[list]:
         # map preserves the key set: never evaluate the transform for keys
@@ -299,6 +388,88 @@ class GroupNode(PhysicalNode):
         return f"group [by {self.fn.by.label()}]"
 
 
+def _column_fold_specs(by: Any, aggs: dict) -> list | None:
+    """``(name, agg, attr_or_None)`` specs when every fold is columnar.
+
+    A group-aggregate folds column-at-a-time only when the group-by is
+    transparent (named attributes) and every aggregate reads a named
+    attribute (or is a bare ``Count``); callable extractors and opaque
+    group-bys need real tuples.
+    """
+    if by.attrs is None:
+        return None
+    from repro.fql.aggregates import Count
+
+    specs = []
+    for agg_name, agg in aggs.items():
+        if isinstance(agg.attr, str):
+            specs.append((agg_name, agg, agg.attr))
+        elif agg.attr is None and isinstance(agg, Count):
+            specs.append((agg_name, agg, None))
+        else:
+            return None
+    return specs
+
+
+def fold_group_batches(stream: Iterator, by: Any, aggs: dict) -> dict:
+    """Fold a batch stream into ``group_key → {agg_name: acc}``.
+
+    Columnar batches fold straight off attribute columns via
+    ``step_value`` (when :func:`_column_fold_specs` allows); anything
+    else falls back to the per-tuple ``step`` path. Both fold in stream
+    order, so results are bit-identical across paths (float addition is
+    order-sensitive). Shared by the serial group-aggregate node and the
+    scatter-gather per-partition merge.
+    """
+    specs = _column_fold_specs(by, aggs)
+    attrs = by.attrs
+    accs: dict[Any, dict] = {}
+    for batch in stream:
+        if specs is not None and isinstance(batch, ColumnBatch):
+            group_cols = [batch.col(a) for a in attrs]
+            value_cols = [
+                batch.col(attr) if attr is not None else None
+                for _name, _agg, attr in specs
+            ]
+            for i in range(len(batch)):
+                if len(group_cols) == 1:
+                    group_key = group_cols[0][i]
+                    if group_key is MISSING:
+                        continue
+                elif group_cols:
+                    group_key = tuple(col[i] for col in group_cols)
+                    if any(v is MISSING for v in group_key):
+                        continue
+                else:
+                    group_key = ()
+                acc = accs.get(group_key)
+                if acc is None:
+                    acc = {
+                        agg_name: agg.seed()
+                        for agg_name, agg in aggs.items()
+                    }
+                    accs[group_key] = acc
+                for (agg_name, agg, _attr), col in zip(specs, value_cols):
+                    acc[agg_name] = agg.step_value(
+                        acc[agg_name], col[i] if col is not None else MISSING
+                    )
+            continue
+        for _key, t in batch:
+            try:
+                group_key = by.key_of(t)
+            except UndefinedInputError:
+                continue
+            acc = accs.get(group_key)
+            if acc is None:
+                acc = {
+                    agg_name: agg.seed() for agg_name, agg in aggs.items()
+                }
+                accs[group_key] = acc
+            for agg_name, agg in aggs.items():
+                acc[agg_name] = agg.step(acc[agg_name], t)
+    return accs
+
+
 class GroupAggregateNode(PhysicalNode):
     """group+aggregate in one pass without materializing member relations.
 
@@ -317,22 +488,7 @@ class GroupAggregateNode(PhysicalNode):
 
     def batches(self) -> Iterator[list]:
         by, aggs = self.by, self.aggs
-        accs: dict[Any, dict] = {}
-        for batch in self.children[0].batches():
-            for _key, t in batch:
-                try:
-                    group_key = by.key_of(t)
-                except UndefinedInputError:
-                    continue
-                acc = accs.get(group_key)
-                if acc is None:
-                    acc = {
-                        agg_name: agg.seed()
-                        for agg_name, agg in aggs.items()
-                    }
-                    accs[group_key] = acc
-                for agg_name, agg in aggs.items():
-                    acc[agg_name] = agg.step(acc[agg_name], t)
+        accs = fold_group_batches(self.children[0].batches(), by, aggs)
         from repro.fdm.tuples import TupleFunction
 
         def tuples() -> Iterator[tuple]:
@@ -349,8 +505,24 @@ class GroupAggregateNode(PhysicalNode):
     def key_batches(self) -> Iterator[list]:
         # group keys only: fold no aggregates (naive keys() never does)
         by = self.by
+        attrs = by.attrs
         seen: dict[Any, None] = {}
         for batch in self.children[0].batches():
+            if attrs is not None and isinstance(batch, ColumnBatch):
+                if len(attrs) == 1:
+                    for group_key in batch.col(attrs[0]):
+                        if group_key is not MISSING and group_key not in seen:
+                            seen[group_key] = None
+                else:
+                    group_cols = [batch.col(a) for a in attrs]
+                    for i in range(len(batch)):
+                        group_key = tuple(col[i] for col in group_cols)
+                        if (
+                            not any(v is MISSING for v in group_key)
+                            and group_key not in seen
+                        ):
+                            seen[group_key] = None
+                continue
             for _key, t in batch:
                 try:
                     group_key = by.key_of(t)

@@ -110,12 +110,17 @@ def pipeline_rules() -> list:
 
 def pipeline_for(fn: FDMFunction) -> PhysicalPipeline | None:
     """The cached physical pipeline for *fn*, planning it on a miss."""
+    from repro.exec.batch import batch_mode
     from repro.partition.parallel import parallel_mode
 
     try:
         # parallel mode is part of the plan: a scatter-gather pipeline
-        # cached under REPRO_PARALLEL=on must not serve the off mode
-        key = (fingerprint(fn), parallel_mode())
+        # cached under REPRO_PARALLEL=on must not serve the off mode.
+        # Batch mode likewise: columnar pipelines carry zone predicates
+        # and columnar filter kernels that the rows mode must not see.
+        # (The kernel backend is NOT part of the key — numpy vs python
+        # dispatch happens per batch at run time.)
+        key = (fingerprint(fn), parallel_mode(), batch_mode())
     except Exception:
         return None
     if key in _planning.inflight:

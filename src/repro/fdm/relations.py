@@ -181,6 +181,60 @@ class MaterialRelationFunction(RelationFunction):
 
         return chunked(entries(), batch_size)
 
+    def iter_columnar_batches(
+        self, batch_size: int = 1024, zone_predicate: Any = None
+    ) -> Iterator[Any]:
+        """Columnar enumeration over the row store (DESIGN.md §13).
+
+        Row dicts are shared with the store, never copied: writes install
+        fresh dicts (:meth:`__setitem__`/``_write_attr``), so a batch is
+        a consistent snapshot of the rows it captured. In-memory
+        relations have no segments, so *zone_predicate* is ignored.
+        """
+        from repro.exec.batch import ColumnBatch
+
+        rows = self._rows
+        keys: list = []
+        datas: list = []
+        for key in list(rows):
+            try:
+                stored = rows[key]
+            except KeyError:
+                raise UndefinedInputError(self._name, key) from None
+            if not isinstance(stored, dict):
+                if keys:
+                    yield ColumnBatch(keys, datas, self._name)
+                    keys, datas = [], []
+                yield [(key, stored)]
+                continue
+            keys.append(key)
+            datas.append(stored)
+            if len(keys) >= batch_size:
+                yield ColumnBatch(keys, datas, self._name)
+                keys, datas = [], []
+        if keys:
+            yield ColumnBatch(keys, datas, self._name)
+
+    def snapshot_items(self) -> Iterator[tuple[Any, Any]] | None:
+        """``(key, tuple)`` pairs as cheap snapshot views.
+
+        The columnar join build side uses this instead of :meth:`items`
+        to skip per-row :class:`BoundTuple` construction; rows come out
+        as immutable :class:`~repro.fdm.tuples.RowTuple` views over the
+        shared dicts.
+        """
+        from repro.fdm.tuples import RowTuple
+
+        name = self._name
+        for key in list(self._rows):
+            try:
+                stored = self._rows[key]
+            except KeyError:
+                raise UndefinedInputError(self._name, key) from None
+            yield key, (
+                RowTuple(stored, name) if isinstance(stored, dict) else stored
+            )
+
     # -- write-through protocol used by BoundTuple ------------------------------
 
     def _read_data(self, key: Any) -> Mapping[str, Any]:

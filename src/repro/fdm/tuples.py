@@ -20,11 +20,12 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Iterator, Mapping
 
 from repro.errors import SchemaError, UndefinedInputError
-from repro.fdm.domains import DiscreteDomain, Domain, STR
+from repro.fdm.domains import ANY, DiscreteDomain, Domain, STR
 from repro.fdm.functions import FDMFunction, freeze_function, values_equal
 
 __all__ = [
     "TupleFunction",
+    "RowTuple",
     "ComputedTupleFunction",
     "BoundTuple",
     "as_tuple_function",
@@ -113,6 +114,49 @@ class TupleFunction(FDMFunction):
     def __repr__(self) -> str:
         inner = ", ".join(f"{k}: {v!r}" for k, v in self._data.items())
         return f"{self._name}{{{inner}}}"
+
+
+class RowTuple(TupleFunction):
+    """A tuple snapshot built straight from a committed row dict.
+
+    The columnar executor wraps rows with these at its materialization
+    boundaries; the stock constructor's up-front domain materialization
+    would dominate scan cost, so the domain is built lazily — filters
+    that reject a row via the ``_data`` fast path never pay for it. The
+    row dict is *shared*, not copied: committed version-chain rows and
+    material-relation rows are never mutated in place (updates install
+    fresh dicts), and tuple functions expose no mutators.
+    """
+
+    def __init__(self, data: dict, name: str):
+        object.__setattr__(self, "_name", name)
+        object.__setattr__(self, "_data", data)
+        object.__setattr__(self, "_codomain", ANY)
+        object.__setattr__(self, "_lazy_domain", None)
+
+    @property
+    def domain(self) -> Domain:
+        if self._lazy_domain is None:
+            object.__setattr__(
+                self, "_lazy_domain", DiscreteDomain(self._data)
+            )
+        return self._lazy_domain
+
+    @property
+    def is_enumerable(self) -> bool:
+        return True
+
+    def keys(self):
+        return iter(self._data)
+
+    def items(self):
+        return iter(self._data.items())
+
+    def values(self):
+        return iter(self._data.values())
+
+    def __len__(self) -> int:
+        return len(self._data)
 
 
 class ComputedTupleFunction(FDMFunction):

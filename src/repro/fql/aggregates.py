@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from typing import Any, Callable, Iterable
 
+from repro._util import MISSING
 from repro.errors import OperatorError
 from repro.fdm.functions import FDMFunction
 
@@ -32,7 +33,10 @@ __all__ = [
     "Median",
 ]
 
-_MISSING = object()
+# The undefined-value sentinel is shared with the columnar executor
+# (batch columns mark undefined slots with the same object), so
+# `step_value` and `extract` agree on what "does not contribute" means.
+_MISSING = MISSING
 
 
 class Aggregate:
@@ -81,6 +85,17 @@ class Aggregate:
     def step(self, acc: Any, t: Any) -> Any:
         raise NotImplementedError
 
+    def step_value(self, acc: Any, value: Any) -> Any:
+        """Fold one already-extracted value (``_MISSING`` when the tuple
+        does not define the attribute).
+
+        The columnar executor extracts whole attribute columns up front
+        and folds values directly, skipping the per-tuple
+        :meth:`extract` dispatch; each override must mirror its
+        :meth:`step` exactly so the two paths stay bit-identical.
+        """
+        raise NotImplementedError
+
     def unstep(self, acc: Any, t: Any) -> Any:
         """Remove one tuple's contribution (decomposable folds only)."""
         raise OperatorError(
@@ -123,6 +138,11 @@ class Count(Aggregate):
             return acc + 1
         return acc if self.extract(t) is _MISSING else acc + 1
 
+    def step_value(self, acc: int, value: Any) -> int:
+        if self.attr is None:
+            return acc + 1
+        return acc if value is _MISSING else acc + 1
+
     def unstep(self, acc: int, t: Any) -> int:
         if self.attr is None:
             return acc - 1
@@ -136,7 +156,9 @@ class CountDistinct(Aggregate):
         return set()
 
     def step(self, acc: set, t: Any) -> set:
-        value = self.extract(t)
+        return self.step_value(acc, self.extract(t))
+
+    def step_value(self, acc: set, value: Any) -> set:
         if value is not _MISSING:
             try:
                 acc.add(value)
@@ -159,6 +181,9 @@ class Sum(Aggregate):
         value = self.extract(t)
         return acc if value is _MISSING else acc + value
 
+    def step_value(self, acc: Any, value: Any) -> Any:
+        return acc if value is _MISSING else acc + value
+
     def unstep(self, acc: Any, t: Any) -> Any:
         value = self.extract(t)
         return acc if value is _MISSING else acc - value
@@ -172,7 +197,9 @@ class Avg(Aggregate):
         return (0, 0)
 
     def step(self, acc: tuple[Any, int], t: Any) -> tuple[Any, int]:
-        value = self.extract(t)
+        return self.step_value(acc, self.extract(t))
+
+    def step_value(self, acc: tuple[Any, int], value: Any) -> tuple[Any, int]:
         if value is _MISSING:
             return acc
         total, n = acc
@@ -197,7 +224,9 @@ class Min(Aggregate):
         return _MISSING
 
     def step(self, acc: Any, t: Any) -> Any:
-        value = self.extract(t)
+        return self.step_value(acc, self.extract(t))
+
+    def step_value(self, acc: Any, value: Any) -> Any:
         if value is _MISSING:
             return acc
         if acc is _MISSING or value < acc:
@@ -215,7 +244,9 @@ class Max(Aggregate):
         return _MISSING
 
     def step(self, acc: Any, t: Any) -> Any:
-        value = self.extract(t)
+        return self.step_value(acc, self.extract(t))
+
+    def step_value(self, acc: Any, value: Any) -> Any:
         if value is _MISSING:
             return acc
         if acc is _MISSING or value > acc:
@@ -235,7 +266,9 @@ class Collect(Aggregate):
         return []
 
     def step(self, acc: list, t: Any) -> list:
-        value = self.extract(t)
+        return self.step_value(acc, self.extract(t))
+
+    def step_value(self, acc: list, value: Any) -> list:
         if value is not _MISSING:
             acc.append(value)
         return acc
@@ -252,6 +285,11 @@ class First(Aggregate):
             return acc
         return self.extract(t)
 
+    def step_value(self, acc: Any, value: Any) -> Any:
+        if acc is not _MISSING:
+            return acc
+        return value
+
     def result(self, acc: Any) -> Any:
         return None if acc is _MISSING else acc
 
@@ -265,7 +303,9 @@ class StdDev(Aggregate):
         return (0, 0.0, 0.0)
 
     def step(self, acc: tuple[int, float, float], t: Any) -> tuple:
-        value = self.extract(t)
+        return self.step_value(acc, self.extract(t))
+
+    def step_value(self, acc: tuple[int, float, float], value: Any) -> tuple:
         if value is _MISSING:
             return acc
         n, mean, m2 = acc
@@ -289,7 +329,9 @@ class Median(Aggregate):
         return []
 
     def step(self, acc: list, t: Any) -> list:
-        value = self.extract(t)
+        return self.step_value(acc, self.extract(t))
+
+    def step_value(self, acc: list, value: Any) -> list:
         if value is not _MISSING:
             acc.append(value)
         return acc

@@ -300,7 +300,7 @@ class JoinPlan:
         if not connecting:
             # cross product (or the very first atom)
             for binding in partials:
-                for key, value in fn.items():
+                for key, value in _enum_items(fn, prefetch):
                     extended = dict(binding)
                     extended[atom_name] = (key, value)
                     yield extended
@@ -313,7 +313,7 @@ class JoinPlan:
         amap: dict[Any, Any] | None = None
         if not new_side.is_key:
             probe = {}
-            for key, value in fn.items():
+            for key, value in _enum_items(fn, prefetch):
                 try:
                     join_value = new_side.eval(key, value)
                 except UndefinedInputError:
@@ -321,7 +321,7 @@ class JoinPlan:
                 probe.setdefault(join_value, []).append((key, value))
         elif prefetch and fn.is_enumerable:
             # batched mode: one scan replaces per-binding point probes
-            amap = dict(fn.items())
+            amap = dict(_enum_items(fn, prefetch))
 
         for binding in partials:
             try:
@@ -372,6 +372,28 @@ class JoinPlan:
             for name, (key, _value) in binding.items():
                 used[name].add(key)
         return used
+
+
+def _enum_items(fn: Any, prefetch: bool) -> Iterator[tuple[Any, Any]]:
+    """Enumerate an atom for hash-build/prefetch scans.
+
+    In prefetching (batched) columnar mode, stored and material
+    relations expose ``snapshot_items()`` — a direct walk of the
+    committed rows that skips the per-key bound-tuple construction of
+    ``items()``. Falls back to plain ``items()`` whenever the fast path
+    is unavailable (rows mode, open transaction, other function kinds).
+    """
+    if prefetch:
+        from repro.exec.batch import batch_mode
+
+        if batch_mode() == "columnar":
+            # class-level lookup: FDM __getattr__ is relation access
+            snapshot = getattr(type(fn), "snapshot_items", None)
+            if snapshot is not None:
+                items = snapshot(fn)
+                if items is not None:
+                    return items
+    return fn.items()
 
 
 def _merge_binding_into_row(

@@ -310,7 +310,8 @@ def _plan_chain(
         return None
     if base._manager.current() is not None:
         return None  # open transaction: its buffer is thread-local
-    surviving, pruned = prune_report(table.scheme, _chain_predicate(ops))
+    chain_pred = _chain_predicate(ops)
+    surviving, pruned = prune_report(table.scheme, chain_pred)
 
     def build(pid: int, ts: int) -> Any:
         return lower(
@@ -321,6 +322,7 @@ def _plan_chain(
         fn, base, table, surviving, pruned, build, merge,
         serial_factory=_serial_factory(fn, lower),
         managers=[base._manager],
+        zone_predicate=chain_pred,
     )
 
 
@@ -432,15 +434,24 @@ def _serial_factory(fn: Any, lower: Callable[[Any], Any]) -> Callable[[], Any]:
 
 
 class _ConcatMerge:
-    """Embarrassingly parallel: concatenate streams in partition order."""
+    """Embarrassingly parallel: concatenate streams in partition order.
+
+    Gathers whole *batches*, not flattened entries: a columnar batch
+    produced inside a worker crosses the gather boundary intact, so row
+    re-assembly still happens only where a consumer genuinely iterates
+    pairs — the concat merge adds no materialization of its own.
+    """
 
     kind = "concat"
+    #: merge() yields batches (not entries); the gather loop must not
+    #: re-chunk them
+    batch_level = True
 
     def __init__(self, label: str = "concat"):
         self.label = label
 
     def run(self, node: Any) -> list:
-        return list(node.entries())
+        return list(node.batches())
 
     def run_keys(self, node: Any) -> list:
         out: list = []
@@ -448,11 +459,13 @@ class _ConcatMerge:
             out.extend(batch)
         return out
 
-    def merge(self, results: list[list]) -> Iterator[tuple]:
-        for entries in results:
-            yield from entries
+    def merge(self, results: list[list]) -> Iterator[list]:
+        for batches in results:
+            yield from batches
 
-    merge_keys = merge
+    def merge_keys(self, results: list[list]) -> Iterator[Any]:
+        for keys in results:
+            yield from keys
 
 
 class _GroupAggMerge:
@@ -470,24 +483,11 @@ class _GroupAggMerge:
         )
 
     def run(self, node: Any) -> dict:
-        from repro.errors import UndefinedInputError
+        # the shared fold takes the column-at-a-time path for batches
+        # that arrive columnar, the per-tuple path otherwise
+        from repro.exec.nodes import fold_group_batches
 
-        by, aggs = self.by, self.aggs
-        accs: dict[Any, dict] = {}
-        for batch in node.batches():
-            for _key, t in batch:
-                try:
-                    group_key = by.key_of(t)
-                except UndefinedInputError:
-                    continue
-                acc = accs.get(group_key)
-                if acc is None:
-                    accs[group_key] = acc = {
-                        name: agg.seed() for name, agg in aggs.items()
-                    }
-                for name, agg in aggs.items():
-                    acc[name] = agg.step(acc[name], t)
-        return accs
+        return fold_group_batches(node.batches(), self.by, self.aggs)
 
     def run_keys(self, node: Any) -> dict:
         from repro.errors import UndefinedInputError
@@ -602,6 +602,7 @@ class ScatterGatherNode:
         merge: Any,
         serial_factory: Callable[[], Any],
         managers: list | None = None,
+        zone_predicate: Any = None,
     ):
         self.logical = logical
         self.relation = relation
@@ -612,6 +613,9 @@ class ScatterGatherNode:
         self.merge = merge
         self.serial_factory = serial_factory
         self.managers = list(managers) if managers else [relation._manager]
+        self.zone_predicate = zone_predicate
+        #: partitions dropped by zone maps on the most recent execution
+        self.last_zone_skipped = 0
         self._serial_node: Any = None
         # a representative sub-pipeline for explain output only
         if self.surviving:
@@ -636,9 +640,40 @@ class ScatterGatherNode:
             self._serial_node = self.serial_factory()
         return self._serial_node
 
+    def _live_partitions(self) -> tuple:
+        """Statically surviving partitions minus zone-map refutations.
+
+        Pruning (plan time) reasons over the partition *scheme*; this
+        runtime pass reasons over the *data*: a partition whose zone map
+        proves the chain predicate can match no committed row produces
+        an empty per-partition stream, so skipping it is sound for every
+        merge strategy. Columnar mode only — the rows escape hatch must
+        reproduce pre-columnar execution exactly.
+        """
+        if self.zone_predicate is None:
+            return self.surviving
+        from repro.exec.batch import batch_mode, counters
+        from repro.storage.stats import zone_may_match
+
+        if batch_mode() != "columnar":
+            return self.surviving
+        zones = self.relation._engine.zones.get(self.relation.table_name)
+        if zones is None or len(zones) != self.table.n_partitions:
+            return self.surviving
+        live = []
+        skipped = 0
+        for pid in self.surviving:
+            if zone_may_match(zones[pid], self.zone_predicate):
+                live.append(pid)
+            else:
+                skipped += 1
+        counters.zone_segments_skipped += skipped
+        self.last_zone_skipped = skipped
+        return tuple(live)
+
     def _scatter(self, run: Callable[[Any], Any]) -> list:
         ts = self.relation._manager.now()
-        nodes = [self.build(pid, ts) for pid in self.surviving]
+        nodes = [self.build(pid, ts) for pid in self._live_partitions()]
         if len(nodes) <= 1 or _local.in_worker:
             # Already on a pool worker (a cached scatter pipeline pulled
             # from inside another query's sub-pipeline): submitting into
@@ -664,7 +699,10 @@ class ScatterGatherNode:
             yield from self._serial().batches()
             return
         results = self._scatter(self.merge.run)
-        yield from rebatch(iter(self.merge.merge(results)))
+        if getattr(self.merge, "batch_level", False):
+            yield from self.merge.merge(results)
+        else:
+            yield from rebatch(iter(self.merge.merge(results)))
 
     def key_batches(self) -> Iterator[list]:
         from repro.exec.nodes import rebatch

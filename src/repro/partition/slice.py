@@ -21,54 +21,18 @@ from typing import Any, Iterator
 
 from repro._util import TOMBSTONE, chunked
 from repro.errors import UndefinedInputError
-from repro.fdm.domains import ANY, DiscreteDomain, Domain, PredicateDomain
+from repro.fdm.domains import Domain, PredicateDomain
 from repro.fdm.relations import RelationFunction
-from repro.fdm.tuples import TupleFunction
+from repro.fdm.tuples import RowTuple
 from repro.partition.table import PartitionedTable
 
 __all__ = ["PartitionSliceFunction", "SliceTuple"]
 
 
-class SliceTuple(TupleFunction):
-    """A tuple snapshot built straight from a committed row dict.
-
-    Scatter workers wrap every scanned row; the stock constructor's
-    up-front domain materialization would dominate scan cost, so the
-    domain is built lazily — filters that reject a row via the
-    ``_data`` fast path never pay for it. The committed dict is shared,
-    not copied: version-chain rows are never mutated in place (updates
-    append fresh dicts), and tuple functions expose no mutators.
-    """
-
-    def __init__(self, data: dict, name: str):
-        object.__setattr__(self, "_name", name)
-        object.__setattr__(self, "_data", data)
-        object.__setattr__(self, "_codomain", ANY)
-        object.__setattr__(self, "_lazy_domain", None)
-
-    @property
-    def domain(self) -> Domain:
-        if self._lazy_domain is None:
-            object.__setattr__(
-                self, "_lazy_domain", DiscreteDomain(self._data)
-            )
-        return self._lazy_domain
-
-    @property
-    def is_enumerable(self) -> bool:
-        return True
-
-    def keys(self):
-        return iter(self._data)
-
-    def items(self):
-        return iter(self._data.items())
-
-    def values(self):
-        return iter(self._data.values())
-
-    def __len__(self) -> int:
-        return len(self._data)
+class SliceTuple(RowTuple):
+    """A scatter worker's row snapshot — a :class:`RowTuple` by another
+    name, kept as a distinct class so slice rows stay identifiable in
+    debugging output."""
 
 
 class PartitionSliceFunction(RelationFunction):
@@ -137,6 +101,36 @@ class PartitionSliceFunction(RelationFunction):
 
     def iter_batches(self, batch_size: int = 256) -> Iterator[list]:
         return chunked(self.items(), batch_size)
+
+    def iter_columnar_batches(
+        self, batch_size: int = 1024, zone_predicate: Any = None
+    ) -> Iterator[Any]:
+        """Columnar enumeration of this segment's committed rows.
+
+        Zone checks happen at scatter time (partition = segment here),
+        so *zone_predicate* is ignored; the parameter keeps the scan
+        node's calling convention uniform across leaf types.
+        """
+        from repro.exec.batch import ColumnBatch
+
+        keys: list = []
+        rows: list = []
+        for key, data in self._segment.scan_at(self._ts):
+            if not isinstance(data, dict):
+                # Mixed segment (nested functions stored directly): flush
+                # accumulated dict rows, then the odd row as a row batch.
+                if keys:
+                    yield ColumnBatch(keys, rows, self._name)
+                    keys, rows = [], []
+                yield [(key, data)]
+                continue
+            keys.append(key)
+            rows.append(data)
+            if len(keys) >= batch_size:
+                yield ColumnBatch(keys, rows, self._name)
+                keys, rows = [], []
+        if keys:
+            yield ColumnBatch(keys, rows, self._name)
 
     def __len__(self) -> int:
         return self._segment.count_at(self._ts)

@@ -31,6 +31,7 @@ from repro.fdm.functions import FDMFunction
 __all__ = [
     "EvalContext",
     "BatchPredicate",
+    "ColumnarPredicate",
     "Expr",
     "AttrRef",
     "KeyRef",
@@ -357,6 +358,30 @@ class FuncCall(Expr):
 #: consumed by the physical execution layer (DESIGN.md §6).
 BatchPredicate = Callable[[list], list]
 
+#: A compiled columnar predicate: ``run(ColumnBatch) -> mask`` where the
+#: mask is a list[bool] or numpy bool array over the batch's rows.
+#: Produced by :meth:`Predicate.compile_columnar` (``None`` when the
+#: predicate shape has no per-column form) and consumed by the columnar
+#: filter node (DESIGN.md §13).
+ColumnarPredicate = Callable[[Any], Any]
+
+
+def _columnar_operand(expr: "Expr") -> tuple[str, Any] | None:
+    """Classify an expression as a column reference, or ``None``.
+
+    Only the shapes with a direct per-column form qualify: a single-step
+    attribute reference (one column) or the mapping key. Nested paths,
+    arithmetic, and function calls stay on the row-at-a-time path.
+    """
+    if isinstance(expr, AttrRef) and len(expr.path) == 1:
+        return ("attr", expr.path[0])
+    if isinstance(expr, KeyRef):
+        return ("key", None)
+    return None
+
+
+_FLIP_OP = {"==": "==", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
 
 def _batch_getter(expr: "Expr") -> Callable[[Any, Any], Any]:
     """Compile an expression into ``get(key, value) -> Any``.
@@ -442,6 +467,18 @@ class Predicate:
             return out
 
         return run
+
+    def compile_columnar(self) -> "ColumnarPredicate | None":
+        """Compile into ``run(ColumnBatch) -> mask``, or ``None``.
+
+        Only predicate shapes whose semantics survive whole-column
+        evaluation compile: column-vs-literal comparisons, membership,
+        between, and and/or over such parts. ``Not`` deliberately does
+        not — mask negation would turn undefined-is-False into
+        undefined-is-True. Callers fall back to :meth:`compile_batch`
+        on a ``None``.
+        """
+        return None
 
     def attrs(self) -> set[str]:
         return set()
@@ -540,6 +577,23 @@ class Comparison(Predicate):
 
         return run
 
+    def compile_columnar(self) -> "ColumnarPredicate | None":
+        left, right, op = self.left, self.right, self.op
+        if isinstance(left, Literal):  # flip to column-vs-literal form
+            left, right, op = right, left, _FLIP_OP[op]
+        column = _columnar_operand(left)
+        if column is None or not isinstance(right, Literal):
+            return None
+        kind, payload = column
+        const = right.value
+
+        def run(batch: Any) -> Any:
+            from repro.exec import kernels
+
+            return kernels.compare_mask(batch, kind, payload, op, const)
+
+        return run
+
     def attrs(self) -> set[str]:
         return self.left.attrs() | self.right.attrs()
 
@@ -598,6 +652,23 @@ class Membership(Predicate):
                     continue
                 out.append((not hit) if negated else hit)
             return out
+
+        return run
+
+    def compile_columnar(self) -> "ColumnarPredicate | None":
+        column = _columnar_operand(self.item)
+        if column is None or not isinstance(self.collection, Literal):
+            return None
+        kind, payload = column
+        collection = self.collection.value
+        negated = self.negated
+
+        def run(batch: Any) -> Any:
+            from repro.exec import kernels
+
+            return kernels.membership_mask(
+                batch, kind, payload, collection, negated
+            )
 
         return run
 
@@ -661,6 +732,24 @@ class Between(Predicate):
                 except TypeError:
                     out.append(False)
             return out
+
+        return run
+
+    def compile_columnar(self) -> "ColumnarPredicate | None":
+        column = _columnar_operand(self.item)
+        if (
+            column is None
+            or not isinstance(self.lo, Literal)
+            or not isinstance(self.hi, Literal)
+        ):
+            return None
+        kind, payload = column
+        lo, hi = self.lo.value, self.hi.value
+
+        def run(batch: Any) -> Any:
+            from repro.exec import kernels
+
+            return kernels.between_mask(batch, kind, payload, lo, hi)
 
         return run
 
@@ -757,6 +846,21 @@ class And(_Junction):
 
         return run
 
+    def compile_columnar(self) -> "ColumnarPredicate | None":
+        compiled = [p.compile_columnar() for p in self.parts]
+        if not compiled or any(c is None for c in compiled):
+            return None if compiled else (lambda batch: [True] * len(batch))
+
+        # Full-batch masks, no short-circuit: the parts are pure
+        # column-vs-literal tests, so evaluating a later conjunct on rows
+        # an earlier one rejected cannot change the result (or error).
+        def run(batch: Any) -> Any:
+            from repro.exec import kernels
+
+            return kernels.and_masks([c(batch) for c in compiled])
+
+        return run
+
 
 class Or(_Junction):
     _joiner = "or"
@@ -790,6 +894,18 @@ class Or(_Junction):
                         next_live.append(i)
                 current, live = next_pairs, next_live
             return result
+
+        return run
+
+    def compile_columnar(self) -> "ColumnarPredicate | None":
+        compiled = [p.compile_columnar() for p in self.parts]
+        if not compiled or any(c is None for c in compiled):
+            return None if compiled else (lambda batch: [False] * len(batch))
+
+        def run(batch: Any) -> Any:
+            from repro.exec import kernels
+
+            return kernels.or_masks([c(batch) for c in compiled])
 
         return run
 
@@ -835,6 +951,9 @@ class TruePredicate(Predicate):
     def compile_batch(self) -> BatchPredicate:
         return lambda pairs: [True] * len(pairs)
 
+    def compile_columnar(self) -> "ColumnarPredicate | None":
+        return lambda batch: [True] * len(batch)
+
     def to_source(self) -> str:
         return "true"
 
@@ -845,6 +964,9 @@ class FalsePredicate(Predicate):
 
     def compile_batch(self) -> BatchPredicate:
         return lambda pairs: [False] * len(pairs)
+
+    def compile_columnar(self) -> "ColumnarPredicate | None":
+        return lambda batch: [False] * len(batch)
 
     def to_source(self) -> str:
         return "false"

@@ -6,6 +6,15 @@
 Each operator is a tiny value object that knows how to build a transparent
 predicate from an attribute reference and a constant. Importing ``*`` from
 this module mirrors the figure's ``from operators import *``.
+
+Because every operator builds a plain AST node (never an opaque
+callable), the predicates produced here get the full fast path: the
+columnar executor compiles them to vector kernels
+(``Predicate.compile_columnar``), and zone maps can refute them per
+segment (:func:`repro.storage.stats.zone_may_match`). The string
+operators (``contains``/``startswith``/``endswith``) wrap a
+:class:`FuncCall`, which both analyses treat as inconclusive — they
+filter row-at-a-time and never skip segments.
 """
 
 from __future__ import annotations

@@ -15,7 +15,12 @@ from repro.errors import StorageError, UnknownRelationError, WALError
 from repro.ivm.changelog import ChangeLog
 from repro.ivm.delta import Delta
 from repro.storage.index import HashIndex, IndexSet, SortedIndex
-from repro.storage.stats import PartitionedTableStatistics, TableStatistics
+from repro.storage.stats import (
+    PartitionedTableStatistics,
+    TableStatistics,
+    ZoneMap,
+    rebuild_zone_maps,
+)
 from repro.storage.versioned import VersionedTable
 from repro.storage.wal import WALRecord, WriteAheadLog
 
@@ -32,6 +37,11 @@ class StorageEngine:
         self.tables: dict[str, VersionedTable] = {}
         self.indexes: dict[str, IndexSet] = {}
         self.stats: dict[str, TableStatistics] = {}
+        #: Per-segment zone maps (DESIGN.md §13): one per partition for
+        #: partitioned tables, a single-element list otherwise. Bounds
+        #: accumulate over every committed version, so a zone miss is
+        #: sound at any snapshot.
+        self.zones: dict[str, list[ZoneMap]] = {}
         self.wal = WriteAheadLog(wal_path)
         #: Per-database executor plan cache; created lazily by
         #: :func:`repro.exec.cache_for` so storage stays import-light.
@@ -82,9 +92,11 @@ class StorageEngine:
             self.stats[name] = PartitionedTableStatistics(
                 name, scheme.n_partitions
             )
+            self.zones[name] = [ZoneMap() for _ in range(scheme.n_partitions)]
         else:
             table = VersionedTable(name, key_name=key_name)
             self.stats[name] = TableStatistics(name)
+            self.zones[name] = [ZoneMap()]
         self.tables[name] = table
         self.indexes[name] = IndexSet()
         return table
@@ -109,6 +121,9 @@ class StorageEngine:
             )
         self.tables[name] = table
         self.stats[name] = stats
+        # Zones rebuild from ALL versions (not just latest) so readers at
+        # old snapshots stay covered by the new segment layout.
+        self.zones[name] = rebuild_zone_maps(table)
         self._invalidate_partition_consumers(name)
         return table
 
@@ -140,6 +155,7 @@ class StorageEngine:
         del self.tables[name]
         del self.indexes[name]
         del self.stats[name]
+        self.zones.pop(name, None)
 
     def has_table(self, name: str) -> bool:
         return name in self.tables
@@ -206,6 +222,10 @@ class StorageEngine:
                 old_pid = new_pid = None
                 table.apply(key, data, commit_ts)
                 self.stats[table_name].on_write(old, data)
+            if data is not TOMBSTONE:
+                zones = self.zones.get(table_name)
+                if zones is not None:
+                    zones[new_pid if new_pid is not None else 0].observe(data)
             self.indexes[table_name].update(key, old, data)
             if changelog is not None:
                 changelog.observe_row(data)

@@ -140,6 +140,76 @@ class StoredRelationFunction(RelationFunction):
 
         return chunked(entries(), batch_size)
 
+    def iter_columnar_batches(
+        self, batch_size: int = 1024, zone_predicate: Any = None
+    ) -> Iterator[Any]:
+        """Columnar snapshot enumeration with zone-map segment skipping.
+
+        Reads the version chains directly (segment by segment for
+        partitioned tables, preserving the serial enumeration order) and
+        skips any segment whose zone map proves *zone_predicate* cannot
+        hold there. Inside an open transaction the buffered writes make
+        chain-direct scanning (and zone skipping) unsound, so the scan
+        falls back to the row-batch path.
+        """
+        txn = self._manager.current()
+        if txn is not None:
+            yield from self.iter_batches(batch_size)
+            return
+
+        from repro.exec.batch import ColumnBatch, counters
+        from repro.storage.stats import zone_may_match
+
+        ts = self._manager.now()
+        table = self._engine.table(self._table_name)
+        segments = table.segments if table.is_partitioned else [table]
+        zones = self._engine.zones.get(self._table_name)
+        name = self._name
+        for pid, segment in enumerate(segments):
+            if zone_predicate is not None and zones is not None:
+                if not zone_may_match(zones[pid], zone_predicate):
+                    counters.zone_segments_skipped += 1
+                    continue
+                counters.zone_segments_scanned += 1
+            keys: list = []
+            rows: list = []
+            for key, data in segment.scan_at(ts):
+                if not isinstance(data, dict):
+                    if keys:
+                        yield ColumnBatch(keys, rows, name)
+                        keys, rows = [], []
+                    yield [(key, data)]
+                    continue
+                keys.append(key)
+                rows.append(data)
+                if len(keys) >= batch_size:
+                    yield ColumnBatch(keys, rows, name)
+                    keys, rows = [], []
+            if keys:
+                yield ColumnBatch(keys, rows, name)
+
+    def snapshot_items(self) -> Iterator[tuple[Any, Any]] | None:
+        """``(key, tuple)`` pairs as cheap snapshot views, or ``None``.
+
+        The columnar join build side uses this instead of :meth:`items`
+        to skip the per-row transaction/version stack and
+        :class:`BoundTuple` construction. Returns ``None`` inside an
+        open transaction (buffered writes need the full read path).
+        """
+        txn = self._manager.current()
+        if txn is not None:
+            return None
+        return self._snapshot_items(self._manager.now())
+
+    def _snapshot_items(self, ts: int) -> Iterator[tuple[Any, Any]]:
+        from repro.fdm.tuples import RowTuple
+
+        name = self._name
+        for key, data in self._engine.table(self._table_name).scan_at(ts):
+            yield key, (
+                RowTuple(data, name) if isinstance(data, dict) else data
+            )
+
     # -- BoundTuple write-through protocol ----------------------------------------------
 
     def _read_data(self, key: Any) -> Mapping[str, Any]:

@@ -19,6 +19,10 @@ __all__ = [
     "TableStatistics",
     "PartitionedTableStatistics",
     "HISTOGRAM_BUCKETS",
+    "AttrZone",
+    "ZoneMap",
+    "zone_may_match",
+    "rebuild_zone_maps",
 ]
 
 HISTOGRAM_BUCKETS = 16
@@ -172,6 +176,221 @@ class PartitionedTableStatistics(TableStatistics):
             f"<PartitionedStats {self.name!r}: {self.row_count} rows "
             f"({counts})>"
         )
+
+
+# ---------------------------------------------------------------------------
+# Zone maps (DESIGN.md §13): per-segment min/max for sub-partition skipping
+# ---------------------------------------------------------------------------
+
+
+class AttrZone:
+    """Min/max bounds for one attribute over one segment's versions.
+
+    Numeric and string value spaces keep separate bounds (they are not
+    mutually comparable); anything else — None, bool, NaN, containers,
+    nested functions — sets the ``other`` flag, which makes every range
+    test on this attribute inconclusive (the segment must be scanned).
+
+    Bounds only ever *widen*: segments accumulate every committed
+    version, so the zone over-approximates the rows visible at any
+    snapshot. That is exactly what makes skipping MVCC-sound — a
+    predicate the zone rules out is false for every version a reader
+    could see.
+    """
+
+    __slots__ = ("defined", "num_min", "num_max", "str_min", "str_max", "other")
+
+    def __init__(self) -> None:
+        self.defined = 0
+        self.num_min: float | None = None
+        self.num_max: float | None = None
+        self.str_min: str | None = None
+        self.str_max: str | None = None
+        self.other = False
+
+    def observe(self, value: Any) -> None:
+        self.defined += 1
+        if isinstance(value, bool):
+            value = int(value)  # booleans compare numerically (True == 1)
+        if _is_numeric(value) and value == value:  # excludes NaN
+            if self.num_min is None or value < self.num_min:
+                self.num_min = value
+            if self.num_max is None or value > self.num_max:
+                self.num_max = value
+        elif isinstance(value, str):
+            if self.str_min is None or value < self.str_min:
+                self.str_min = value
+            if self.str_max is None or value > self.str_max:
+                self.str_max = value
+        else:
+            self.other = True
+
+
+class ZoneMap:
+    """Zone bounds for every attribute seen in one segment."""
+
+    __slots__ = ("attrs", "rows", "opaque")
+
+    def __init__(self) -> None:
+        self.attrs: dict[str, AttrZone] = {}
+        self.rows = 0
+        #: Set when the segment holds non-dict values (nested functions):
+        #: no per-attribute reasoning applies, never skip.
+        self.opaque = False
+
+    def observe(self, data: Any) -> None:
+        if not isinstance(data, dict):
+            self.opaque = True
+            return
+        self.rows += 1
+        for attr, value in data.items():
+            zone = self.attrs.get(attr)
+            if zone is None:
+                zone = self.attrs[attr] = AttrZone()
+            zone.observe(value)
+
+    def __repr__(self) -> str:
+        return f"<ZoneMap {self.rows} rows, {len(self.attrs)} attrs>"
+
+
+def _zone_compare(az: AttrZone, op: str, const: Any) -> bool:
+    """May any observed value satisfy ``value <op> const``?"""
+    if az.other:
+        return True
+    if isinstance(const, bool):
+        const = int(const)  # True == 1 in Python: test numeric bounds
+    if _is_numeric(const) and const == const:
+        lo, hi = az.num_min, az.num_max
+    elif isinstance(const, str):
+        lo, hi = az.str_min, az.str_max
+    else:
+        # None/NaN/container constants: only ``other`` values could
+        # compare equal to these (ordering raises → False), and
+        # az.other is False here.
+        return False
+    if lo is None or hi is None:
+        return False
+    if op == "==":
+        return lo <= const <= hi
+    if op == "<":
+        return lo < const
+    if op == "<=":
+        return lo <= const
+    if op == ">":
+        return hi > const
+    if op == ">=":
+        return hi >= const
+    return True  # "!=" and anything unexpected: inconclusive
+
+
+def zone_may_match(zone: "ZoneMap | None", pred: Any) -> bool:
+    """May-analysis of a predicate against one segment's zone map.
+
+    Mirrors the partition-pruning lattice
+    (:func:`repro.partition.prune.surviving_partitions`): ``True`` means
+    "the segment might hold a matching row — scan it"; ``False`` is only
+    returned when *no* version in the segment can satisfy the predicate.
+    Anything the analysis cannot see through is inconclusive.
+    """
+    from repro.predicates.ast import (
+        And,
+        Between,
+        Comparison,
+        FalsePredicate,
+        KeyRef,
+        Literal,
+        Membership,
+        Or,
+        TruePredicate,
+        _columnar_operand,
+        _FLIP_OP,
+    )
+
+    if zone is None or zone.opaque:
+        return True
+    if isinstance(pred, TruePredicate):
+        return True
+    if isinstance(pred, FalsePredicate):
+        return False
+    if isinstance(pred, And):
+        return all(zone_may_match(zone, p) for p in pred.parts)
+    if isinstance(pred, Or):
+        return (
+            any(zone_may_match(zone, p) for p in pred.parts)
+            if pred.parts
+            else False
+        )
+    if isinstance(pred, Comparison):
+        left, right, op = pred.left, pred.right, pred.op
+        if isinstance(left, Literal):
+            left, right, op = right, left, _FLIP_OP[op]
+        column = _columnar_operand(left)
+        if column is None or not isinstance(right, Literal):
+            return True
+        kind, payload = column
+        if kind == "key":
+            return True  # zones cover attribute values, not keys
+        az = zone.attrs.get(payload)
+        if az is None:
+            # The attribute was never defined in any version of this
+            # segment, so a direct comparison cannot hold for any row.
+            return False
+        return _zone_compare(az, op, right.value)
+    if isinstance(pred, Membership):
+        if pred.negated or not isinstance(pred.collection, Literal):
+            return True
+        column = _columnar_operand(pred.item)
+        if column is None:
+            return True
+        kind, payload = column
+        if kind == "key":
+            return True
+        az = zone.attrs.get(payload)
+        if az is None:
+            return False
+        try:
+            values = list(pred.collection.value)
+        except TypeError:
+            return True
+        return any(_zone_compare(az, "==", v) for v in values)
+    if isinstance(pred, Between):
+        if not isinstance(pred.lo, Literal) or not isinstance(pred.hi, Literal):
+            return True
+        column = _columnar_operand(pred.item)
+        if column is None:
+            return True
+        kind, payload = column
+        if kind == "key":
+            return True
+        az = zone.attrs.get(payload)
+        if az is None:
+            return False
+        return _zone_compare(az, ">=", pred.lo.value) and _zone_compare(
+            az, "<=", pred.hi.value
+        )
+    # Not, opaque lambdas, arithmetic shapes: inconclusive.
+    return True
+
+
+def rebuild_zone_maps(table: Any) -> list[ZoneMap]:
+    """Zone maps for every segment of *table*, from ALL stored versions.
+
+    Observing every version (not just the latest) keeps the maps sound
+    for readers at old snapshots; vacuum naturally narrows them on the
+    next rebuild.
+    """
+    from repro._util import TOMBSTONE as _TS
+
+    segments = table.segments if table.is_partitioned else [table]
+    maps = []
+    for segment in segments:
+        zone = ZoneMap()
+        for chain in segment._chains.values():
+            for version in chain:
+                if version.data is not _TS:
+                    zone.observe(version.data)
+        maps.append(zone)
+    return maps
 
 
 def _is_numeric(value: Any) -> bool:

@@ -58,6 +58,11 @@ class VersionedTable:
         chain = self._chains.get(key)
         if not chain:
             return TOMBSTONE
+        # fast path: the newest version is visible (current snapshots —
+        # the overwhelmingly common case); no stamp list, no bisect
+        newest = chain[-1]
+        if newest.ts <= ts:
+            return newest.data
         stamps = [v.ts for v in chain]
         index = bisect_right(stamps, ts) - 1
         if index < 0:
@@ -78,13 +83,22 @@ class VersionedTable:
 
     def keys_at(self, ts: int) -> Iterator[Any]:
         """Keys with a live (non-tombstone) version at snapshot *ts*."""
-        for key in list(self._chains):
-            if self.read(key, ts) is not TOMBSTONE:
+        for key, chain in list(self._chains.items()):
+            newest = chain[-1] if chain else None
+            if newest is not None and newest.ts <= ts:
+                data = newest.data  # fast path (see read())
+            else:
+                data = self.read(key, ts)
+            if data is not TOMBSTONE:
                 yield key
 
     def scan_at(self, ts: int) -> Iterator[tuple[Any, Any]]:
-        for key in list(self._chains):
-            data = self.read(key, ts)
+        for key, chain in list(self._chains.items()):
+            newest = chain[-1] if chain else None
+            if newest is not None and newest.ts <= ts:
+                data = newest.data  # fast path (see read())
+            else:
+                data = self.read(key, ts)
             if data is not TOMBSTONE:
                 yield key, data
 

@@ -1,0 +1,244 @@
+"""Differential suite: columnar execution ≡ row-at-a-time execution.
+
+The operator zoo runs under the full switch matrix — ``REPRO_BATCH``
+(columnar vs rows) × ``REPRO_PARALLEL`` (on vs off) × ``REPRO_KERNEL``
+(numpy vs pure python) — over both a flat and a hash-partitioned copy
+of the same data, and every combination must reproduce the rows-mode
+serial baseline *exactly*: same keys, same enumeration order,
+extensionally equal values. The data deliberately includes the value
+shapes that make vectorization treacherous: missing attributes, None,
+NaN, booleans (``True == 1``), mixed numeric/string columns, and
+integers beyond the float64-exact range.
+"""
+
+import math
+
+import pytest
+
+import repro as fql
+from repro.exec import (
+    batch_mode,
+    kernel_backend,
+    set_batch_mode,
+    set_kernel_backend,
+    using_batch_mode,
+    using_kernel_backend,
+)
+from repro.exec.kernels import HAVE_NUMPY
+from repro.partition import hash_partition, using_parallel_mode
+
+BIG = 2**60  # beyond float64-exact: must force the python value path
+
+
+def _rows():
+    states = ["NY", "CA", "TX", "WA"]
+    rows = {}
+    for i in range(1, 97):
+        row = {
+            "name": f"c{i}",
+            "age": 18 + (i * 17) % 70,
+            "state": states[i % 4],
+        }
+        if i % 7 == 0:
+            row["bonus"] = None  # defined-but-None
+        if i % 11 == 0:
+            row["score"] = float("nan")
+        elif i % 5 == 0:
+            row["score"] = float(i)
+        if i % 13 == 0:
+            row["flag"] = i % 2 == 0  # booleans compare numerically
+        if i % 17 == 0:
+            row["serial"] = BIG + i  # not exactly representable
+        if i % 19 == 0:
+            row["mixed"] = "txt"  # string in an otherwise-numeric slot
+        elif i % 3 == 0:
+            row["mixed"] = i
+        rows[i] = row
+    return rows
+
+
+@pytest.fixture(scope="module")
+def flat_db():
+    db = fql.connect("columnar-flat", default=False)
+    db["customers"] = _rows()
+    yield db
+    db.close()
+
+
+@pytest.fixture(scope="module")
+def part_db():
+    db = fql.connect("columnar-part", default=False)
+    db.create_table(
+        "customers", rows=_rows(), partition_by=hash_partition("state", 4)
+    )
+    yield db
+    db.close()
+
+
+ZOO = {
+    "filter_eq": lambda db: fql.filter(db.customers, state="NY"),
+    "filter_ne": lambda db: fql.filter(db.customers, "state != 'CA'"),
+    "filter_lt": lambda db: fql.filter(db.customers, "age < 40"),
+    "filter_range": lambda db: fql.filter(db.customers, "age between 30 and 55"),
+    "filter_in": lambda db: fql.filter(db.customers, "state in ['TX', 'WA']"),
+    "filter_conj": lambda db: fql.filter(
+        db.customers, "age > 25 and state == 'NY'"
+    ),
+    "filter_disj": lambda db: fql.filter(
+        db.customers, "age > 80 or state == 'CA'"
+    ),
+    "filter_not": lambda db: fql.filter(db.customers, "not (age > 40)"),
+    "filter_none_attr": lambda db: fql.filter(db.customers, "bonus == None"),
+    "filter_nan": lambda db: fql.filter(db.customers, "score > 10"),
+    "filter_bool": lambda db: fql.filter(db.customers, "flag == True"),
+    "filter_bigint": lambda db: fql.filter(db.customers, f"serial > {BIG}"),
+    "filter_mixed": lambda db: fql.filter(db.customers, "mixed > 10"),
+    "filter_opaque": lambda db: fql.filter(
+        lambda c: c.age % 3 == 0, db.customers
+    ),
+    "project": lambda db: fql.project(db.customers, ["name", "state"]),
+    "project_over_filter": lambda db: fql.project(
+        fql.filter(db.customers, "age >= 40"), ["name", "age"]
+    ),
+    "order_limit": lambda db: fql.limit(
+        fql.order_by(db.customers, "age"), 10
+    ),
+    "group": lambda db: fql.group(by=["state"], input=db.customers),
+    "agg": lambda db: fql.group_and_aggregate(
+        by=["state"],
+        n=fql.Count(),
+        total=fql.Sum("age"),
+        avg=fql.Avg("age"),
+        lo=fql.Min("age"),
+        hi=fql.Max("age"),
+        first=fql.First("name"),
+        names=fql.Collect("name"),
+        input=db.customers,
+    ),
+    "agg_sparse": lambda db: fql.group_and_aggregate(
+        by=["state"],
+        n_scores=fql.Count("score"),
+        hi=fql.Max("score"),
+        input=db.customers,
+    ),
+    "agg_bool_key": lambda db: fql.group_and_aggregate(
+        by=["flag"], n=fql.Count(), input=db.customers
+    ),
+}
+
+
+def _canon_value(value):
+    if isinstance(value, fql.fdm.FDMFunction) and value.is_enumerable:
+        return {k: _canon_value(v) for k, v in value.items()}
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    return value
+
+
+def _ordered(fn):
+    return [(key, _canon_value(value)) for key, value in fn.items()]
+
+
+def _baseline(build, db):
+    with using_parallel_mode("off"), using_batch_mode("rows"):
+        return _ordered(build(db))
+
+
+KERNELS = ["numpy", "python"] if HAVE_NUMPY else ["python"]
+
+MATRIX = [
+    (batch, parallel, kernel)
+    for batch in ("columnar", "rows")
+    for parallel in ("on", "off")
+    for kernel in KERNELS
+]
+
+
+@pytest.mark.parametrize("layout", ["flat", "part"])
+@pytest.mark.parametrize("name", sorted(ZOO))
+def test_zoo_matrix(name, layout, flat_db, part_db):
+    db = flat_db if layout == "flat" else part_db
+    build = ZOO[name]
+    expected = _baseline(build, db)
+    for batch, parallel, kernel in MATRIX:
+        with using_batch_mode(batch), using_parallel_mode(
+            parallel
+        ), using_kernel_backend(kernel):
+            got = _ordered(build(db))
+        assert got == expected, (
+            f"{name}/{layout} diverged under "
+            f"batch={batch} parallel={parallel} kernel={kernel}"
+        )
+
+
+def test_zoo_matrix_inside_transaction(flat_db):
+    """Columnar scans fall back on open transactions, same results."""
+    db = flat_db
+    expected = _baseline(ZOO["filter_range"], db)
+    with db.transaction():
+        with using_batch_mode("columnar"):
+            assert _ordered(ZOO["filter_range"](db)) == expected
+
+
+def test_batch_mode_escape_hatch(monkeypatch):
+    monkeypatch.delenv("REPRO_BATCH", raising=False)
+    assert batch_mode() == "columnar"
+    monkeypatch.setenv("REPRO_BATCH", "rows")
+    assert batch_mode() == "rows"
+    monkeypatch.setenv("REPRO_BATCH", "columnar")
+    assert batch_mode() == "columnar"
+    set_batch_mode("rows")
+    assert batch_mode() == "rows"
+    set_batch_mode(None)
+    with pytest.raises(ValueError):
+        set_batch_mode("sideways")
+
+
+def test_kernel_backend_escape_hatch(monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", "python")
+    assert kernel_backend() == "python"
+    monkeypatch.delenv("REPRO_KERNEL")
+    assert kernel_backend() == ("numpy" if HAVE_NUMPY else "python")
+    set_kernel_backend("python")
+    assert kernel_backend() == "python"
+    set_kernel_backend(None)
+    with pytest.raises(ValueError):
+        set_kernel_backend("fortran")
+
+
+def test_plan_cache_keyed_by_batch_mode(flat_db):
+    """A columnar plan cached under one mode must not serve the other."""
+    db = flat_db
+    expr = fql.filter(db.customers, "age > 30")
+    with using_batch_mode("columnar"):
+        columnar = _ordered(expr)
+    with using_batch_mode("rows"):
+        rows = _ordered(expr)
+    assert columnar == rows
+
+
+def test_kernel_flip_without_replanning(flat_db):
+    """REPRO_KERNEL is runtime dispatch: flipping it mid-stream between
+    pulls of the *same* cached plan must not change results."""
+    db = flat_db
+    expr = fql.filter(db.customers, "age > 30")
+    with using_kernel_backend("numpy" if HAVE_NUMPY else "python"):
+        first = _ordered(expr)
+    with using_kernel_backend("python"):
+        second = _ordered(expr)
+    assert first == second
+
+
+def test_columnar_after_dml(flat_db):
+    """Inserts/updates/deletes are visible to columnar scans at once."""
+    db = fql.connect("columnar-dml", default=False)
+    db["customers"] = _rows()
+    expr = fql.filter(db.customers, "age > 30")
+    with using_batch_mode("columnar"):
+        before = dict(_ordered(expr))
+        db.customers[1000] = {"name": "new", "age": 99, "state": "NY"}
+        after = dict(_ordered(expr))
+        assert 1000 in after and 1000 not in before
+        del db.customers[1000]
+        assert 1000 not in dict(_ordered(expr))
+    db.close()

@@ -1,0 +1,324 @@
+"""Zone-map unit tests (DESIGN.md §13).
+
+Covers the bound-tracking lattice (:class:`AttrZone` / :class:`ZoneMap`),
+the conservative may-analysis (:func:`zone_may_match`), the engine-side
+maintenance on commit, accumulate-only soundness after DML, and the
+executor counters that certify segments were actually skipped.
+"""
+
+import math
+
+import pytest
+
+import repro as fql
+from repro.exec import explain, using_batch_mode
+from repro.exec.batch import counters, reset_counters
+from repro.partition import range_partition, using_parallel_mode
+from repro.predicates import parse_predicate
+from repro.storage.stats import (
+    AttrZone,
+    ZoneMap,
+    rebuild_zone_maps,
+    zone_may_match,
+)
+
+
+def _zone(*rows):
+    zone = ZoneMap()
+    for row in rows:
+        zone.observe(row)
+    return zone
+
+
+def _may(zone, source):
+    return zone_may_match(zone, parse_predicate(source))
+
+
+# -- AttrZone bound tracking ------------------------------------------------
+
+
+class TestAttrZone:
+    def test_numeric_bounds(self):
+        az = AttrZone()
+        for v in (5, 2.5, 9, -1):
+            az.observe(v)
+        assert (az.num_min, az.num_max) == (-1, 9)
+        assert az.str_min is None and not az.other
+
+    def test_string_bounds_separate_from_numeric(self):
+        az = AttrZone()
+        az.observe("mango")
+        az.observe(7)
+        az.observe("apple")
+        assert (az.str_min, az.str_max) == ("apple", "mango")
+        assert (az.num_min, az.num_max) == (7, 7)
+        assert not az.other  # mixed types are fine, not opaque
+
+    def test_bool_unifies_with_numeric(self):
+        az = AttrZone()
+        az.observe(True)
+        az.observe(5)
+        assert (az.num_min, az.num_max) == (1, 5)
+        assert not az.other
+
+    def test_none_sets_other(self):
+        az = AttrZone()
+        az.observe(None)
+        assert az.other and az.num_min is None
+
+    def test_nan_sets_other_not_bounds(self):
+        az = AttrZone()
+        az.observe(float("nan"))
+        assert az.num_min is None and az.num_max is None
+        assert az.other  # NaN is incomparable: ranges become inconclusive
+
+    def test_container_sets_other(self):
+        az = AttrZone()
+        az.observe([1, 2])
+        assert az.other
+
+
+class TestZoneMap:
+    def test_per_attr_zones_and_row_count(self):
+        zone = _zone({"a": 1, "b": "x"}, {"a": 3})
+        assert zone.rows == 2
+        assert zone.attrs["a"].num_max == 3
+        assert zone.attrs["b"].defined == 1
+
+    def test_non_dict_rows_make_zone_opaque(self):
+        zone = _zone({"a": 1}, "not-a-dict")
+        assert zone.opaque
+        assert _may(zone, "a > 100")  # opaque: never skip
+
+
+# -- zone_may_match ----------------------------------------------------------
+
+
+class TestMayMatch:
+    ZONE = _zone(
+        {"age": 20, "state": "CA", "amount": 1.5},
+        {"age": 60, "state": "NY"},
+    )
+
+    @pytest.mark.parametrize(
+        "source,expected",
+        [
+            ("age == 40", True),
+            ("age == 5", False),
+            ("age == 61", False),
+            ("age < 20", False),
+            ("age < 21", True),
+            ("age <= 20", True),
+            ("age <= 19", False),
+            ("age > 60", False),
+            ("age > 59", True),
+            ("age >= 60", True),
+            ("age >= 61", False),
+            ("age != 999", True),  # != is always inconclusive
+            ("40 < age", True),  # flipped literal-first comparison
+            ("age between 30 and 50", True),
+            ("age between 61 and 70", False),
+            ("age between 0 and 19", False),
+            ("age in [5, 40]", True),
+            ("age in [5, 6]", False),
+            ("age not in [5, 6]", True),  # negated membership: scan
+            ("state == 'CA'", True),
+            ("state == 'AA'", False),
+            ("state == 'ZZ'", False),
+            ("missing == 1", False),  # attr never defined: cannot match
+            ("missing != 1", False),  # ditto: no version defines it at all
+            ("age == 40 and state == 'ZZ'", False),
+            ("age == 40 or state == 'ZZ'", True),
+            ("age == 5 or state == 'ZZ'", False),
+            ("not (age > 100)", True),  # Not: inconclusive
+            ("age == None", True),  # None parses as a name: inconclusive
+            ("__key__ == 3", True),  # zones cover attrs, not keys
+        ],
+    )
+    def test_verdicts(self, source, expected):
+        assert _may(self.ZONE, source) is expected
+
+    def test_bool_constant_tests_numeric_bounds(self):
+        zone = _zone({"flag": 0}, {"flag": 1})
+        assert _may(zone, "flag == True")
+        assert not _may(_zone({"flag": 5}), "flag == True")
+
+    def test_other_flag_disables_skipping_for_that_attr(self):
+        zone = _zone({"age": 20}, {"age": None})
+        assert _may(zone, "age == 999")  # could hide behind `other`
+
+    def test_nan_zone_is_inconclusive(self):
+        zone = _zone({"score": float("nan")})
+        assert _may(zone, "score > 10")
+
+    def test_none_zone_is_none_and_empty(self):
+        assert zone_may_match(None, parse_predicate("age > 1"))
+        empty = ZoneMap()
+        assert not zone_may_match(empty, parse_predicate("age > 1"))
+
+    def test_opaque_lambda_is_inconclusive(self):
+        from repro.predicates.ast import FuncCall  # noqa: F401  (exists)
+
+        # anything the analysis cannot see through must return True —
+        # probe via a predicate shape the walker does not handle
+        pred = parse_predicate("age + 1 > 100")
+        assert zone_may_match(self.ZONE, pred)
+
+
+# -- engine maintenance and soundness ---------------------------------------
+
+
+def _events_db(name):
+    db = fql.connect(name, default=False)
+    db.create_table(
+        "events",
+        rows={i: {"seq": i, "ts": 100 + i} for i in range(400)},
+        partition_by=range_partition("seq", [100, 200, 300]),
+    )
+    return db
+
+
+class TestEngineMaintenance:
+    def test_zone_maps_exist_per_segment(self):
+        db = _events_db("zm-exist")
+        zones = db.engine.zones["events"]
+        assert len(zones) == 4
+        assert [z.attrs["ts"].num_min for z in zones] == [100, 200, 300, 400]
+        db.close()
+
+    def test_commit_widens_zone(self):
+        db = _events_db("zm-widen")
+        db.events[1000] = {"seq": 50, "ts": 9_999}
+        zone = db.engine.zones["events"][0]
+        assert zone.attrs["ts"].num_max == 9_999
+        db.close()
+
+    def test_post_dml_staleness_is_sound_not_tight(self):
+        """Updating a row out of a zone's range leaves the old bound in
+        place (accumulate-only): the segment still scans for the old
+        value — conservative, never wrong — and query results stay
+        exact either way."""
+        db = _events_db("zm-stale")
+        db.events[150]["ts"] = 5  # moves ts out of segment 1's [200, 299]
+        zone = db.engine.zones["events"][1]
+        assert zone.attrs["ts"].num_min == 5  # widened down
+        assert zone.attrs["ts"].num_max == 299  # old bound retained
+        with using_parallel_mode("off"), using_batch_mode("columnar"):
+            got = dict(fql.filter(db.events, "ts == 5").items())
+        assert set(got) == {150}
+        db.close()
+
+    def test_rebuild_covers_all_versions(self):
+        db = _events_db("zm-rebuild")
+        db.events[0]["ts"] = -7
+        table = db.engine.tables["events"]
+        maps = rebuild_zone_maps(table)
+        assert maps[0].attrs["ts"].num_min == -7
+        assert maps[0].attrs["ts"].num_max == 199  # old versions observed
+        db.close()
+
+    def test_partition_table_rebuilds_zones(self):
+        db = fql.connect("zm-repart", default=False)
+        db["events"] = {i: {"seq": i, "ts": 100 + i} for i in range(400)}
+        assert len(db.engine.zones["events"]) == 1
+        db.partition_table("events", range_partition("seq", [200]))
+        zones = db.engine.zones["events"]
+        assert len(zones) == 2
+        assert zones[1].attrs["ts"].num_min == 300
+        db.close()
+
+
+class TestExecutorSkipping:
+    def test_counters_prove_segments_skipped(self):
+        db = _events_db("zm-count")
+        with using_parallel_mode("off"), using_batch_mode("columnar"):
+            expr = fql.filter(db.events, "ts >= 450")
+            reset_counters()
+            got = dict(expr.items())
+            assert set(got) == set(range(350, 400))
+            assert counters.zone_segments_skipped == 3
+            assert counters.zone_segments_scanned == 1
+        db.close()
+
+    def test_parallel_scatter_skips_partitions(self):
+        db = _events_db("zm-scatter")
+        with using_parallel_mode("on"), using_batch_mode("columnar"):
+            expr = fql.filter(db.events, "ts >= 450")
+            reset_counters()
+            got = dict(expr.items())
+            assert set(got) == set(range(350, 400))
+            assert counters.zone_segments_skipped == 3
+        db.close()
+
+    def test_rows_mode_never_skips(self):
+        db = _events_db("zm-rows")
+        with using_parallel_mode("off"), using_batch_mode("rows"):
+            expr = fql.filter(db.events, "ts >= 450")
+            reset_counters()
+            got = dict(expr.items())
+            assert set(got) == set(range(350, 400))
+            assert counters.zone_segments_skipped == 0
+        db.close()
+
+    def test_open_transaction_falls_back_to_row_scan(self):
+        db = _events_db("zm-txn")
+        with using_parallel_mode("off"), using_batch_mode("columnar"):
+            with db.transaction():
+                db.events[1000] = {"seq": 399, "ts": 451}
+                reset_counters()
+                got = dict(fql.filter(db.events, "ts >= 450").items())
+                assert set(got) == set(range(350, 400)) | {1000}
+                assert counters.zone_segments_skipped == 0  # no skipping
+        db.close()
+
+    def test_skipping_respects_nan_rows(self):
+        """A NaN value poisons the attr zone (other=True), so a filter
+        over that attribute scans the segment instead of skipping —
+        soundness over tightness."""
+        db = fql.connect("zm-nan", default=False)
+        db.create_table(
+            "m",
+            rows={
+                0: {"seq": 0, "v": float("nan")},
+                1: {"seq": 1, "v": 2.0},
+                2: {"seq": 100, "v": 3.0},
+            },
+            partition_by=range_partition("seq", [50]),
+        )
+        with using_parallel_mode("off"), using_batch_mode("columnar"):
+            reset_counters()
+            got = dict(fql.filter(db.m, "v > 100").items())
+            assert got == {}
+            # segment 0 holds the NaN: must have been scanned, not skipped
+            assert counters.zone_segments_scanned >= 1
+        db.close()
+
+
+def test_explain_reports_zone_verdicts():
+    db = _events_db("zm-explain")
+    with using_parallel_mode("off"), using_batch_mode("columnar"):
+        text = explain(fql.filter(db.events, "ts >= 450"))
+    assert "== batching ==" in text
+    assert "zone maps" in text
+    assert "3 skipped" in text
+    db.close()
+
+
+def test_vacuum_then_rebuild_narrows_zones():
+    db = _events_db("zm-vacuum")
+    db.events[0]["ts"] = 100  # dead version with ts=100 remains until vacuum
+    db.events[0]["ts"] = 42
+    table = db.engine.tables["events"]
+    wide = rebuild_zone_maps(table)
+    assert wide[0].attrs["ts"].num_min == 42
+    db.vacuum()
+    narrow = rebuild_zone_maps(table)
+    assert narrow[0].attrs["ts"].num_min == 42
+    # the vacuumed rebuild observes no more versions than the wide one
+    assert narrow[0].rows <= wide[0].rows
+    db.close()
+
+
+def test_math_isnan_guard():
+    # regression guard for observe(): NaN != NaN is load-bearing
+    assert math.isnan(float("nan"))
