@@ -1,0 +1,143 @@
+"""A metrics dashboard fed by the METRICS verb (docs/observability.md).
+
+Run:  python examples/metrics_dashboard.py
+
+One process, four roles: a leader server, an in-process read replica
+following it, a traffic generator hammering queries and DML through a
+client, and a *dashboard* client that polls the Prometheus text page
+the METRICS verb serves. The dashboard parses the exposition the way
+any scraper would — no private APIs — and derives the interesting
+numbers itself:
+
+* **qps** — the delta of ``repro_server_requests_total`` between polls;
+* **p99 latency** — interpolated from the cumulative
+  ``repro_server_request_latency_seconds_bucket`` series;
+* **plan-cache hit rate** — ``repro_plan_cache_hit_rate``, climbing as
+  the repeated query shapes warm the cache;
+* **replica lag** — ``repro_replication_lag_commits``, the worst
+  attached follower's distance behind the leader clock.
+"""
+
+import random
+import threading
+import time
+
+import repro
+import repro.client
+import repro.replication
+import repro.server
+
+POLLS = 6
+POLL_EVERY = 0.5
+
+
+def build_database() -> repro.FunctionalDatabase:
+    db = repro.connect(name="metricsdemo", default=False)
+    db["orders"] = {
+        i: {"region": ("north", "south", "east", "west")[i % 4],
+            "amount": float(10 + (i * 7) % 90)}
+        for i in range(1, 201)
+    }
+    return db
+
+
+def traffic(port: int, stop: threading.Event) -> None:
+    """Queries (repeated shapes, so the plan cache warms) plus DML."""
+    with repro.client.connect(port=port) as c:
+        key = 1000
+        while not stop.is_set():
+            c.fql("filter('amount > 50', input=db.orders)")
+            c.fql("filter('region == \"north\"', input=db.orders)")
+            if random.random() < 0.3:
+                c.insert("orders", key, {
+                    "region": "east", "amount": 42.0,
+                })
+                key += 1
+            time.sleep(0.01)
+
+
+def parse_exposition(text: str) -> dict[str, float]:
+    """A Prometheus text page as ``{series: value}`` (labels kept)."""
+    out: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        series, value = line.rsplit(" ", 1)
+        out[series] = float(value)
+    return out
+
+
+def p99_from_buckets(series: dict[str, float]) -> float:
+    """p99 seconds interpolated from the latency histogram's
+    cumulative buckets — the same arithmetic PromQL's
+    ``histogram_quantile`` does."""
+    prefix = "repro_server_request_latency_seconds_bucket{le="
+    buckets = []
+    for name, cumulative in series.items():
+        if name.startswith(prefix):
+            bound = name[len(prefix):].rstrip("}").strip('"')
+            if bound != "+Inf":
+                buckets.append((float(bound), cumulative))
+    buckets.sort()
+    total = series.get("repro_server_request_latency_seconds_count", 0.0)
+    if total == 0 or not buckets:
+        return 0.0
+    target = 0.99 * total
+    prev_bound, prev_cum = 0.0, 0.0
+    for bound, cumulative in buckets:
+        if cumulative >= target:
+            share = (target - prev_cum) / max(cumulative - prev_cum, 1e-9)
+            return prev_bound + share * (bound - prev_bound)
+        prev_bound, prev_cum = bound, cumulative
+    return buckets[-1][0]
+
+
+def main() -> None:
+    db = build_database()
+    server = repro.server.serve(db, port=0)
+    print(f"leader on port {server.port}")
+
+    replica = repro.replication.start_replica(
+        port=server.port, name="follower", poll_interval=0.1
+    )
+    print("replica attached\n")
+
+    stop = threading.Event()
+    worker = threading.Thread(
+        target=traffic, args=(server.port, stop), daemon=True
+    )
+    worker.start()
+
+    header = (
+        f"{'poll':>4}  {'qps':>7}  {'p99 ms':>7}  "
+        f"{'cache hit':>9}  {'replica lag':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    with repro.client.connect(port=server.port) as dashboard:
+        last_requests, last_at = 0.0, time.monotonic()
+        for poll in range(1, POLLS + 1):
+            time.sleep(POLL_EVERY)
+            series = parse_exposition(dashboard.metrics())
+            now = time.monotonic()
+            requests = series.get("repro_server_requests_total", 0.0)
+            qps = (requests - last_requests) / (now - last_at)
+            last_requests, last_at = requests, now
+            print(
+                f"{poll:>4}  {qps:>7.1f}  "
+                f"{p99_from_buckets(series) * 1000:>7.2f}  "
+                f"{series.get('repro_plan_cache_hit_rate', 0.0):>9.2%}  "
+                f"{series.get('repro_replication_lag_commits', 0.0):>11.0f}"
+            )
+
+    stop.set()
+    worker.join(timeout=2)
+    replica.close()
+    server.stop()
+    db.close()
+    print("\ndone: qps derived from requests_total deltas, p99 from the")
+    print("latency histogram, all through the scrapeable METRICS page.")
+
+
+if __name__ == "__main__":
+    main()

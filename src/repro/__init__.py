@@ -49,7 +49,7 @@ from repro.txn import (
 # submodules re-exported for qualified use: repro.fql.filter(...), etc.
 from repro import errors, fdm, fql, ivm, partition, predicates  # noqa: F401
 from repro import catalog, erm, optimizer, relational, resultdb  # noqa: F401
-from repro import storage, txn, types, workloads  # noqa: F401
+from repro import obs, storage, txn, types, workloads  # noqa: F401
 
 __version__ = "1.0.0"
 
@@ -96,6 +96,7 @@ __all__ = (
         "predicates",
         "catalog",
         "erm",
+        "obs",
         "optimizer",
         "relational",
         "resultdb",

@@ -256,32 +256,45 @@ class RemoteDatabase:
     # -- plumbing ----------------------------------------------------------------
 
     def _call(self, payload: dict[str, Any]) -> Any:
-        """One request/response round trip; buffers interleaved pushes."""
-        with self._lock:
-            if self._closed:
-                raise ConnectionClosedError("client is closed")
-            request_id = next(self._ids)
-            payload["id"] = request_id
-            protocol.send_frame(self._sock, payload)
-            while True:
-                frame = protocol.recv_frame(self._sock)
-                if frame is None:
-                    self._closed = True
-                    raise ConnectionClosedError(
-                        "server closed the connection"
-                    )
-                if "push" in frame:
-                    self._pushes.append(self._decode_push(frame))
-                    continue
-                if frame.get("id") is None and not frame.get("ok", True):
-                    # connection-fatal refusal (admission shedding)
-                    self._closed = True
+        """One request/response round trip; buffers interleaved pushes.
+
+        This is where traces begin: under ``REPRO_TRACE`` head-based
+        sampling the client mints the trace id and ships it in the
+        request envelope's optional ``trace`` field, so the server's
+        session span — and everything below it, down to a replica's
+        WAL apply — joins the same tree as this client-side span.
+        """
+        from repro.obs.trace import current_context, maybe_trace
+
+        with maybe_trace(f"client.{payload.get('verb', 'call')}"):
+            ctx = current_context()
+            if ctx is not None:
+                payload["trace"] = ctx
+            with self._lock:
+                if self._closed:
+                    raise ConnectionClosedError("client is closed")
+                request_id = next(self._ids)
+                payload["id"] = request_id
+                protocol.send_frame(self._sock, payload)
+                while True:
+                    frame = protocol.recv_frame(self._sock)
+                    if frame is None:
+                        self._closed = True
+                        raise ConnectionClosedError(
+                            "server closed the connection"
+                        )
+                    if "push" in frame:
+                        self._pushes.append(self._decode_push(frame))
+                        continue
+                    if frame.get("id") is None and not frame.get("ok", True):
+                        # connection-fatal refusal (admission shedding)
+                        self._closed = True
+                        protocol.raise_remote(frame.get("error") or {})
+                    if frame.get("id") != request_id:
+                        continue  # stale frame from an aborted exchange
+                    if frame.get("ok"):
+                        return frame.get("result")
                     protocol.raise_remote(frame.get("error") or {})
-                if frame.get("id") != request_id:
-                    continue  # stale frame from an aborted exchange
-                if frame.get("ok"):
-                    return frame.get("result")
-                protocol.raise_remote(frame.get("error") or {})
 
     @staticmethod
     def _decode_push(frame: dict[str, Any]) -> dict[str, Any]:
@@ -300,6 +313,9 @@ class RemoteDatabase:
                     "schemas": frame.get("schemas", {}),
                     "leader_ts": frame.get("leader_ts", 0),
                     "epoch": frame.get("epoch", 0),
+                    # trace context of the committing request, so a
+                    # replica's apply span joins the same trace
+                    "trace": frame.get("trace"),
                 }
             )
             return event
@@ -379,6 +395,12 @@ class RemoteDatabase:
         session, server, and replication sections; the field reference
         lives in docs/operations.md."""
         return self._call({"verb": "stats"})
+
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition (METRICS verb) —
+        database-engine and server-admission series in one scrapeable
+        page; the reference table lives in docs/observability.md."""
+        return self._call({"verb": "metrics"})["text"]
 
     def ping(self) -> bool:
         """Round-trip liveness probe against the leader."""

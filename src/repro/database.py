@@ -441,7 +441,7 @@ class FunctionalDatabase(DatabaseFunction):
         everything a dashboard (or the server's STATS verb) needs
         without reaching into subsystem internals.
         """
-        from repro.exec.batch import batch_mode, counters
+        from repro.exec.batch import batch_mode, counters_for
         from repro.exec.kernels import kernel_backend
 
         engine = self._engine
@@ -460,12 +460,14 @@ class FunctionalDatabase(DatabaseFunction):
                 if engine.plan_cache is not None
                 else None
             ),
-            # process-wide executor counters (the batch/kernel switches
-            # and zone-map effectiveness are global, not per database)
+            # per-database executor counters (the batch/kernel switches
+            # stay process-wide, but zone-map effectiveness and batch
+            # totals are attributed to this engine — two databases in
+            # one process no longer pollute each other's numbers)
             "executor": {
                 "batch_mode": batch_mode(),
                 "kernel_backend": kernel_backend(),
-                **counters.snapshot(),
+                **counters_for(engine).snapshot(),
             },
             "views": views,
             "tables": {
@@ -498,6 +500,42 @@ class FunctionalDatabase(DatabaseFunction):
                 else None
             ),
         }
+
+    # -- observability (docs/observability.md) ---------------------------------------------------
+
+    def metrics(self) -> Any:
+        """This database's :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Lazily created and wired with engine gauges (plan-cache hit
+        rate, WAL bytes, replication lag, executor counters) on first
+        use; ``.prometheus()`` renders the text exposition the METRICS
+        verb serves.
+        """
+        from repro.obs.metrics import metrics_for
+
+        return metrics_for(self._engine)
+
+    def slow_queries(self) -> list[Any]:
+        """Captured :class:`~repro.obs.slowlog.SlowQueryEntry` rows,
+        oldest first — a bounded ring, so old entries age out."""
+        from repro.obs.slowlog import slowlog_for
+
+        return slowlog_for(self._engine).entries()
+
+    def set_slow_query_threshold(self, ms: float | None) -> None:
+        """Capture any query slower than *ms* milliseconds into the
+        slow-query log (``None`` disables capture for this database)."""
+        from repro.obs.slowlog import slowlog_for
+
+        slowlog_for(self._engine).set_threshold(ms)
+
+    def trace_export(self, trace_id: str | None = None) -> dict[str, Any]:
+        """The latest finished trace (or *trace_id*) as a Chrome
+        trace-event JSON dict — dump it and load in ``about:tracing``
+        or Perfetto."""
+        from repro.obs.trace import export_chrome
+
+        return export_chrome(trace_id)
 
     # -- durability ------------------------------------------------------------------------------
 

@@ -23,6 +23,8 @@ keys pipelines by this mode so cached plans never cross modes.
 from __future__ import annotations
 
 import os
+import threading
+import weakref
 from contextlib import contextmanager
 from itertools import compress
 from typing import Any, Iterator
@@ -36,6 +38,7 @@ __all__ = [
     "set_batch_mode",
     "using_batch_mode",
     "counters",
+    "counters_for",
     "reset_counters",
 ]
 
@@ -141,13 +144,20 @@ class ColumnBatch:
 
 
 class ExecutorCounters:
-    """Process-wide executor telemetry, surfaced via ``db.stats()``.
+    """Executor telemetry, surfaced via ``db.stats()`` and metrics.
 
     Plain unlocked increments: counts are informational (explain/stats),
     and a rare lost update under threads is acceptable.
+
+    Two scopes exist. The module-level :data:`counters` instance keeps
+    the historical process-wide view (tests and benchmarks diff it
+    around a workload). :func:`counters_for` additionally attaches one
+    instance *per storage engine*, so two databases in one process stop
+    sharing — and clobbering — each other's counts; increment sites
+    bump both.
     """
 
-    __slots__ = (
+    FIELDS = (
         "columnar_batches",
         "columnar_rows",
         "row_batches",
@@ -155,6 +165,8 @@ class ExecutorCounters:
         "zone_segments_skipped",
         "zone_segments_scanned",
     )
+
+    __slots__ = FIELDS + ("__weakref__",)
 
     def __init__(self) -> None:
         self.reset()
@@ -168,11 +180,46 @@ class ExecutorCounters:
         self.zone_segments_scanned = 0
 
     def snapshot(self) -> dict[str, int]:
-        return {slot: getattr(self, slot) for slot in self.__slots__}
+        return {field: getattr(self, field) for field in self.FIELDS}
 
 
 counters = ExecutorCounters()
 
+#: Every live counters instance (the global plus per-engine ones), so
+#: :func:`reset_counters` keeps meaning "zero everything" for tests.
+_instances: "weakref.WeakSet[ExecutorCounters]" = weakref.WeakSet()
+_instances.add(counters)
+_counters_create_lock = threading.Lock()
+
+#: Sink for scans whose function resolves to no engine (ad-hoc material
+#: functions). A distinct instance — never the global — because
+#: increment sites bump both their scoped instance *and* the global,
+#: and aliasing the two would double-count.
+_unattributed = ExecutorCounters()
+_instances.add(_unattributed)
+
+
+def counters_for(engine: Any) -> ExecutorCounters:
+    """The lazily-attached per-engine counters instance.
+
+    ``None`` maps to a shared "unattributed" instance so call sites can
+    bump the result unconditionally alongside the global."""
+    if engine is None:
+        return _unattributed
+    got = getattr(engine, "executor_counters", None)
+    if got is not None:
+        return got
+    with _counters_create_lock:
+        got = getattr(engine, "executor_counters", None)
+        if got is not None:
+            return got
+        got = ExecutorCounters()
+        _instances.add(got)
+        engine.executor_counters = got
+        return got
+
 
 def reset_counters() -> None:
-    counters.reset()
+    """Zero the global *and* every per-engine counters instance."""
+    for instance in list(_instances):
+        instance.reset()

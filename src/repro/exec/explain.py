@@ -14,6 +14,8 @@ from typing import Any
 
 from repro.fdm.functions import FDMFunction
 from repro.exec.lower import lower
+from repro.obs.instrument import fmt_ns as _fmt_ns
+from repro.obs.instrument import walk as _walk
 
 __all__ = ["explain", "analyze"]
 
@@ -88,12 +90,6 @@ def _batching_summary(pipeline: Any) -> list[str]:
     return out
 
 
-def _walk(node: Any, depth: int = 0):
-    yield node, depth
-    for child in getattr(node, "children", ()):
-        yield from _walk(child, depth + 1)
-
-
 def _zone_verdict(node: Any) -> str | None:
     """Static zone-map verdict for a node carrying a zone predicate.
 
@@ -134,14 +130,24 @@ def analyze(fn: FDMFunction) -> str:
 
     Plans a **fresh** pipeline (never the cached one — instrumentation
     must not leak into plans served to ordinary queries), wraps every
-    physical node's batch stream with counting and wall-clock shims,
-    drains the root, and renders the operator tree annotated with
-    ``batches / rows / wall`` per node plus the zone-map skip totals the
-    run accumulated.
+    physical node's batch stream with the shared
+    :func:`repro.obs.instrument.instrument_pipeline` shims — the same
+    hook the slow-query log and traced execution use, so the three
+    reports can't drift — drains the root, and renders the operator
+    tree annotated with ``batches / rows / wall`` per node plus the
+    zone-map skip totals the run accumulated. Scatter–gather workers
+    report their per-partition pipelines through an active collector,
+    so parallel plans are analyzed inside the workers too.
     """
     from repro.optimizer import optimize
     from repro.exec.batch import counters
     from repro.exec.run import pipeline_rules
+    from repro.obs.instrument import (
+        collecting,
+        instrument_pipeline,
+        render_stats,
+        tree_stats,
+    )
 
     trace: list[str] = []
     optimized = optimize(fn, rules=pipeline_rules(), trace=trace)
@@ -156,27 +162,19 @@ def analyze(fn: FDMFunction) -> str:
         lines.append(f"  rows={n} wall={_fmt_ns(wall)}")
         return "\n".join(lines)
 
-    stats = _instrument(pipeline.root)
+    stats = instrument_pipeline(pipeline.root)
     before = counters.snapshot()
     start = time.perf_counter_ns()
-    for _batch in pipeline.root.batches():
-        pass
+    with collecting() as collector:
+        for _batch in pipeline.root.batches():
+            pass
     total_wall = time.perf_counter_ns() - start
     after = counters.snapshot()
 
-    def visit(node: Any, indent: int) -> None:
-        st = stats[id(node)]
-        rows_in = sum(stats[id(c)]["rows"] for c in node.children)
-        lines.append(
-            "  " * (indent + 1)
-            + node.describe()
-            + f"  [batches={st['batches']} rows_in={rows_in}"
-            + f" rows_out={st['rows']} wall={_fmt_ns(st['wall_ns'])}]"
-        )
-        for child in node.children:
-            visit(child, indent + 1)
-
-    visit(pipeline.root, 0)
+    lines.extend(render_stats(tree_stats(pipeline.root, stats)))
+    if collector.partitions:
+        lines.append("  scatter workers:")
+        lines.extend(collector.render(indent=2))
     skipped = after["zone_segments_skipped"] - before["zone_segments_skipped"]
     scanned = after["zone_segments_scanned"] - before["zone_segments_scanned"]
     if skipped or scanned:
@@ -186,42 +184,6 @@ def analyze(fn: FDMFunction) -> str:
     lines.append(f"  total wall={_fmt_ns(total_wall)}")
     lines.extend(_batching_summary(pipeline))
     return "\n".join(lines)
-
-
-def _instrument(root: Any) -> dict:
-    """Wrap every node's ``batches`` with counting/timing shims."""
-    stats: dict[int, dict] = {}
-    for node, _depth in _walk(root):
-        if id(node) in stats:
-            continue
-        st = {"batches": 0, "rows": 0, "wall_ns": 0}
-        stats[id(node)] = st
-        original = node.batches
-
-        def wrapped(original=original, st=st):
-            it = original()
-            while True:
-                t0 = time.perf_counter_ns()
-                try:
-                    batch = next(it)
-                except StopIteration:
-                    st["wall_ns"] += time.perf_counter_ns() - t0
-                    return
-                st["wall_ns"] += time.perf_counter_ns() - t0
-                st["batches"] += 1
-                st["rows"] += len(batch)
-                yield batch
-
-        node.batches = wrapped
-    return stats
-
-
-def _fmt_ns(ns: int) -> str:
-    if ns >= 1_000_000:
-        return f"{ns / 1_000_000:.2f}ms"
-    if ns >= 1_000:
-        return f"{ns / 1_000:.1f}us"
-    return f"{ns}ns"
 
 
 def _partition_summary(fn: FDMFunction) -> list[str]:

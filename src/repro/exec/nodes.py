@@ -24,6 +24,7 @@ from repro.exec.batch import (
     ColumnBatch,
     batch_mode,
     counters,
+    counters_for,
 )
 from repro.fdm.functions import FDMFunction, values_equal
 
@@ -118,10 +119,20 @@ class ScanNode(PhysicalNode):
         # getattr(fn, ...) on a database function raises instead of
         # returning the default
         columnar = getattr(type(self.fn), "iter_columnar_batches", None)
+        # object.__getattribute__ skips that same __getattr__ hook, so a
+        # function without a stored _engine yields AttributeError rather
+        # than a spurious relation lookup
+        try:
+            engine = object.__getattribute__(self.fn, "_engine")
+        except AttributeError:
+            engine = None
+        scoped = counters_for(engine)
         if columnar is None or batch_mode() != "columnar":
             for batch in self.fn.iter_batches(BATCH_SIZE):
                 counters.row_batches += 1
                 counters.row_rows += len(batch)
+                scoped.row_batches += 1
+                scoped.row_rows += len(batch)
                 yield batch
             return
         for batch in columnar(
@@ -130,9 +141,13 @@ class ScanNode(PhysicalNode):
             if isinstance(batch, ColumnBatch):
                 counters.columnar_batches += 1
                 counters.columnar_rows += len(batch)
+                scoped.columnar_batches += 1
+                scoped.columnar_rows += len(batch)
             else:
                 counters.row_batches += 1
                 counters.row_rows += len(batch)
+                scoped.row_batches += 1
+                scoped.row_rows += len(batch)
             yield batch
 
     def key_batches(self) -> Iterator[list]:

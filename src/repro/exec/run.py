@@ -22,7 +22,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.fdm.functions import FDMFunction
-from repro.exec.cache import cache_for, fingerprint
+from repro.exec.cache import _engine_of, cache_for, fingerprint
 from repro.exec.lower import PhysicalPipeline, lower
 
 __all__ = [
@@ -111,6 +111,7 @@ def pipeline_rules() -> list:
 def pipeline_for(fn: FDMFunction) -> PhysicalPipeline | None:
     """The cached physical pipeline for *fn*, planning it on a miss."""
     from repro.exec.batch import batch_mode
+    from repro.obs.trace import span
     from repro.partition.parallel import parallel_mode
 
     try:
@@ -125,25 +126,28 @@ def pipeline_for(fn: FDMFunction) -> PhysicalPipeline | None:
         return None
     if key in _planning.inflight:
         return None
-    cache = cache_for(fn)
-    cached = cache.get(key)
-    if cached is not None:
-        return None if cached is _NAIVE else cached
-    _planning.inflight.add(key)
-    try:
-        from repro.optimizer import optimize
+    with span("plan") as sp:
+        cache = cache_for(fn)
+        cached = cache.get(key)
+        if cached is not None:
+            sp.annotate(plan_cache="hit")
+            return None if cached is _NAIVE else cached
+        sp.annotate(plan_cache="miss")
+        _planning.inflight.add(key)
+        try:
+            from repro.optimizer import optimize
 
-        trace: list[str] = []
-        optimized = optimize(fn, rules=pipeline_rules(), trace=trace)
-        pipeline = lower(optimized, logical=fn, fired_rules=trace)
-    except Exception:
-        # a planning failure must never break a query: fall back to the
-        # per-key interpretation, and remember the verdict
-        pipeline = None
-    finally:
-        _planning.inflight.discard(key)
-    cache.put(key, pipeline if pipeline is not None else _NAIVE)
-    return pipeline
+            trace: list[str] = []
+            optimized = optimize(fn, rules=pipeline_rules(), trace=trace)
+            pipeline = lower(optimized, logical=fn, fired_rules=trace)
+        except Exception:
+            # a planning failure must never break a query: fall back to
+            # the per-key interpretation, and remember the verdict
+            pipeline = None
+        finally:
+            _planning.inflight.discard(key)
+        cache.put(key, pipeline if pipeline is not None else _NAIVE)
+        return pipeline
 
 
 def route_items(fn: FDMFunction) -> Iterator[tuple] | None:
@@ -153,6 +157,9 @@ def route_items(fn: FDMFunction) -> Iterator[tuple] | None:
     pipeline = pipeline_for(fn)
     if pipeline is None:
         return None
+    observed = _observed(fn, pipeline, keys=False)
+    if observed is not None:
+        return observed
     return pipeline.iter_entries()
 
 
@@ -163,7 +170,138 @@ def route_keys(fn: FDMFunction) -> Iterator[Any] | None:
     pipeline = pipeline_for(fn)
     if pipeline is None:
         return None
+    observed = _observed(fn, pipeline, keys=True)
+    if observed is not None:
+        return observed
     return pipeline.iter_keys()
+
+
+def _observed(
+    fn: FDMFunction, pipeline: PhysicalPipeline, keys: bool
+) -> Iterator[Any] | None:
+    """An instrumented enumeration of *fn*, or ``None`` for the fast path.
+
+    Active only when this query rides a sampled trace or its engine has
+    slow-query capture enabled — the untraced cost is one thread-local
+    read plus one global-flag check. Observation never mutates the
+    *cached* pipeline (its nodes are shared across threads); it plans a
+    fresh one, applies the shared ``repro.obs.instrument`` shims, and
+    streams from that instead. Fresh plans are behavior-neutral: lowering
+    is deterministic, so the entry stream is identical.
+    """
+    from repro.obs.slowlog import any_active, slowlog_for
+    from repro.obs.trace import active
+
+    traced = active()
+    if not traced and not any_active():
+        return None
+    slog = None
+    engine = None
+    if any_active():
+        engine = _engine_of(fn)
+        if engine is not None:
+            candidate = slowlog_for(engine)
+            if candidate.should_capture():
+                slog = candidate
+    if not traced and slog is None:
+        return None
+    return _observed_iter(fn, pipeline, keys, slog, engine)
+
+
+def _observed_iter(
+    fn: FDMFunction,
+    pipeline: PhysicalPipeline,
+    keys: bool,
+    slog: Any,
+    engine: Any,
+) -> Iterator[Any]:
+    import time
+
+    from repro.exec.batch import counters_for
+    from repro.obs.instrument import (
+        PartitionCollector,
+        instrument_pipeline,
+        set_collector,
+        tree_stats,
+        walk,
+    )
+    from repro.obs.slowlog import SlowQueryEntry
+    from repro.obs.trace import add_span, span
+
+    try:
+        from repro.optimizer import optimize
+
+        trace: list[str] = []
+        optimized = optimize(fn, rules=pipeline_rules(), trace=trace)
+        fresh = lower(optimized, logical=fn, fired_rules=trace)
+    except Exception:
+        fresh = None
+    if fresh is None:
+        # planning regressed between the cached lookup and now (clock
+        # moved, plan invalidated): stream the cached plan unobserved
+        yield from pipeline.iter_keys() if keys else pipeline.iter_entries()
+        return
+
+    stats = instrument_pipeline(fresh.root)
+    before = counters_for(engine).snapshot() if slog is not None else None
+    collector = PartitionCollector()
+    # NOT entered as a context manager: the generator's frames run on
+    # the consumer's thread between yields, and the execute span must
+    # not hang on that thread's span stack while consumer code runs
+    exec_span = span("execute", root=fresh.root.describe())
+    rows = 0
+    start = time.perf_counter_ns()
+    it = fresh.iter_keys() if keys else fresh.iter_entries()
+    try:
+        while True:
+            # the collector is active only *during* our pulls, for the
+            # same reason the span stays off the thread-local stack
+            previous = set_collector(collector)
+            try:
+                item = next(it)
+            except StopIteration:
+                break
+            finally:
+                set_collector(previous)
+            rows += 1
+            yield item
+    finally:
+        wall_ns = time.perf_counter_ns() - start
+        exec_span.annotate(rows=rows)
+        exec_span.finish()
+        if exec_span.trace_id is not None:
+            for node, _depth in walk(fresh.root):
+                st = stats.get(id(node))
+                if st is None or not st["first_ns"]:
+                    continue
+                add_span(
+                    node.describe(),
+                    st["first_ns"],
+                    st["wall_ns"],
+                    trace_id=exec_span.trace_id,
+                    parent_id=exec_span.span_id,
+                    batches=st["batches"],
+                    rows=st["rows"],
+                )
+        if slog is not None and slog.should_capture():
+            threshold = slog.threshold_ms
+            wall_ms = wall_ns / 1e6
+            if threshold is not None and wall_ms >= threshold:
+                after = counters_for(engine).snapshot()
+                slog.record(
+                    SlowQueryEntry(
+                        query=fresh.root.describe(),
+                        wall_ms=wall_ms,
+                        rows=rows,
+                        tree=tree_stats(fresh.root, stats),
+                        zone_skipped=after["zone_segments_skipped"]
+                        - before["zone_segments_skipped"],
+                        zone_scanned=after["zone_segments_scanned"]
+                        - before["zone_segments_scanned"],
+                        trace_id=exec_span.trace_id,
+                        partitions=collector.partitions,
+                    )
+                )
 
 
 def join_bindings(plan: Any) -> Iterator[dict]:

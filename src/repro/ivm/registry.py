@@ -65,9 +65,12 @@ class ViewRegistry:
         "failed" transaction would double-apply); the same error will
         re-raise at the view's next read, where lazy views meet it too.
         """
+        from repro.obs.trace import span
+
         for view in self.views():
             try:
-                view._on_base_commit(commit_ts)
+                with span("ivm.sync", view=type(view).__name__):
+                    view._on_base_commit(commit_ts)
             except Exception:
                 pass
 

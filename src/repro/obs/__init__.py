@@ -1,0 +1,84 @@
+"""``repro.obs`` — the unified observability subsystem (ISSUE 7).
+
+Three pillars, each usable on its own:
+
+* :mod:`repro.obs.trace` — structured spans with head-based sampling
+  (``REPRO_TRACE``), propagated through the wire protocol and exported
+  as Chrome trace-event JSON or a human tree;
+* :mod:`repro.obs.metrics` — ``Counter``/``Gauge``/``Histogram`` behind
+  one :class:`~repro.obs.metrics.MetricsRegistry` per engine/server,
+  with Prometheus text exposition (the METRICS verb);
+* :mod:`repro.obs.slowlog` — a bounded ring of slow-query captures
+  (``REPRO_SLOW_MS``, ``db.set_slow_query_threshold``) carrying the
+  per-node ``analyze()`` stats of the offending run.
+
+:mod:`repro.obs.instrument` is the shared per-node instrumentation hook
+both ``analyze()`` and the capture paths use, including inside
+scatter–gather workers.
+
+See ``docs/observability.md`` for the operator-facing guide.
+"""
+
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Span,
+    add_span,
+    clear_traces,
+    current_context,
+    export_chrome,
+    latest_trace_id,
+    maybe_trace,
+    render_tree,
+    resume,
+    set_trace_mode,
+    span,
+    start_trace,
+    trace_ids,
+    trace_mode,
+    trace_rate,
+    using_trace_mode,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics_for,
+)
+from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog, slowlog_for
+from repro.obs.instrument import (
+    PartitionCollector,
+    collecting,
+    instrument_pipeline,
+)
+
+__all__ = [
+    "NOOP_SPAN",
+    "Span",
+    "add_span",
+    "clear_traces",
+    "current_context",
+    "export_chrome",
+    "latest_trace_id",
+    "maybe_trace",
+    "render_tree",
+    "resume",
+    "set_trace_mode",
+    "span",
+    "start_trace",
+    "trace_ids",
+    "trace_mode",
+    "trace_rate",
+    "using_trace_mode",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "metrics_for",
+    "SlowQueryEntry",
+    "SlowQueryLog",
+    "slowlog_for",
+    "PartitionCollector",
+    "collecting",
+    "instrument_pipeline",
+]

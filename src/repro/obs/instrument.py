@@ -1,0 +1,196 @@
+"""Per-node pipeline instrumentation — the one shim everybody uses.
+
+Historically ``exec/explain.py`` instrumented serial pipelines while the
+scatter–gather path had no per-node visibility at all, so the two
+analysis stories could drift. This module is now the single hook:
+
+* :func:`instrument_pipeline` wraps every physical node's ``batches``
+  stream with counting/timing shims and returns the stats mapping —
+  used by ``analyze()``, the slow-query log, and traced execution;
+* :func:`collecting` activates a thread-local
+  :class:`PartitionCollector` that scatter–gather workers report their
+  per-partition instrumented trees into, so a single ``analyze()`` call
+  sees inside worker pipelines built on other threads.
+
+The shims monkeypatch ``node.batches`` on a *specific node instance* —
+callers must only ever instrument freshly lowered pipelines, never the
+cached ones served to ordinary queries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+__all__ = [
+    "walk",
+    "instrument_pipeline",
+    "tree_stats",
+    "render_stats",
+    "fmt_ns",
+    "PartitionCollector",
+    "collecting",
+    "active_collector",
+]
+
+
+def walk(node: Any, depth: int = 0) -> Iterator[tuple[Any, int]]:
+    """Depth-first (node, depth) traversal of a physical operator tree."""
+    yield node, depth
+    for child in getattr(node, "children", ()):
+        yield from walk(child, depth + 1)
+
+
+def instrument_pipeline(root: Any) -> dict[int, dict[str, int]]:
+    """Wrap every node's ``batches`` with counting/timing shims.
+
+    Returns ``{id(node): {"batches", "rows", "wall_ns", "first_ns"}}``;
+    ``wall_ns`` is time spent *inside* the node's generator (children's
+    time excluded by construction, since their shims subtract the same
+    way), ``first_ns`` the monotonic instant of the first pull.
+    """
+    stats: dict[int, dict[str, int]] = {}
+    for node, _depth in walk(root):
+        if id(node) in stats:
+            continue
+        st = {"batches": 0, "rows": 0, "wall_ns": 0, "first_ns": 0}
+        stats[id(node)] = st
+        original = node.batches
+
+        def wrapped(original=original, st=st):
+            it = original()
+            while True:
+                t0 = time.perf_counter_ns()
+                if not st["first_ns"]:
+                    st["first_ns"] = t0
+                try:
+                    batch = next(it)
+                except StopIteration:
+                    st["wall_ns"] += time.perf_counter_ns() - t0
+                    return
+                st["wall_ns"] += time.perf_counter_ns() - t0
+                st["batches"] += 1
+                st["rows"] += len(batch)
+                yield batch
+
+        node.batches = wrapped
+    return stats
+
+
+def tree_stats(
+    root: Any, stats: dict[int, dict[str, int]]
+) -> list[dict[str, Any]]:
+    """The instrumented tree flattened to rows safe to keep after the
+    pipeline is gone (slow-query entries outlive their plan objects)."""
+    out = []
+    for node, depth in walk(root):
+        st = stats.get(id(node), {})
+        rows_in = sum(
+            stats.get(id(c), {}).get("rows", 0)
+            for c in getattr(node, "children", ())
+        )
+        out.append(
+            {
+                "depth": depth,
+                "node": node.describe(),
+                "batches": st.get("batches", 0),
+                "rows_in": rows_in,
+                "rows_out": st.get("rows", 0),
+                "wall_ns": st.get("wall_ns", 0),
+            }
+        )
+    return out
+
+
+def render_stats(rows: list[dict[str, Any]], indent: int = 1) -> list[str]:
+    """Human lines for :func:`tree_stats` rows (analyze/slowlog output)."""
+    return [
+        "  " * (row["depth"] + indent)
+        + row["node"]
+        + f"  [batches={row['batches']} rows_in={row['rows_in']}"
+        + f" rows_out={row['rows_out']} wall={fmt_ns(row['wall_ns'])}]"
+        for row in rows
+    ]
+
+
+def fmt_ns(ns: int) -> str:
+    """A wall-clock duration in adaptive ns/us/ms units."""
+    if ns >= 1_000_000:
+        return f"{ns / 1_000_000:.2f}ms"
+    if ns >= 1_000:
+        return f"{ns / 1_000:.1f}us"
+    return f"{ns}ns"
+
+
+class PartitionCollector:
+    """Per-partition node stats reported by scatter–gather workers.
+
+    The scattering thread activates one via :func:`collecting`; workers
+    instrument their freshly built partition pipelines with the same
+    :func:`instrument_pipeline` shim and :meth:`record` the flattened
+    tree here (lock-protected — workers finish concurrently).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.partitions: dict[int, list[dict[str, Any]]] = {}
+
+    def record(
+        self, partition_id: int, root: Any, stats: dict[int, dict[str, int]]
+    ) -> None:
+        """File one partition's flattened instrumented tree."""
+        rows = tree_stats(root, stats)
+        with self._lock:
+            self.partitions[partition_id] = rows
+
+    def render(self, indent: int = 1) -> list[str]:
+        """Per-partition analyze-style lines, partitions in id order."""
+        with self._lock:
+            items = sorted(self.partitions.items())
+        lines = []
+        for pid, rows in items:
+            lines.append("  " * indent + f"partition {pid}:")
+            lines.extend(render_stats(rows, indent=indent + 1))
+        return lines
+
+
+class _Collect(threading.local):
+    def __init__(self) -> None:
+        self.collector: PartitionCollector | None = None
+
+
+_collect = _Collect()
+
+
+def active_collector() -> PartitionCollector | None:
+    """The collector scatter dispatch should hand to its workers, if any."""
+    return _collect.collector
+
+
+def set_collector(
+    collector: PartitionCollector | None,
+) -> PartitionCollector | None:
+    """Swap the thread's active collector, returning the previous one.
+
+    For generator-based callers that must activate the collector only
+    *during* their ``next()`` calls (thread-local state must not leak
+    into the consumer's code between yields); plain callers should use
+    :func:`collecting` instead.
+    """
+    previous = _collect.collector
+    _collect.collector = collector
+    return previous
+
+
+@contextmanager
+def collecting() -> Iterator[PartitionCollector]:
+    """Activate a :class:`PartitionCollector` on this thread."""
+    previous = _collect.collector
+    collector = PartitionCollector()
+    _collect.collector = collector
+    try:
+        yield collector
+    finally:
+        _collect.collector = previous

@@ -652,7 +652,7 @@ class ScatterGatherNode:
         """
         if self.zone_predicate is None:
             return self.surviving
-        from repro.exec.batch import batch_mode, counters
+        from repro.exec.batch import batch_mode, counters, counters_for
         from repro.storage.stats import zone_may_match
 
         if batch_mode() != "columnar":
@@ -668,29 +668,69 @@ class ScatterGatherNode:
             else:
                 skipped += 1
         counters.zone_segments_skipped += skipped
+        counters_for(self.relation._engine).zone_segments_skipped += skipped
         self.last_zone_skipped = skipped
         return tuple(live)
 
     def _scatter(self, run: Callable[[Any], Any]) -> list:
+        from repro.obs.instrument import active_collector
+        from repro.obs.trace import current_context
+
         ts = self.relation._manager.now()
-        nodes = [self.build(pid, ts) for pid in self._live_partitions()]
+        pids = self._live_partitions()
+        nodes = [self.build(pid, ts) for pid in pids]
+        # observability context is captured on the scattering thread —
+        # workers can't read our thread-locals
+        collector = active_collector()
+        ctx = current_context()
         if len(nodes) <= 1 or _local.in_worker:
             # Already on a pool worker (a cached scatter pipeline pulled
             # from inside another query's sub-pipeline): submitting into
             # the same bounded pool while every worker waits on results
             # deadlocks, so nested scatters run inline instead.
-            return [run(node) for node in nodes]
+            return [
+                self._run_partition(run, pid, node, collector, ctx)
+                for pid, node in zip(pids, nodes)
+            ]
         pool = _pool()
 
-        def task(node: Any) -> Any:
+        def task(pid: int, node: Any) -> Any:
             _local.in_worker = True
             try:
-                return run(node)
+                return self._run_partition(run, pid, node, collector, ctx)
             finally:
                 _local.in_worker = False
 
-        futures = [pool.submit(task, node) for node in nodes]
+        futures = [
+            pool.submit(task, pid, node) for pid, node in zip(pids, nodes)
+        ]
         return [future.result() for future in futures]
+
+    def _run_partition(
+        self,
+        run: Callable[[Any], Any],
+        pid: int,
+        node: Any,
+        collector: Any,
+        ctx: Any,
+    ) -> Any:
+        """Drain one partition's sub-pipeline, instrumented when an
+        analyze collector or sampled trace is active upstream.
+
+        Per-partition nodes are built fresh for every execution, so
+        instrumenting them (which monkeypatches ``batches``) can never
+        leak shims into plans other queries share."""
+        if collector is None and ctx is None:
+            return run(node)
+        from repro.obs.instrument import instrument_pipeline
+        from repro.obs.trace import resume
+
+        stats = instrument_pipeline(node) if collector is not None else None
+        with resume(ctx, "scatter.partition", partition=pid):
+            result = run(node)
+        if collector is not None:
+            collector.record(pid, node, stats)
+        return result
 
     def batches(self) -> Iterator[list]:
         from repro.exec.nodes import rebatch

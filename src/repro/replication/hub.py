@@ -23,6 +23,7 @@ import time
 from typing import Any, Callable
 
 from repro.errors import FencedLeaderError, ReplicationError
+from repro.obs.trace import current_context, span
 from repro.replication import wire
 
 __all__ = ["ReplicaPeer", "ReplicationHub", "hub_for"]
@@ -199,7 +200,11 @@ class ReplicationHub:
         wal = self.db.engine.wal
         if encoded is None:
             encoded = {}
-        with peer.lock:
+        # captured here, on the committing (or handshaking) thread: the
+        # push frame carries the trace context so the follower's apply
+        # joins the same span tree across the wire
+        ctx = current_context()
+        with peer.lock, span("replication.ship", session=session_id):
             records = wal.records_since(peer.sent_ts)
             if records is None:
                 # the WAL was truncated under this peer: it must
@@ -213,24 +218,23 @@ class ReplicationHub:
                 return
             for start in range(0, len(records), BATCH_RECORDS):
                 batch = records[start:start + BATCH_RECORDS]
-                span = (batch[0].commit_ts, batch[-1].commit_ts)
-                if span not in encoded:
-                    encoded[span] = (
+                span_key = (batch[0].commit_ts, batch[-1].commit_ts)
+                if span_key not in encoded:
+                    encoded[span_key] = (
                         wire.encode_records(batch),
                         self._schemas_for(batch),
                     )
-                batch_records, batch_schemas = encoded[span]
-                sent = self._push(
-                    session_id,
-                    peer,
-                    {
-                        "push": "wal_batch",
-                        "epoch": self.epoch,
-                        "leader_ts": leader_ts,
-                        "records": batch_records,
-                        "schemas": batch_schemas,
-                    },
-                )
+                batch_records, batch_schemas = encoded[span_key]
+                payload = {
+                    "push": "wal_batch",
+                    "epoch": self.epoch,
+                    "leader_ts": leader_ts,
+                    "records": batch_records,
+                    "schemas": batch_schemas,
+                }
+                if ctx is not None:
+                    payload["trace"] = ctx
+                sent = self._push(session_id, peer, payload)
                 if not sent:
                     break
                 peer.sent_ts = batch[-1].commit_ts

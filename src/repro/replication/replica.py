@@ -135,6 +135,7 @@ class ReplicaDatabase(FunctionalDatabase):
         leader_ts: int,
         epoch: int,
         schemas: dict[str, Any] | None = None,
+        trace: dict[str, Any] | None = None,
     ) -> int:
         """Replay one shipped batch; returns the records applied.
 
@@ -152,8 +153,16 @@ class ReplicaDatabase(FunctionalDatabase):
         replica's own replication hub (if sub-replicas attached to
         it) ships the fresh suffix onward — cascading fan-out.
         """
+        from repro.obs.trace import resume
+
         applied = 0
-        with self._apply_lock:
+        # *trace* is the leader-minted context carried on the push
+        # frame; resuming it stitches this apply into the originating
+        # query's span tree (a no-op span when the frame is untraced)
+        apply_span = resume(
+            trace, "replica.apply", replica=self._name, records=len(records)
+        )
+        with apply_span, self._apply_lock:
             if epoch < self.epoch:
                 raise FencedLeaderError(
                     f"WAL batch carries fencing epoch {epoch}, this "
@@ -565,6 +574,7 @@ class ReplicationClient:
                             event.get("leader_ts", 0),
                             event.get("epoch", self.db.epoch),
                             schemas=event.get("schemas"),
+                            trace=event.get("trace"),
                         )
                         applied_any = True
                     elif kind == "wal_resync":

@@ -8,6 +8,14 @@ subscription deltas — carry ``"push"`` instead of an id and may arrive
 between any request and its response; both sides must tolerate the
 interleaving.
 
+Requests may carry an optional ``"trace"`` field — the client-minted
+trace context (``{"id", "parent", "sampled"}`` from
+:func:`repro.obs.trace.current_context`) that the session resumes so
+one span tree covers client, server, and executor. ``WAL_BATCH`` pushes
+forward the same field to followers, stitching replica apply into the
+originating commit's trace. Untraced traffic omits the field entirely;
+servers must treat it as optional and never fail on its absence.
+
 Values cross the boundary through small typed envelopes (``{"@":
 "tuple"}``, ``{"@": "relation"}``, ``{"@": "missing"}``) so that FDM
 results — tuple functions, relations, grouped databases, deltas with

@@ -23,8 +23,10 @@ import itertools
 import queue
 import socket
 import threading
+import time
 from typing import Any
 
+from repro.obs.metrics import MetricsRegistry
 from repro.server import protocol
 from repro.server.session import Session
 
@@ -145,6 +147,46 @@ class ReproServer:
         self.accepted = 0
         self.rejected_busy = 0
         self.requests_served = 0
+        #: The server's own metrics registry (METRICS verb): request
+        #: latency plus admission gauges. The db engine's registry is
+        #: separate — one server may front a db another process owns.
+        self.metrics = MetricsRegistry()
+        self._request_latency = self.metrics.histogram(
+            "server_request_latency_seconds",
+            "Wall time spent inside session dispatch per request",
+        )
+        self.metrics.gauge(
+            "server_active_sessions",
+            "Connections currently holding a session slot",
+            fn=lambda: len(self._sessions),
+        )
+        self.metrics.gauge(
+            "server_session_slot_occupancy",
+            "Fraction of session slots in use",
+            fn=lambda: len(self._sessions) / self.max_sessions
+            if self.max_sessions
+            else 0.0,
+        )
+        self.metrics.gauge(
+            "server_admission_queue_depth",
+            "Connections waiting for a session slot",
+            fn=self._admission.qsize,
+        )
+        self.metrics.gauge(
+            "server_accepted_total",
+            "Connections accepted by the listener",
+            fn=lambda: self.accepted,
+        )
+        self.metrics.gauge(
+            "server_rejected_busy_total",
+            "Connections shed with ServerBusyError (queue full)",
+            fn=lambda: self.rejected_busy,
+        )
+        self.metrics.gauge(
+            "server_requests_total",
+            "Requests served across all sessions",
+            fn=lambda: self.requests_served,
+        )
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -305,7 +347,9 @@ class ReproServer:
                     break  # torn frame / reset: the connection is gone
                 if request is None:
                     break
+                t0 = time.perf_counter()
                 response = session.handle(request)
+                self._request_latency.observe(time.perf_counter() - t0)
                 response["id"] = request.get("id")
                 self.requests_served += 1
                 try:

@@ -227,7 +227,15 @@ class Session:
     # -- request dispatch --------------------------------------------------------
 
     def handle(self, request: dict[str, Any]) -> dict[str, Any]:
-        """Execute one request dict; always returns a response dict."""
+        """Execute one request dict; always returns a response dict.
+
+        A request carrying a sampled ``trace`` context (minted by the
+        client under ``REPRO_TRACE``) dispatches under a session span,
+        so planning, per-node execution, commit hooks, and WAL shipping
+        below it all join the client's trace.
+        """
+        from repro.obs.trace import resume
+
         self.requests += 1
         verb = str(request.get("verb", "")).lower()
         handler = getattr(self, f"_verb_{verb}", None)
@@ -235,21 +243,24 @@ class Session:
             return protocol.error_payload(
                 ProtocolError(f"unknown verb {verb!r}")
             )
-        if self.txn is not None and self.txn.state == "active":
-            self.txn.attach()
-        try:
-            result = handler(request)
-            return {"ok": True, "result": result}
-        except Exception as exc:  # typed errors cross the wire
-            return protocol.error_payload(exc)
-        finally:
-            if self.txn is not None and self.txn.state != "active":
-                self.txn = None  # finished under us (conflict abort)
-            elif self.txn is not None:
-                # park between round trips: the transaction must not
-                # stay current on this thread (BEGIN just created it on
-                # it) — the next request may run anywhere
-                self.txn.detach()
+        with resume(
+            request.get("trace"), f"session.{verb}", session=self.session_id
+        ):
+            if self.txn is not None and self.txn.state == "active":
+                self.txn.attach()
+            try:
+                result = handler(request)
+                return {"ok": True, "result": result}
+            except Exception as exc:  # typed errors cross the wire
+                return protocol.error_payload(exc)
+            finally:
+                if self.txn is not None and self.txn.state != "active":
+                    self.txn = None  # finished under us (conflict abort)
+                elif self.txn is not None:
+                    # park between round trips: the transaction must not
+                    # stay current on this thread (BEGIN just created it
+                    # on it) — the next request may run anywhere
+                    self.txn.detach()
 
     def close(self) -> None:
         """Tear down: drop subscriptions and replication attachment,
@@ -565,6 +576,22 @@ class Session:
         if self.server is not None:
             stats["server"] = self.server.stats()
         return stats
+
+    # -- METRICS -----------------------------------------------------------------
+
+    def _verb_metrics(self, request: dict[str, Any]) -> dict[str, Any]:
+        """METRICS: Prometheus text exposition format, one scrapeable
+        page — the database engine's registry (plan cache, WAL,
+        replication lag, executor counters) plus, when socket-served,
+        the server's admission registry (request latency histogram,
+        slot occupancy, queue depth, shed count). The metric reference
+        table lives in docs/observability.md."""
+        from repro.obs.metrics import metrics_for
+
+        text = metrics_for(self.db.engine).prometheus()
+        if self.server is not None:
+            text += self.server.metrics.prometheus()
+        return {"text": text}
 
     # -- SUBSCRIBE ---------------------------------------------------------------
 

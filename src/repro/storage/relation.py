@@ -157,11 +157,12 @@ class StoredRelationFunction(RelationFunction):
             yield from self.iter_batches(batch_size)
             return
 
-        from repro.exec.batch import ColumnBatch, counters
+        from repro.exec.batch import ColumnBatch, counters, counters_for
         from repro.storage.stats import zone_may_match
 
         ts = self._manager.now()
         table = self._engine.table(self._table_name)
+        engine_counters = counters_for(self._engine)
         segments = table.segments if table.is_partitioned else [table]
         zones = self._engine.zones.get(self._table_name)
         name = self._name
@@ -169,8 +170,10 @@ class StoredRelationFunction(RelationFunction):
             if zone_predicate is not None and zones is not None:
                 if not zone_may_match(zones[pid], zone_predicate):
                     counters.zone_segments_skipped += 1
+                    engine_counters.zone_segments_skipped += 1
                     continue
                 counters.zone_segments_scanned += 1
+                engine_counters.zone_segments_scanned += 1
             keys: list = []
             rows: list = []
             for key, data in segment.scan_at(ts):

@@ -236,18 +236,21 @@ class TransactionManager:
             self.commits += 1
             commit_ts = self._clock
         if txn.writes:
+            from repro.obs.trace import span
+
             # outside the lock (eager view upkeep must not serialize
             # other committers) and after _finish (views must read the
             # post-commit state, not the gone transaction buffer)
-            registry = getattr(self.engine, "view_registry", None)
-            if registry is not None:
-                registry.notify_commit(commit_ts)
-            # WAL shipping rides the same post-commit hook: the hub
-            # reads the new suffix via records_since and pushes it to
-            # every attached follower (DESIGN.md §12)
-            hub = getattr(self.engine, "replication_hub", None)
-            if hub is not None:
-                hub.on_commit(commit_ts)
+            with span("commit.hooks", commit_ts=commit_ts):
+                registry = getattr(self.engine, "view_registry", None)
+                if registry is not None:
+                    registry.notify_commit(commit_ts)
+                # WAL shipping rides the same post-commit hook: the hub
+                # reads the new suffix via records_since and pushes it to
+                # every attached follower (DESIGN.md §12)
+                hub = getattr(self.engine, "replication_hub", None)
+                if hub is not None:
+                    hub.on_commit(commit_ts)
         return commit_ts
 
     def abort(self, txn: Transaction) -> None:

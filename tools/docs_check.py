@@ -33,6 +33,11 @@ REPO = pathlib.Path(__file__).resolve().parent.parent
 #: Files whose public API (and protocol verbs) must be documented.
 DOCSTRING_FILES = [
     "src/repro/client.py",
+    "src/repro/obs/__init__.py",
+    "src/repro/obs/trace.py",
+    "src/repro/obs/metrics.py",
+    "src/repro/obs/instrument.py",
+    "src/repro/obs/slowlog.py",
     "src/repro/server/protocol.py",
     "src/repro/server/session.py",
     "src/repro/server/server.py",
