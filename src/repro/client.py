@@ -313,6 +313,9 @@ class RemoteDatabase:
                     "schemas": frame.get("schemas", {}),
                     "leader_ts": frame.get("leader_ts", 0),
                     "epoch": frame.get("epoch", 0),
+                    # leader commit wall-clock: the replica's apply
+                    # loop turns this into seconds-based lag
+                    "commit_wall": frame.get("commit_wall"),
                     # trace context of the committing request, so a
                     # replica's apply span joins the same trace
                     "trace": frame.get("trace"),
@@ -401,6 +404,26 @@ class RemoteDatabase:
         database-engine and server-admission series in one scrapeable
         page; the reference table lives in docs/observability.md."""
         return self._call({"verb": "metrics"})["text"]
+
+    def health(self) -> dict[str, Any]:
+        """The server's cluster-health snapshot (HEALTH verb): role,
+        epoch, commit clock, WAL floor/size, replication lag in
+        commits and seconds, admission-queue depth, and the newest
+        lifecycle events. Works against leaders and replicas alike —
+        poll each member to see the whole cluster."""
+        return self._call({"verb": "health"})
+
+    def workload(
+        self, fingerprint: str | None = None
+    ) -> dict[str, Any]:
+        """The server's workload profile (WORKLOAD verb): one row per
+        query-class fingerprint with calls, rows, p50/p95 latency, and
+        the current plan hash, plus recent plan-change events. Pass a
+        *fingerprint* to also get its last-good vs current plan diff."""
+        payload: dict[str, Any] = {"verb": "workload"}
+        if fingerprint is not None:
+            payload["fingerprint"] = fingerprint
+        return self._call(payload)
 
     def ping(self) -> bool:
         """Round-trip liveness probe against the leader."""

@@ -398,6 +398,9 @@ class FunctionalDatabase(DatabaseFunction):
                 "the demoted one"
             )
         self._manager.fence(token)
+        from repro.obs.events import emit
+
+        emit(self._engine, "fence", token=token, epoch=own)
 
     @property
     def fenced(self) -> bool:
@@ -536,6 +539,54 @@ class FunctionalDatabase(DatabaseFunction):
         from repro.obs.trace import export_chrome
 
         return export_chrome(trace_id)
+
+    def workload_profile(self) -> dict[str, dict[str, Any]]:
+        """The workload profile: one dict per query-class fingerprint
+        (calls, rows, p50/p95 latency, executor mode, current plan
+        hash, plan-change and regression counters), keyed by
+        fingerprint. Sampling is governed by ``REPRO_PROFILE``; the
+        WORKLOAD verb serves the same rows remotely."""
+        from repro.obs.workload import workload_for
+
+        return workload_for(self._engine).snapshot()
+
+    def plan_diff(self, fingerprint: str) -> dict[str, Any] | None:
+        """Last-good vs current physical plan for one query class, or
+        ``None`` for an unknown fingerprint — the evidence trail behind
+        a ``plan_change`` event (docs/operations.md has the recipe)."""
+        from repro.obs.workload import workload_for
+
+        return workload_for(self._engine).plan_diff(fingerprint)
+
+    def health(self) -> dict[str, Any]:
+        """The cluster-health snapshot the HEALTH verb serves: role,
+        epoch, commit clock, fencing state, WAL floor/size, replication
+        lag in commits and seconds, and the newest lifecycle events."""
+        from repro.obs.health import health_snapshot
+
+        return health_snapshot(self)
+
+    def lifecycle_events(
+        self, kind: str | None = None, limit: int | None = None
+    ) -> list[Any]:
+        """Lifecycle :class:`~repro.obs.events.Event` rows from this
+        database's bounded ring, oldest first — failovers, fencing,
+        snapshot syncs, shedding, slow queries, plan changes. Filter
+        with *kind*; cap with *limit* (keeps the newest). Named to
+        stay out of the relation namespace: ``db.events`` must keep
+        resolving a table called ``events``."""
+        from repro.obs.events import events_for
+
+        return events_for(self._engine).events(kind=kind, limit=limit)
+
+    def set_event_sink(self, path: str | None) -> None:
+        """Mirror every lifecycle event to *path* as JSON lines
+        (``None`` stops mirroring). The in-memory ring keeps working
+        either way; ``REPRO_EVENTS_PATH`` sets the same sink at
+        startup."""
+        from repro.obs.events import events_for
+
+        events_for(self._engine).set_sink(path)
 
     # -- durability ------------------------------------------------------------------------------
 

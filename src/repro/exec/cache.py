@@ -21,7 +21,13 @@ from typing import Any
 
 from repro.fdm.functions import DerivedFunction, FDMFunction
 
-__all__ = ["PlanCache", "fingerprint", "cache_for", "default_plan_cache"]
+__all__ = [
+    "PlanCache",
+    "engine_of",
+    "fingerprint",
+    "cache_for",
+    "default_plan_cache",
+]
 
 
 class PlanCache:
@@ -86,14 +92,17 @@ def default_plan_cache() -> PlanCache:
     return _DEFAULT_CACHE
 
 
-def _engine_of(fn: FDMFunction) -> Any:
-    """The first storage engine reachable from the graph's leaves."""
+def engine_of(fn: FDMFunction) -> Any:
+    """The first storage engine reachable from the graph's leaves, or
+    ``None`` for purely in-memory graphs. The routing key for every
+    per-database attachment: the plan cache here, and the workload
+    profile and event log in :mod:`repro.obs`."""
     from repro.storage.relation import StoredRelationFunction
 
     if isinstance(fn, StoredRelationFunction):
         return fn._engine
     for child in getattr(fn, "children", ()):
-        engine = _engine_of(child)
+        engine = engine_of(child)
         if engine is not None:
             return engine
     return None
@@ -101,7 +110,7 @@ def _engine_of(fn: FDMFunction) -> Any:
 
 def cache_for(fn: FDMFunction) -> PlanCache:
     """The per-database plan cache owning this graph."""
-    engine = _engine_of(fn)
+    engine = engine_of(fn)
     if engine is None:
         return _DEFAULT_CACHE
     cache = getattr(engine, "plan_cache", None)

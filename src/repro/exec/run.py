@@ -22,7 +22,7 @@ from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.fdm.functions import FDMFunction
-from repro.exec.cache import _engine_of, cache_for, fingerprint
+from repro.exec.cache import cache_for, engine_of, fingerprint
 from repro.exec.lower import PhysicalPipeline, lower
 
 __all__ = [
@@ -147,6 +147,14 @@ def pipeline_for(fn: FDMFunction) -> PhysicalPipeline | None:
         finally:
             _planning.inflight.discard(key)
         cache.put(key, pipeline if pipeline is not None else _NAIVE)
+        if pipeline is not None:
+            # plan-cache miss is the workload profiler's registration
+            # point: a fingerprint re-lowering to a different plan is
+            # detected here, deterministically, off the enumeration
+            # hot path (note_planned no-ops under REPRO_PROFILE=off)
+            from repro.obs.workload import note_planned
+
+            note_planned(fn, pipeline)
         return pipeline
 
 
@@ -160,6 +168,9 @@ def route_items(fn: FDMFunction) -> Iterator[tuple] | None:
     observed = _observed(fn, pipeline, keys=False)
     if observed is not None:
         return observed
+    profiled = _profiled(fn, pipeline, keys=False)
+    if profiled is not None:
+        return profiled
     return pipeline.iter_entries()
 
 
@@ -173,7 +184,52 @@ def route_keys(fn: FDMFunction) -> Iterator[Any] | None:
     observed = _observed(fn, pipeline, keys=True)
     if observed is not None:
         return observed
+    profiled = _profiled(fn, pipeline, keys=True)
+    if profiled is not None:
+        return profiled
     return pipeline.iter_keys()
+
+
+def _profiled(
+    fn: FDMFunction, pipeline: PhysicalPipeline, keys: bool
+) -> Iterator[Any] | None:
+    """A workload-profiled enumeration of *fn*, or ``None``.
+
+    Runs only when the workload profiler's sampling gate fires (every
+    Nth enumeration under ``REPRO_PROFILE``); unlike :func:`_observed`
+    it streams the *cached* pipeline with nothing but a wall-clock and
+    row count around it — no re-plan, no per-node shims — so a sampled
+    run costs microseconds, and an unsampled one a counter increment.
+    """
+    from repro.obs.workload import maybe_profile
+
+    gate = maybe_profile(fn, pipeline)
+    if gate is None:
+        return None
+    return _profiled_iter(pipeline, keys, *gate)
+
+
+def _profiled_iter(
+    pipeline: PhysicalPipeline, keys: bool, profile: Any, info: tuple
+) -> Iterator[Any]:
+    import time
+
+    from repro.exec.batch import batch_mode
+
+    rows = 0
+    start = time.perf_counter_ns()
+    it = pipeline.iter_keys() if keys else pipeline.iter_entries()
+    try:
+        for item in it:
+            rows += 1
+            yield item
+    finally:
+        wall_ns = time.perf_counter_ns() - start
+        fingerprint, shape, plan_hash, plan_text = info
+        profile.record(
+            fingerprint, shape, plan_hash, plan_text,
+            wall_ns, rows, batch_mode(),
+        )
 
 
 def _observed(
@@ -198,7 +254,7 @@ def _observed(
     slog = None
     engine = None
     if any_active():
-        engine = _engine_of(fn)
+        engine = engine_of(fn)
         if engine is not None:
             candidate = slowlog_for(engine)
             if candidate.should_capture():
@@ -302,6 +358,22 @@ def _observed_iter(
                         partitions=collector.partitions,
                     )
                 )
+                from repro.obs.events import emit
+
+                emit(
+                    engine,
+                    "slow_query",
+                    query=fresh.root.describe(),
+                    wall_ms=wall_ms,
+                    rows=rows,
+                    trace_id=exec_span.trace_id,
+                )
+        # this run was fully timed anyway: fold it into the workload
+        # profile without waiting for the sampling gate (the cached
+        # pipeline keys the memoized fingerprint/plan hash)
+        from repro.obs.workload import record_run
+
+        record_run(fn, pipeline, wall_ns, rows)
 
 
 def join_bindings(plan: Any) -> Iterator[dict]:

@@ -1,6 +1,6 @@
-"""``repro.obs`` — the unified observability subsystem (ISSUE 7).
+"""``repro.obs`` — the unified observability subsystem.
 
-Three pillars, each usable on its own:
+Six pillars, each usable on its own:
 
 * :mod:`repro.obs.trace` — structured spans with head-based sampling
   (``REPRO_TRACE``), propagated through the wire protocol and exported
@@ -10,7 +10,17 @@ Three pillars, each usable on its own:
   with Prometheus text exposition (the METRICS verb);
 * :mod:`repro.obs.slowlog` — a bounded ring of slow-query captures
   (``REPRO_SLOW_MS``, ``db.set_slow_query_threshold``) carrying the
-  per-node ``analyze()`` stats of the offending run.
+  per-node ``analyze()`` stats of the offending run;
+* :mod:`repro.obs.workload` — the workload profiler: every executed
+  query normalized to a stable fingerprint (literals parameterized,
+  graph shape canonical) with per-class latency histograms and a
+  plan-regression detector (``REPRO_PROFILE``, the WORKLOAD verb);
+* :mod:`repro.obs.events` — the structured lifecycle event log
+  (failover, fencing, snapshot sync, shedding, slow queries, plan
+  changes) as a bounded ring plus optional JSON-lines file sink
+  (``REPRO_EVENTS_PATH``);
+* :mod:`repro.obs.health` — the one-dict cluster health snapshot the
+  HEALTH verb serves on leaders and replicas alike.
 
 :mod:`repro.obs.instrument` is the shared per-node instrumentation hook
 both ``analyze()`` and the capture paths use, including inside
@@ -43,6 +53,8 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    escape_help,
+    escape_label_value,
     metrics_for,
 )
 from repro.obs.slowlog import SlowQueryEntry, SlowQueryLog, slowlog_for
@@ -51,6 +63,18 @@ from repro.obs.instrument import (
     collecting,
     instrument_pipeline,
 )
+from repro.obs.events import Event, EventLog, emit, events_for
+from repro.obs.workload import (
+    QueryClass,
+    WorkloadProfile,
+    fingerprint_of,
+    plan_hash_of,
+    profile_interval,
+    set_profile_mode,
+    using_profile_mode,
+    workload_for,
+)
+from repro.obs.health import health_snapshot
 
 __all__ = [
     "NOOP_SPAN",
@@ -74,6 +98,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "escape_help",
+    "escape_label_value",
     "metrics_for",
     "SlowQueryEntry",
     "SlowQueryLog",
@@ -81,4 +107,17 @@ __all__ = [
     "PartitionCollector",
     "collecting",
     "instrument_pipeline",
+    "Event",
+    "EventLog",
+    "emit",
+    "events_for",
+    "QueryClass",
+    "WorkloadProfile",
+    "fingerprint_of",
+    "plan_hash_of",
+    "profile_interval",
+    "set_profile_mode",
+    "using_profile_mode",
+    "workload_for",
+    "health_snapshot",
 ]

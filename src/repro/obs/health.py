@@ -1,0 +1,110 @@
+"""Cluster health snapshots: the HEALTH verb's one-dict answer.
+
+``db.health()`` (and the HEALTH verb on any server, leader or replica)
+assembles the operator's liveness picture without walking the whole
+``stats()`` introspection dict: role and fencing epoch, the commit
+clock, WAL floor/size, replication lag in **commits and seconds** on
+both sides of the stream, the server's admission-queue depth when
+socket-served, and the newest lifecycle events from the engine's
+:class:`~repro.obs.events.EventLog`.
+
+The snapshot is assembled from cheap reads (counters, clock samples,
+queue sizes) — polling it at dashboard frequency is free. All the
+class-level ``hasattr(type(db), ...)`` probes below sidestep the
+database function's ``__getattr__``, which resolves unknown instance
+attributes as relation names.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+__all__ = ["health_snapshot"]
+
+#: Lifecycle events included inline in a health snapshot.
+RECENT_EVENTS = 16
+
+
+def _replication_section(db: Any) -> dict[str, Any]:
+    """Lag and role facts for either side of the WAL stream."""
+    is_replica = hasattr(type(db), "applied_ts")
+    hub = getattr(db.engine, "replication_hub", None)
+    if is_replica:
+        client = getattr(db, "replication", None)
+        section: dict[str, Any] = {
+            "role": "replica" if db.read_only else "promoted-leader",
+            "applied_ts": db.applied_ts(),
+            "leader_ts": db.leader_ts,
+            "lag_commits": db.lag(),
+            "lag_seconds": db.lag_seconds(),
+            "connected": client is not None and client.connected,
+        }
+    else:
+        section = {"role": "leader"}
+    if hub is not None:
+        rows = hub.stats()["replicas"]
+        section["followers"] = rows
+        if not is_replica:
+            section["lag_commits"] = max(
+                (row.get("lag", 0) for row in rows), default=0
+            )
+            section["lag_seconds"] = max(
+                (row.get("lag_seconds", 0.0) for row in rows), default=0.0
+            )
+    return section
+
+
+def health_snapshot(db: Any, server: Any = None) -> dict[str, Any]:
+    """The one-dict cluster health picture for *db*.
+
+    *server* (when socket-served) contributes the admission pipeline:
+    active sessions, queue depth, slot count, shed total. Works on
+    leaders, replicas, and promoted replicas alike — the ``role``
+    field says which one answered.
+    """
+    from repro.obs.events import events_for
+
+    engine = db.engine
+    manager = db.manager
+    replication = _replication_section(db)
+    if hasattr(type(db), "epoch"):
+        epoch = int(db.epoch)
+    else:
+        hub = getattr(engine, "replication_hub", None)
+        epoch = hub.epoch if hub is not None else 1
+    wal = engine.wal
+    snapshot: dict[str, Any] = {
+        "name": db._name,
+        "role": replication["role"],
+        "epoch": epoch,
+        "clock": manager.now(),
+        "wall_clock": time.time(),
+        "fenced": bool(getattr(manager, "fenced", False)),
+        "wal": {
+            "records": len(wal),
+            "bytes": wal.size_bytes(),
+            "floor": wal.floor,
+        },
+        "replication": replication,
+        "transactions": {
+            "commits": manager.commits,
+            "aborts": manager.aborts,
+            "active": len(manager._active),
+        },
+        "events": [
+            event.to_dict()
+            for event in events_for(engine).events(limit=RECENT_EVENTS)
+        ],
+    }
+    if server is not None:
+        snapshot["server"] = {
+            "host": server.host,
+            "port": server.port,
+            "active_sessions": len(server._sessions),
+            "max_sessions": server.max_sessions,
+            "admission_queue_depth": server._admission.qsize(),
+            "rejected_busy": server.rejected_busy,
+            "requests": server.requests_served,
+        }
+    return snapshot

@@ -29,6 +29,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "escape_help",
+    "escape_label_value",
     "metrics_for",
 ]
 
@@ -61,6 +63,22 @@ def _sanitize(name: str) -> str:
     if out and out[0].isdigit():
         out.insert(0, "_")
     return "".join(out) or "_"
+
+
+def escape_help(text: str) -> str:
+    """Escape a ``# HELP`` string per the text exposition format:
+    backslash and newline only (quotes stay literal on HELP lines)."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def escape_label_value(text: str) -> str:
+    """Escape a label value per the text exposition format: backslash,
+    double quote, and newline."""
+    return (
+        text.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
 
 
 class Counter:
@@ -196,7 +214,8 @@ class Histogram:
         cumulative = 0
         for i, bound in enumerate(self.bounds):
             cumulative += self.counts[i]
-            yield f'{self.name}_bucket{{le="{bound:g}"}}', cumulative
+            le = escape_label_value(f"{bound:g}")
+            yield f'{self.name}_bucket{{le="{le}"}}', cumulative
         yield f'{self.name}_bucket{{le="+Inf"}}', self.count
         yield f"{self.name}_sum", self.sum
         yield f"{self.name}_count", self.count
@@ -271,7 +290,7 @@ class MetricsRegistry:
         for m in metrics:
             full = _sanitize(f"{self.namespace}_{m.name}")
             if m.help:
-                lines.append(f"# HELP {full} {m.help}")
+                lines.append(f"# HELP {full} {escape_help(m.help)}")
             lines.append(f"# TYPE {full} {m.kind}")
             for series, value in m.expose():
                 if "{" in series:
@@ -355,6 +374,26 @@ def _wire_engine_gauges(registry: MetricsRegistry, engine: Any) -> None:
         ]
         return float(max(lags)) if lags else 0.0
 
+    def replication_lag_seconds() -> float | None:
+        eng = ref()
+        if eng is None:
+            return None
+        # on a replica engine the database registered its own
+        # follower-clock measurement; on a leader, re-export the worst
+        # follower self-report collected via REPLICA_ACK
+        lag_fn = getattr(eng, "replica_lag_seconds_fn", None)
+        if lag_fn is not None:
+            return float(lag_fn())
+        hub = getattr(eng, "replication_hub", None)
+        if hub is None:
+            return None
+        lags = [
+            row.get("lag_seconds", 0.0)
+            for row in hub.stats().get("replicas", ())
+            if isinstance(row, dict)
+        ]
+        return float(max(lags)) if lags else 0.0
+
     def executor_counter(field: str) -> Callable[[], float | None]:
         def read() -> float | None:
             eng = ref()
@@ -380,6 +419,13 @@ def _wire_engine_gauges(registry: MetricsRegistry, engine: Any) -> None:
         "replication_lag_commits",
         "Worst follower lag behind the leader commit clock, in commits",
         fn=replication_lag,
+    )
+    registry.gauge(
+        "replication_lag_seconds",
+        "Replication lag in wall-clock seconds: the replica's own "
+        "apply-age measurement, or on a leader the worst follower "
+        "self-report",
+        fn=replication_lag_seconds,
     )
     for field, help in (
         ("columnar_batches", "Columnar batches produced by scans"),

@@ -1,0 +1,665 @@
+"""The workload profiler: query classes, plan hashes, regressions.
+
+Every executed query normalizes to a stable **fingerprint**: the
+canonical shape of its derived-function graph with predicate literals
+parameterized (``age > 41`` and ``age > 12`` are the same class) plus
+the executor-relevant environment (``REPRO_BATCH``/``REPRO_PARALLEL``
+are part of the plan, so they are part of the class). Per fingerprint
+the profiler aggregates a latency histogram, call/row totals, the
+executor mode, and the **plan hash** — a digest of the physical
+operator tree, literal-normalized, so the same class re-lowering to a
+*different* plan is detectable.
+
+Two regression detectors ride the aggregation:
+
+* **plan change** — planning a fingerprint to a hash different from
+  the one on record emits exactly one ``plan_change`` event carrying
+  the last-good and new hashes (and keeps both plan texts for
+  ``plan_diff``). Registration happens at plan time (the plan-cache
+  miss path), so detection is deterministic regardless of sampling.
+* **p95 degradation** — once a class has a frozen baseline, a recent
+  window whose p95 exceeds ``regression_factor`` times the baseline
+  emits one ``latency_regression`` event and re-arms at the new level.
+
+Sampling: ``REPRO_PROFILE`` is ``off``, ``on`` (every enumeration), or
+an integer N (every Nth; unset → every 16th). The unsampled hot path
+pays one counter increment and one env read per query — the profiler
+rides the same routing hooks as tracing and the slow-query log, so the
+``bench_obs_overhead`` budget (<5%) holds at the default sampling.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from repro.obs.metrics import Histogram
+
+__all__ = [
+    "DEFAULT_INTERVAL",
+    "QueryClass",
+    "WorkloadProfile",
+    "workload_for",
+    "fingerprint_of",
+    "plan_hash_of",
+    "normalize_source",
+    "profile_interval",
+    "set_profile_mode",
+    "using_profile_mode",
+    "note_planned",
+    "maybe_profile",
+    "record_run",
+]
+
+#: Default sampling interval: every Nth enumeration is timed.
+DEFAULT_INTERVAL = 16
+
+#: Calls before a class freezes its baseline p95.
+BASELINE_CALLS = 32
+
+#: Recent-window size for the p95 degradation check.
+RECENT_WINDOW = 32
+
+#: Session override; ``None`` means "read the REPRO_PROFILE env var".
+_MODE_OVERRIDE: str | None = None
+
+#: Per-process sampling clock (plain int under the GIL; an occasional
+#: lost increment merely shifts which query gets sampled).
+_TICK = 0
+
+
+def profile_interval() -> int:
+    """The sampling interval: 0 = off, 1 = every query, N = 1-in-N."""
+    raw = _MODE_OVERRIDE
+    if raw is None:
+        raw = os.environ.get("REPRO_PROFILE", "")
+    raw = raw.strip().lower()
+    if raw in ("", "default"):
+        return DEFAULT_INTERVAL
+    if raw in ("off", "none", "false"):
+        return 0
+    if raw in ("on", "all", "true"):
+        return 1
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_INTERVAL
+
+
+def set_profile_mode(mode: str | None) -> None:
+    """Force a profiling mode for this process (``None`` restores env
+    control). Accepts the same spellings as ``REPRO_PROFILE``."""
+    global _MODE_OVERRIDE
+    _MODE_OVERRIDE = mode
+
+
+@contextmanager
+def using_profile_mode(mode: str | None) -> Iterator[None]:
+    """Temporarily force a profiling mode (tests and benchmarks)."""
+    previous = _MODE_OVERRIDE
+    set_profile_mode(mode)
+    try:
+        yield
+    finally:
+        set_profile_mode(previous)
+
+
+# ---------------------------------------------------------------------------
+# normalization: fingerprints and plan hashes
+# ---------------------------------------------------------------------------
+
+#: String and numeric literals inside predicate/describe source text.
+#: ``(?<![\w.])`` keeps identifiers like ``v2`` and attribute paths
+#: intact while catching bare numbers.
+_LITERAL = re.compile(
+    r"'(?:[^'\\]|\\.)*'"
+    r"|\"(?:[^\"\\]|\\.)*\""
+    r"|(?<![\w.])\d+(?:\.\d+)?"
+)
+
+
+def normalize_source(text: str) -> str:
+    """Predicate/plan source with every literal replaced by ``?`` —
+    the parameterization that makes a query class stable across
+    different constants."""
+    return _LITERAL.sub("?", text)
+
+
+def _predicate_shape(predicate: Any) -> Any:
+    if predicate is None:
+        return None
+    if getattr(predicate, "is_transparent", False):
+        return normalize_source(predicate.to_source())
+    # opaque predicates group by their class: two arbitrary lambdas
+    # are indistinguishable anyway, and identity-based tokens would
+    # split one logical query into a class per closure instance
+    return ("opaque", type(predicate).__name__)
+
+
+def _params_shape(fn: Any) -> Any:
+    """Class-specific structural token, literal-free and version-free.
+
+    Mirrors the plan cache's ``_params_token`` but parameterizes every
+    literal (restricted key sets, LIMIT counts, lookup bounds) and
+    drops instance identities, so re-built graphs of the same shape
+    land in the same class.
+    """
+    from repro.fql.filter import FilteredFunction, RestrictedFunction
+    from repro.fql.group import (
+        AggregatedRelationFunction,
+        GroupedDatabaseFunction,
+    )
+    from repro.fql.join import JoinedRelationFunction
+    from repro.fql.order import LimitedFunction, OrderedFunction
+    from repro.fql.project import MappedFunction
+    from repro.optimizer.physical import (
+        FusedGroupAggregateFunction,
+        IndexLookupFunction,
+        KeyLookupFunction,
+    )
+
+    if isinstance(fn, FilteredFunction):
+        return _predicate_shape(fn.predicate)
+    if isinstance(fn, RestrictedFunction):
+        return ("keys", "?")
+    if isinstance(fn, MappedFunction):
+        params = fn.op_params()
+        if fn.op_name == "project":
+            return ("project", tuple(params["attrs"]))
+        if fn.op_name == "rename":
+            return ("rename", tuple(sorted(params["mapping"].items())))
+        transparent = params.get("transparent", {})
+        if fn.op_name == "extend" and set(transparent) == set(
+            params.get("computed", ())
+        ):
+            return (
+                "extend",
+                tuple(
+                    sorted(
+                        (name, normalize_source(str(src)))
+                        for name, src in transparent.items()
+                    )
+                ),
+            )
+        return (fn.op_name, "opaque")
+    if isinstance(fn, OrderedFunction):
+        spec = fn._key_spec
+        spec_token = (
+            tuple(spec)
+            if isinstance(spec, (list, tuple))
+            else (spec if isinstance(spec, str) else "fn")
+        )
+        return (spec_token, fn._reverse)
+    if isinstance(fn, LimitedFunction):
+        return ("limit", "?")
+    if isinstance(fn, (GroupedDatabaseFunction, FusedGroupAggregateFunction)):
+        by = fn._by
+        by_token = by.attrs if by.attrs is not None else "fn"
+        if isinstance(fn, FusedGroupAggregateFunction):
+            return (by_token, _aggs_shape(fn._aggs))
+        return by_token
+    if isinstance(fn, AggregatedRelationFunction):
+        return _aggs_shape(fn.aggregates)
+    if isinstance(fn, JoinedRelationFunction):
+        plan = fn.plan
+        return (
+            tuple(
+                (name, _shape(atom)) for name, atom in plan.atoms.items()
+            ),
+            tuple(
+                normalize_source(f"{a!r}={b!r}") for a, b in plan.edges
+            ),
+            tuple(plan.order_hint) if plan.order_hint else None,
+        )
+    if isinstance(fn, KeyLookupFunction):
+        return ("key", "?", _predicate_shape(fn._residual))
+    if isinstance(fn, IndexLookupFunction):
+        return (fn._attr, "bounds?", _predicate_shape(fn._residual))
+    return ("op", type(fn).__name__)
+
+
+def _aggs_shape(aggs: dict) -> Any:
+    out = []
+    for name, agg in aggs.items():
+        attr = getattr(agg, "attr", None)
+        out.append((name, type(agg).__name__, "fn" if callable(attr) else attr))
+    return tuple(out)
+
+
+def _shape(fn: Any) -> Any:
+    """The canonical structural token of a derived-function graph —
+    the plan-cache fingerprint minus data versions and literals."""
+    from repro.fdm.databases import (
+        MaterialDatabaseFunction,
+        OverlayDatabaseFunction,
+    )
+    from repro.fdm.functions import DerivedFunction
+    from repro.fql.views import MaterializedView
+    from repro.storage.relation import StoredRelationFunction
+
+    if isinstance(fn, MaterializedView):
+        return ("mview", getattr(fn, "name", None) or "mview")
+    if isinstance(fn, StoredRelationFunction):
+        return ("stored", fn.table_name)
+    if isinstance(fn, DerivedFunction):
+        return (
+            type(fn).__name__,
+            _params_shape(fn),
+            tuple(_shape(child) for child in fn.children),
+        )
+    if isinstance(fn, MaterialDatabaseFunction):
+        return (
+            "db",
+            tuple(
+                (name, _shape(sub)) for name, sub in fn._functions.items()
+            ),
+        )
+    if isinstance(fn, OverlayDatabaseFunction):
+        return (
+            "overlay",
+            _shape(fn.base),
+            tuple((name, _shape(sub)) for name, sub in fn._overlay.items()),
+            tuple(sorted(fn._hidden)),
+        )
+    name = getattr(fn, "fn_name", None) or getattr(fn, "_name", None)
+    return ("leaf", str(name) if name else type(fn).__name__)
+
+
+def fingerprint_of(fn: Any) -> str:
+    """The query-class fingerprint of *fn*: a short stable hex digest
+    over the literal-free graph shape plus the executor-relevant
+    environment (batch and parallel modes are part of the plan)."""
+    from repro.exec.batch import batch_mode
+    from repro.partition.parallel import parallel_mode
+
+    token = (_shape(fn), batch_mode(), parallel_mode())
+    return hashlib.sha1(repr(token).encode()).hexdigest()[:12]
+
+
+def plan_hash_of(pipeline: Any) -> str:
+    """A stable digest of a physical plan's operator tree.
+
+    Hashes ``(depth, node class, literal-normalized describe)`` per
+    node, so two lowerings of the same class with different predicate
+    constants hash equal while a structurally different plan (a
+    scatter–gather tree after partitioning, a key-lookup conversion)
+    hashes different. A scatter node's partition fan-out is structure,
+    not a literal — its describe renders the count as a number that
+    normalization would erase, so it is hashed explicitly (a 4-way to
+    2-way repartition is a plan change).
+    """
+    from repro.obs.instrument import walk
+
+    token = tuple(
+        (
+            depth,
+            type(node).__name__,
+            normalize_source(node.describe()),
+            len(getattr(node, "surviving", ())) or None,
+        )
+        for node, depth in walk(pipeline.root)
+    )
+    return hashlib.sha1(repr(token).encode()).hexdigest()[:12]
+
+
+# ---------------------------------------------------------------------------
+# per-class aggregation
+# ---------------------------------------------------------------------------
+
+
+class QueryClass:
+    """Aggregated statistics for one query fingerprint."""
+
+    __slots__ = (
+        "fingerprint",
+        "shape",
+        "executor",
+        "calls",
+        "rows",
+        "latency",
+        "plan_hash",
+        "plan_text",
+        "last_good_hash",
+        "last_good_text",
+        "plan_changes",
+        "last_change_at",
+        "baseline_p95",
+        "regressions",
+        "first_seen",
+        "last_seen",
+        "_recent",
+    )
+
+    def __init__(
+        self, fingerprint: str, shape: str, plan_hash: str, plan_text: str
+    ) -> None:
+        self.fingerprint = fingerprint
+        #: Literal-normalized physical root describe — the class label.
+        self.shape = shape
+        self.executor: str = ""
+        self.calls = 0
+        self.rows = 0
+        self.latency = Histogram(f"workload_{fingerprint}")
+        self.plan_hash = plan_hash
+        self.plan_text = plan_text
+        self.last_good_hash: str | None = None
+        self.last_good_text: str | None = None
+        self.plan_changes = 0
+        self.last_change_at: float | None = None
+        self.baseline_p95 = 0.0
+        self.regressions = 0
+        self.first_seen = time.time()
+        self.last_seen = self.first_seen
+        self._recent: deque[float] = deque(maxlen=RECENT_WINDOW)
+
+    def to_dict(self) -> dict[str, Any]:
+        """The class as JSON-safe plain data (WORKLOAD verb rows)."""
+        return {
+            "fingerprint": self.fingerprint,
+            "shape": self.shape,
+            "executor": self.executor,
+            "calls": self.calls,
+            "rows": self.rows,
+            "p50_ms": self.latency.percentile(0.50) * 1e3,
+            "p95_ms": self.latency.percentile(0.95) * 1e3,
+            "total_ms": self.latency.sum * 1e3,
+            "plan_hash": self.plan_hash,
+            "plan_changes": self.plan_changes,
+            "last_good_hash": self.last_good_hash,
+            "last_change_at": self.last_change_at,
+            "regressions": self.regressions,
+            "first_seen": self.first_seen,
+            "last_seen": self.last_seen,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"<QueryClass {self.fingerprint} calls={self.calls} "
+            f"plan={self.plan_hash}>"
+        )
+
+
+class WorkloadProfile:
+    """Per-engine fingerprint → :class:`QueryClass` aggregation.
+
+    Bounded: beyond *capacity* classes the coldest (fewest calls) is
+    evicted, so an adversarial stream of unique shapes cannot grow the
+    profile without limit.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        self._lock = threading.Lock()
+        self._classes: dict[str, QueryClass] = {}
+        self.capacity = capacity
+        #: Recent-window p95 beyond ``factor * baseline`` flags a
+        #: latency regression for the class.
+        self.regression_factor = 3.0
+        self._engine_ref: Any = None  # set by workload_for
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def _class_for(
+        self, fingerprint: str, shape: str, plan_hash: str, plan_text: str
+    ) -> QueryClass:
+        cls = self._classes.get(fingerprint)
+        if cls is None:
+            cls = QueryClass(fingerprint, shape, plan_hash, plan_text)
+            self._classes[fingerprint] = cls
+            if len(self._classes) > self.capacity:
+                coldest = min(
+                    (c for c in self._classes.values()), key=lambda c: c.calls
+                )
+                self._classes.pop(coldest.fingerprint, None)
+        return cls
+
+    def observe_plan(
+        self,
+        fingerprint: str,
+        shape: str,
+        plan_hash: str,
+        plan_text: str,
+    ) -> bool:
+        """Register the plan a fingerprint lowered to; returns True when
+        this was a *change* (and emits one ``plan_change`` event).
+
+        Called from the plan-cache miss path, so detection is
+        deterministic — a changed plan is seen the first time it is
+        built, not the next time sampling happens to fire.
+        """
+        with self._lock:
+            cls = self._class_for(fingerprint, shape, plan_hash, plan_text)
+            if cls.plan_hash == plan_hash:
+                return False
+            cls.last_good_hash = cls.plan_hash
+            cls.last_good_text = cls.plan_text
+            cls.plan_hash = plan_hash
+            cls.plan_text = plan_text
+            cls.plan_changes += 1
+            cls.last_change_at = time.time()
+            # the class's first-seen shape, not the new plan's root:
+            # the event label must stay stable across re-lowerings
+            stable_shape = cls.shape
+        from repro.obs.events import emit
+
+        emit(
+            self._engine_ref,
+            "plan_change",
+            fingerprint=fingerprint,
+            shape=stable_shape,
+            last_good_hash=cls.last_good_hash,
+            plan_hash=plan_hash,
+        )
+        return True
+
+    def record(
+        self,
+        fingerprint: str,
+        shape: str,
+        plan_hash: str,
+        plan_text: str,
+        wall_ns: int,
+        rows: int,
+        executor: str,
+    ) -> None:
+        """Fold one sampled enumeration into its class."""
+        seconds = wall_ns / 1e9
+        regressed = False
+        with self._lock:
+            cls = self._class_for(fingerprint, shape, plan_hash, plan_text)
+            cls.calls += 1
+            cls.rows += rows
+            cls.executor = executor
+            cls.last_seen = time.time()
+            cls.latency.observe(seconds)
+            cls._recent.append(seconds)
+            if cls.calls == BASELINE_CALLS:
+                cls.baseline_p95 = cls.latency.percentile(0.95)
+            elif (
+                cls.baseline_p95 > 0
+                and len(cls._recent) == RECENT_WINDOW
+            ):
+                window = sorted(cls._recent)
+                recent_p95 = window[int(0.95 * (len(window) - 1))]
+                if recent_p95 > self.regression_factor * cls.baseline_p95:
+                    cls.regressions += 1
+                    previous, cls.baseline_p95 = (
+                        cls.baseline_p95,
+                        recent_p95,  # re-arm: one event per level shift
+                    )
+                    regressed = True
+        if regressed:
+            from repro.obs.events import emit
+
+            emit(
+                self._engine_ref,
+                "latency_regression",
+                fingerprint=fingerprint,
+                shape=shape,
+                baseline_p95_ms=previous * 1e3,
+                recent_p95_ms=recent_p95 * 1e3,
+            )
+
+    # -- introspection -----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, dict[str, Any]]:
+        """Every class as plain data, keyed by fingerprint."""
+        with self._lock:
+            classes = list(self._classes.values())
+        return {cls.fingerprint: cls.to_dict() for cls in classes}
+
+    def plan_diff(self, fingerprint: str) -> dict[str, Any] | None:
+        """Last-good vs current plan for one class, or ``None``."""
+        with self._lock:
+            cls = self._classes.get(fingerprint)
+            if cls is None:
+                return None
+            return {
+                "fingerprint": fingerprint,
+                "shape": cls.shape,
+                "plan_changes": cls.plan_changes,
+                "current": {"hash": cls.plan_hash, "plan": cls.plan_text},
+                "last_good": (
+                    None
+                    if cls.last_good_hash is None
+                    else {
+                        "hash": cls.last_good_hash,
+                        "plan": cls.last_good_text,
+                    }
+                ),
+            }
+
+    def clear(self) -> None:
+        """Forget every class (tests and operator resets)."""
+        with self._lock:
+            self._classes.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._classes)
+
+    def __repr__(self) -> str:
+        return f"<WorkloadProfile {len(self)} classes>"
+
+
+_CREATE_LOCK = threading.Lock()
+
+#: Profile for graphs that reach no storage engine.
+_DEFAULT_PROFILE = WorkloadProfile()
+
+
+def workload_for(engine: Any) -> WorkloadProfile:
+    """The lazily-attached :class:`WorkloadProfile` for *engine* (the
+    process-wide default when *engine* is ``None``)."""
+    if engine is None:
+        return _DEFAULT_PROFILE
+    profile = getattr(engine, "workload", None)
+    if profile is not None:
+        return profile
+    with _CREATE_LOCK:
+        profile = getattr(engine, "workload", None)
+        if profile is not None:
+            return profile
+        profile = WorkloadProfile()
+        profile._engine_ref = engine
+        engine.workload = profile
+        return profile
+
+
+# ---------------------------------------------------------------------------
+# routing hooks (called from repro.exec.run)
+# ---------------------------------------------------------------------------
+
+
+def _pipeline_info(fn: Any, pipeline: Any) -> tuple[str, str, str, str]:
+    """(fingerprint, shape, plan hash, plan text) for a pipeline —
+    computed once per cached plan object and memoized on it."""
+    cached = getattr(pipeline, "_workload_info", None)
+    if cached is not None:
+        return cached
+    info = (
+        fingerprint_of(fn),
+        normalize_source(pipeline.root.describe()),
+        plan_hash_of(pipeline),
+        pipeline.explain(),
+    )
+    pipeline._workload_info = info
+    return info
+
+
+def note_planned(fn: Any, pipeline: Any) -> None:
+    """Plan-cache miss hook: register what this fingerprint lowered
+    to, firing the plan-change detector when the hash moved. Off the
+    enumeration hot path (planning already walks the graph); never
+    raises into the planner."""
+    if profile_interval() <= 0:
+        return
+    try:
+        from repro.exec.cache import engine_of
+
+        profile = workload_for(engine_of(fn))
+        fingerprint, shape, plan_hash, plan_text = _pipeline_info(
+            fn, pipeline
+        )
+        profile.observe_plan(fingerprint, shape, plan_hash, plan_text)
+    except Exception:
+        pass
+
+
+def maybe_profile(
+    fn: Any, pipeline: Any
+) -> tuple[WorkloadProfile, tuple[str, str, str, str]] | None:
+    """Sampling gate for one enumeration.
+
+    Returns ``(profile, info)`` when this enumeration should be timed,
+    ``None`` on the fast path. The unsampled cost is one counter
+    increment, one modulo, and one env read.
+    """
+    interval = profile_interval()
+    if interval <= 0:
+        return None
+    global _TICK
+    _TICK += 1
+    if interval > 1 and _TICK % interval:
+        return None
+    try:
+        from repro.exec.cache import engine_of
+
+        profile = workload_for(engine_of(fn))
+        return profile, _pipeline_info(fn, pipeline)
+    except Exception:
+        return None
+
+
+def record_run(
+    fn: Any, pipeline: Any, wall_ns: int, rows: int
+) -> None:
+    """Fold one already-measured enumeration (the traced/slow-logged
+    path, which times every run anyway) into the profile, bypassing
+    the sampling gate."""
+    if profile_interval() <= 0:
+        return
+    try:
+        from repro.exec.batch import batch_mode
+        from repro.exec.cache import engine_of
+
+        profile = workload_for(engine_of(fn))
+        fingerprint, shape, plan_hash, plan_text = _pipeline_info(
+            fn, pipeline
+        )
+        profile.record(
+            fingerprint,
+            shape,
+            plan_hash,
+            plan_text,
+            wall_ns,
+            rows,
+            batch_mode(),
+        )
+    except Exception:
+        pass

@@ -38,7 +38,7 @@ class ReplicaPeer:
 
     __slots__ = (
         "session_id", "send", "sent_ts", "acked_ts", "attached_at",
-        "last_ack_at", "batches", "records", "lock",
+        "last_ack_at", "lag_seconds", "batches", "records", "lock",
     )
 
     def __init__(self, session_id: int, send: Callable, sent_ts: int):
@@ -50,6 +50,10 @@ class ReplicaPeer:
         self.acked_ts = sent_ts
         self.attached_at = time.monotonic()
         self.last_ack_at = self.attached_at
+        #: Seconds-based lag the peer self-reported on its last ack —
+        #: computed follower-side from the commit wall-clock shipped
+        #: on each WAL_BATCH, so it measures real apply age, not RTT.
+        self.lag_seconds = 0.0
         self.batches = 0
         self.records = 0
         #: Serializes shipping to this one peer. Per-peer, not
@@ -140,6 +144,14 @@ class ReplicationHub:
             result["mode"] = "snapshot"
             result["snapshot"] = snapshot
             self.snapshots_sent += 1
+            from repro.obs.events import emit
+
+            emit(
+                self.db.engine,
+                "snapshot_served",
+                session=session_id,
+                ts=snapshot["ts"],
+            )
         else:
             result["mode"] = "stream"
             result["records"] = wire.encode_records(backlog)
@@ -229,6 +241,11 @@ class ReplicationHub:
                     "push": "wal_batch",
                     "epoch": self.epoch,
                     "leader_ts": leader_ts,
+                    # the leader's wall clock at ship time (shipping
+                    # rides the commit path, so this is commit time to
+                    # within queueing): followers subtract it from
+                    # their own clock on apply for seconds-based lag
+                    "commit_wall": time.time(),
                     "records": batch_records,
                     "schemas": batch_schemas,
                 }
@@ -271,8 +288,19 @@ class ReplicationHub:
 
     # -- acknowledgement / introspection ------------------------------------------
 
-    def ack(self, session_id: int, applied_ts: int) -> dict[str, Any]:
-        """Record a follower's applied watermark; returns current lag."""
+    def ack(
+        self,
+        session_id: int,
+        applied_ts: int,
+        lag_seconds: float | None = None,
+    ) -> dict[str, Any]:
+        """Record a follower's applied watermark; returns current lag.
+
+        *lag_seconds* is the follower's self-measured apply age (its
+        clock minus the ``commit_wall`` shipped on the batch it last
+        applied) — the leader only stores and re-exports it, so clock
+        skew between the two hosts stays the follower's problem.
+        """
         leader_ts = self.db.manager.now()
         with self._lock:
             peer = self._peers.get(session_id)
@@ -283,6 +311,8 @@ class ReplicationHub:
                 )
             peer.acked_ts = max(peer.acked_ts, int(applied_ts))
             peer.last_ack_at = time.monotonic()
+            if lag_seconds is not None:
+                peer.lag_seconds = max(0.0, float(lag_seconds))
             return {
                 "leader_ts": leader_ts,
                 "lag": max(0, leader_ts - peer.acked_ts),
@@ -306,6 +336,7 @@ class ReplicationHub:
                         "sent_ts": peer.sent_ts,
                         "acked_ts": peer.acked_ts,
                         "lag": max(0, leader_ts - peer.acked_ts),
+                        "lag_seconds": peer.lag_seconds,
                     }
                     for peer in self._peers.values()
                 ],

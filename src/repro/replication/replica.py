@@ -94,6 +94,12 @@ class ReplicaDatabase(FunctionalDatabase):
     #: The leader's commit clock as of the last received frame — what
     #: bounded-staleness reads measure lag against.
     leader_ts = 0
+    #: The leader wall clock (``commit_wall``) carried on the newest
+    #: applied WAL batch — the anchor for seconds-based lag.
+    leader_wall = 0.0
+    #: Age of the newest applied batch, computed *on apply* as this
+    #: host's clock minus the shipped ``commit_wall``.
+    apply_age_seconds = 0.0
     #: The pull loop feeding this replica (None when fed manually,
     #: e.g. in tests driving apply_wal_batch directly).
     replication: "ReplicationClient | None" = None
@@ -116,6 +122,11 @@ class ReplicaDatabase(FunctionalDatabase):
         self.batches_applied = 0
         self.records_applied = 0
         self.snapshots_loaded = 0
+        self.leader_wall = 0.0
+        self.apply_age_seconds = 0.0
+        # seconds-based lag rides the engine so the metrics registry's
+        # gauge (wired per engine, not per database) can reach it
+        self._engine.replica_lag_seconds_fn = self.lag_seconds
 
     # -- apply path --------------------------------------------------------------
 
@@ -129,6 +140,24 @@ class ReplicaDatabase(FunctionalDatabase):
         """Commits the replica is known to be behind the leader."""
         return max(0, self.leader_ts - self.applied_ts())
 
+    def lag_seconds(self) -> float:
+        """Seconds this replica trails the leader's commit stream.
+
+        Caught up, this is the apply age of the newest batch (ship →
+        apply latency, typically milliseconds). While commits are
+        known pending, the clock keeps running against the last
+        applied batch's leader wall stamp — an upper bound in the
+        ``seconds_behind_master`` tradition, growing until the apply
+        loop catches up. Both sides use the *follower's* clock against
+        the leader-shipped ``commit_wall``, so host clock skew shifts
+        the number but a stalled apply loop always grows it.
+        """
+        if self.lag() <= 0 or not self.leader_wall:
+            return self.apply_age_seconds
+        return max(
+            self.apply_age_seconds, time.time() - self.leader_wall
+        )
+
     def apply_wal_batch(
         self,
         records: list[Any],
@@ -136,6 +165,7 @@ class ReplicaDatabase(FunctionalDatabase):
         epoch: int,
         schemas: dict[str, Any] | None = None,
         trace: dict[str, Any] | None = None,
+        commit_wall: float | None = None,
     ) -> int:
         """Replay one shipped batch; returns the records applied.
 
@@ -187,6 +217,14 @@ class ReplicaDatabase(FunctionalDatabase):
                     registry.notify_commit(record.commit_ts)
             self.leader_ts = max(self.leader_ts, int(leader_ts))
             self.batches_applied += 1
+            if commit_wall:
+                # the seconds-lag anchor (satellite of the HEALTH
+                # surface): age is computed here, on apply, against
+                # the leader wall clock the batch carried
+                self.leader_wall = max(self.leader_wall, float(commit_wall))
+                self.apply_age_seconds = max(
+                    0.0, time.time() - float(commit_wall)
+                )
         if applied:
             hub = getattr(self._engine, "replication_hub", None)
             if hub is not None:
@@ -266,6 +304,14 @@ class ReplicaDatabase(FunctionalDatabase):
             self._engine.wal.append(WALRecord(ts, seed_writes))
             self.leader_ts = max(self.leader_ts, ts)
             self.snapshots_loaded += 1
+        from repro.obs.events import emit
+
+        emit(
+            self._engine,
+            "snapshot_sync",
+            ts=ts,
+            tables=len(snapshot.get("tables", {})),
+        )
         registry = getattr(self._engine, "view_registry", None)
         if registry is not None:
             for view in registry.views():
@@ -420,7 +466,16 @@ class ReplicaDatabase(FunctionalDatabase):
             hub = getattr(self._engine, "replication_hub", None)
             if hub is not None:
                 hub.epoch = self.epoch
-            return self.epoch
+            epoch = self.epoch
+        from repro.obs.events import emit
+
+        emit(
+            self._engine,
+            "promote",
+            epoch=epoch,
+            applied_ts=self.applied_ts(),
+        )
+        return epoch
 
     @property
     def read_only(self) -> bool:
@@ -443,6 +498,7 @@ class ReplicaDatabase(FunctionalDatabase):
             "applied_ts": self.applied_ts(),
             "leader_ts": self.leader_ts,
             "lag": self.lag(),
+            "lag_seconds": self.lag_seconds(),
             "batches_applied": self.batches_applied,
             "records_applied": self.records_applied,
             "snapshots_loaded": self.snapshots_loaded,
@@ -558,7 +614,11 @@ class ReplicationClient:
                     schemas=hello.get("schemas"),
                 )
             client._call(
-                {"verb": "replica_ack", "applied_ts": self.db.applied_ts()}
+                {
+                    "verb": "replica_ack",
+                    "applied_ts": self.db.applied_ts(),
+                    "lag_seconds": self.db.lag_seconds(),
+                }
             )
             pending_acks = 0
             while not self._stop.is_set():
@@ -575,6 +635,7 @@ class ReplicationClient:
                             event.get("epoch", self.db.epoch),
                             schemas=event.get("schemas"),
                             trace=event.get("trace"),
+                            commit_wall=event.get("commit_wall"),
                         )
                         applied_any = True
                     elif kind == "wal_resync":
@@ -590,6 +651,7 @@ class ReplicationClient:
                             {
                                 "verb": "replica_ack",
                                 "applied_ts": self.db.applied_ts(),
+                                "lag_seconds": self.db.lag_seconds(),
                             }
                         )
                         pending_acks = 0

@@ -281,6 +281,15 @@ class ReproServer:
             except queue.Full:
                 # beyond-capacity shedding: a typed, retryable refusal
                 self.rejected_busy += 1
+                from repro.obs.events import emit
+
+                emit(
+                    self.db.engine,
+                    "shed",
+                    queue_depth=self._admission.maxsize,
+                    sessions=self.max_sessions,
+                    rejected_total=self.rejected_busy,
+                )
                 try:
                     protocol.send_frame(
                         conn,

@@ -593,6 +593,41 @@ class Session:
             text += self.server.metrics.prometheus()
         return {"text": text}
 
+    # -- HEALTH ------------------------------------------------------------------
+
+    def _verb_health(self, request: dict[str, Any]) -> dict[str, Any]:
+        """HEALTH: the one-dict cluster liveness picture — role, epoch,
+        commit clock, fencing state, WAL floor/size, replication lag in
+        commits and seconds, admission-queue depth, and the newest
+        lifecycle events. Answered by leaders and replicas alike, so an
+        operator (or ``tools/repro_top.py``) polls every member with
+        the same verb; the runbook row lives in docs/operations.md."""
+        from repro.obs.health import health_snapshot
+
+        return health_snapshot(self.db, self.server)
+
+    # -- WORKLOAD ----------------------------------------------------------------
+
+    def _verb_workload(self, request: dict[str, Any]) -> dict[str, Any]:
+        """WORKLOAD: the workload profile — one row per query-class
+        fingerprint (calls, rows, p50/p95 latency, executor mode,
+        current plan hash, plan-change and regression counters). With a
+        ``fingerprint`` field in the request, the response also carries
+        ``diff``: that class's last-good vs current physical plan, the
+        evidence trail for diagnosing a plan regression (recipe in
+        docs/operations.md)."""
+        from repro.obs.workload import workload_for
+
+        profile = workload_for(self.db.engine)
+        response: dict[str, Any] = {
+            "classes": profile.snapshot(),
+            "tracked": len(profile),
+        }
+        fingerprint = request.get("fingerprint")
+        if fingerprint is not None:
+            response["diff"] = profile.plan_diff(str(fingerprint))
+        return response
+
     # -- SUBSCRIBE ---------------------------------------------------------------
 
     def _verb_subscribe(self, request: dict[str, Any]) -> dict[str, Any]:
@@ -684,8 +719,11 @@ class Session:
             raise ReplicationError(
                 "this server ships no WAL (no REPLICA_HELLO was seen)"
             )
+        lag_seconds = request.get("lag_seconds")
         return hub.ack(
-            self.session_id, int(request.get("applied_ts") or 0)
+            self.session_id,
+            int(request.get("applied_ts") or 0),
+            lag_seconds=lag_seconds,
         )
 
     def _verb_promote(self, request: dict[str, Any]) -> dict[str, Any]:

@@ -1,0 +1,148 @@
+#!/usr/bin/env python
+"""Benchmark regression gate (``make bench-check``).
+
+Compares the working tree's freshly-run ``benchmarks/BENCH_*.json``
+trajectory files against the committed baselines (``git show HEAD:``)
+and fails when a headline timing regressed past the threshold.
+
+The headline statistic is ``min_s``: pytest-benchmark's minimum round
+time is the least noise-sensitive number the trajectory files carry
+(mean and max absorb GC pauses and scheduler jitter, exactly what a
+CI gate must ignore). The default threshold is a 30% slowdown —
+deliberately loose, because these benchmarks run on shared CI
+hardware; the gate exists to catch the 2× cliff a misplaced
+``O(n²)`` introduces, not a 5% wobble.
+
+Rows present on only one side are reported but never fail the gate:
+a new benchmark has no baseline, and a renamed one must not block
+the rename. Exit status 1 only on genuine regressions.
+
+Usage::
+
+    make bench-smoke   # refresh the working-tree BENCH_*.json files
+    python tools/bench_check.py [--threshold 0.30] [--stat min_s]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import subprocess
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+BENCH_DIR = REPO / "benchmarks"
+
+#: Rounds this fast sit at the clock's noise floor: skip them.
+MIN_MEANINGFUL_S = 50e-6
+
+
+def committed_baseline(name: str) -> dict | None:
+    """The HEAD-committed version of ``benchmarks/<name>``, or None
+    when the file is new (or git is unavailable)."""
+    try:
+        out = subprocess.run(
+            ["git", "show", f"HEAD:benchmarks/{name}"],
+            cwd=REPO,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (subprocess.CalledProcessError, OSError):
+        return None
+    try:
+        return json.loads(out)
+    except ValueError:
+        return None
+
+
+def compare_module(
+    name: str, threshold: float, stat: str
+) -> tuple[list[str], list[str]]:
+    """(regressions, notes) for one BENCH_<module>.json file."""
+    current = json.loads((BENCH_DIR / name).read_text())
+    baseline = committed_baseline(name)
+    if baseline is None:
+        return [], [f"{name}: no committed baseline (new file) — skipped"]
+    base_rows = {row["name"]: row for row in baseline.get("results", [])}
+    regressions: list[str] = []
+    notes: list[str] = []
+    for row in current.get("results", []):
+        base = base_rows.pop(row["name"], None)
+        if base is None:
+            notes.append(f"{name}::{row['name']}: new benchmark, no baseline")
+            continue
+        was, now = base.get(stat), row.get(stat)
+        if not was or not now:
+            continue
+        if was < MIN_MEANINGFUL_S:
+            notes.append(
+                f"{name}::{row['name']}: baseline {was * 1e6:.1f}µs is "
+                "below the noise floor — skipped"
+            )
+            continue
+        ratio = now / was
+        if ratio > 1.0 + threshold:
+            regressions.append(
+                f"{name}::{row['name']}: {stat} {was * 1e3:.3f}ms -> "
+                f"{now * 1e3:.3f}ms ({ratio:.2f}x, threshold "
+                f"{1.0 + threshold:.2f}x)"
+            )
+    for missing in base_rows:
+        notes.append(f"{name}::{missing}: in baseline but not re-run")
+    return regressions, notes
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit status."""
+    parser = argparse.ArgumentParser(
+        description="fail on benchmark regressions vs committed baselines"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed fractional slowdown before failing (default 0.30)",
+    )
+    parser.add_argument(
+        "--stat",
+        default="min_s",
+        choices=["min_s", "mean_s"],
+        help="headline statistic to compare (default min_s)",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        default=[],
+        metavar="MODULE",
+        help="restrict to BENCH_<MODULE>.json (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    files = sorted(p.name for p in BENCH_DIR.glob("BENCH_*.json"))
+    if args.only:
+        wanted = {f"BENCH_{m}.json" for m in args.only}
+        files = [f for f in files if f in wanted]
+    if not files:
+        print("bench_check: no BENCH_*.json files found — run bench-smoke")
+        return 1
+
+    all_regressions: list[str] = []
+    for name in files:
+        regressions, notes = compare_module(name, args.threshold, args.stat)
+        all_regressions.extend(regressions)
+        for note in notes:
+            print(f"note: {note}")
+    if all_regressions:
+        print(f"\n{len(all_regressions)} benchmark regression(s):")
+        for line in all_regressions:
+            print(f"  REGRESSION {line}")
+        return 1
+    print(f"bench_check: {len(files)} module(s) OK (stat={args.stat}, "
+          f"threshold={args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

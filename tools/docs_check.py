@@ -38,6 +38,9 @@ DOCSTRING_FILES = [
     "src/repro/obs/metrics.py",
     "src/repro/obs/instrument.py",
     "src/repro/obs/slowlog.py",
+    "src/repro/obs/workload.py",
+    "src/repro/obs/events.py",
+    "src/repro/obs/health.py",
     "src/repro/server/protocol.py",
     "src/repro/server/session.py",
     "src/repro/server/server.py",
