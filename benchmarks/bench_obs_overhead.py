@@ -28,6 +28,7 @@ import time
 import pytest
 
 from repro import fql
+from repro.obs.resources import using_meter_mode
 from repro.obs.trace import (
     clear_traces,
     latest_trace_id,
@@ -92,6 +93,50 @@ def test_trace_off(benchmark, fdm_retail, exec_batch):
     assert ratio < 1.05 or (sampled_med - off_med) < 0.0005, (
         f"sampled tracing costs {ratio:.3f}x the off mode "
         f"({off_med * 1e3:.3f}ms -> {sampled_med * 1e3:.3f}ms)"
+    )
+
+
+@pytest.mark.benchmark(group="obs_overhead")
+def test_metering_default_on(benchmark, fdm_retail, exec_batch):
+    """Resource metering is ON by default (unlike tracing) — so the
+    number that matters is metered-vs-unmetered on the same hot
+    workload, paired in-process. The default-on configuration must
+    stay within the same <5% observability tax the tracing machinery
+    honours; the ratio is recorded in the JSON as evidence.
+    """
+    expr = _unrolled(fdm_retail)
+
+    def run():
+        return {k: t("count") for k, t in expr.items()}
+
+    with using_trace_mode("off"), using_meter_mode("on"):
+        dict(expr.items())  # warm the plan cache
+        result = benchmark(run)
+    assert sum(result.values()) == len(fdm_retail.customers)
+
+    # paired medians: run the identical closure under meter off/on,
+    # interleaved, so machine drift cancels out
+    with using_trace_mode("off"):
+        with using_meter_mode("off"):
+            off_run = run
+            dict(expr.items())
+
+        def run_off():
+            with using_meter_mode("off"):
+                return off_run()
+
+        def run_on():
+            with using_meter_mode("on"):
+                return off_run()
+
+        off_med, on_med = _paired_medians(run_off, run_on)
+    ratio = on_med / off_med if off_med else 1.0
+    benchmark.extra_info["metered_over_off_ratio"] = round(ratio, 4)
+    # <5% budget, with an absolute floor so sub-millisecond jitter on a
+    # fast machine cannot flake the gate
+    assert ratio < 1.05 or (on_med - off_med) < 0.0005, (
+        f"default-on metering costs {ratio:.3f}x the unmetered path "
+        f"({off_med * 1e3:.3f}ms -> {on_med * 1e3:.3f}ms)"
     )
 
 

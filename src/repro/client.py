@@ -350,32 +350,42 @@ class RemoteDatabase:
         expr: str,
         params: dict[str, Any] | None = None,
         max_rows: int | None = None,
+        deadline_ms: float | None = None,
     ) -> Any:
         """Evaluate an FQL expression server-side; returns plain data
         (relations decode to ``{key: row}`` dicts). Routed to a read
-        replica when one is configured and policy allows."""
-        return protocol.decode_value(
-            self._routed_read(
-                {
-                    "verb": "fql",
-                    "expr": expr,
-                    "params": params or {},
-                    "max_rows": max_rows,
-                }
-            )
-        )
+        replica when one is configured and policy allows. *deadline_ms*
+        caps this one statement's server-side wall clock — past it the
+        query is cooperatively killed with the retryable
+        :class:`~repro.errors.ResourceExhaustedError`."""
+        payload: dict[str, Any] = {
+            "verb": "fql",
+            "expr": expr,
+            "params": params or {},
+            "max_rows": max_rows,
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        return protocol.decode_value(self._routed_read(payload))
 
     query = fql  # spelled both ways
 
     def sql(
-        self, sql: str, params: list[Any] | None = None
+        self,
+        sql: str,
+        params: list[Any] | None = None,
+        deadline_ms: float | None = None,
     ) -> dict[str, Any]:
         """Run a SELECT; returns ``{"columns": [...], "rows": [...]}``
         with NULLs as ``None``. Routed to a read replica when one is
-        configured and policy allows."""
-        result = self._routed_read(
-            {"verb": "sql", "sql": sql, "params": params or []}
-        )
+        configured and policy allows. *deadline_ms* works as in
+        :meth:`fql`."""
+        payload: dict[str, Any] = {
+            "verb": "sql", "sql": sql, "params": params or [],
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = deadline_ms
+        result = self._routed_read(payload)
         result["rows"] = [
             [protocol.decode_value(v) for v in row]
             for row in result["rows"]
@@ -424,6 +434,41 @@ class RemoteDatabase:
         if fingerprint is not None:
             payload["fingerprint"] = fingerprint
         return self._call(payload)
+
+    def top(self, limit: int | None = None) -> dict[str, Any]:
+        """The server's resource-accounting rollup (TOP verb):
+        cumulative totals, queries/killed counts, the meters of
+        queries live right now, per-session and per-workload-
+        fingerprint consumption, and the current ``top_consumer``
+        fingerprint. *limit* caps the live-query list."""
+        payload: dict[str, Any] = {"verb": "top"}
+        if limit is not None:
+            payload["limit"] = limit
+        return self._call(payload)
+
+    def set_budgets(
+        self,
+        max_rows_scanned: int | None = None,
+        max_result_rows: int | None = None,
+        deadline_ms: float | None = None,
+    ) -> dict[str, Any]:
+        """Install per-session resource budgets (re-HELLO).
+
+        Every later statement on this session is checked against them
+        cooperatively at batch boundaries; an exceeded budget raises
+        :class:`~repro.errors.ResourceExhaustedError` and the session
+        keeps working. Calling with no arguments clears the overrides
+        back to the server's environment defaults. Returns the budgets
+        now in force."""
+        budgets: dict[str, Any] = {}
+        if max_rows_scanned is not None:
+            budgets["max_rows_scanned"] = max_rows_scanned
+        if max_result_rows is not None:
+            budgets["max_result_rows"] = max_result_rows
+        if deadline_ms is not None:
+            budgets["deadline_ms"] = deadline_ms
+        result = self._call({"verb": "hello", "budgets": budgets})
+        return result.get("budgets", {})
 
     def ping(self) -> bool:
         """Round-trip liveness probe against the leader."""

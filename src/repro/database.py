@@ -446,6 +446,7 @@ class FunctionalDatabase(DatabaseFunction):
         """
         from repro.exec.batch import batch_mode, counters_for
         from repro.exec.kernels import kernel_backend
+        from repro.obs.resources import resources_for
 
         engine = self._engine
         manager = self._manager
@@ -472,6 +473,10 @@ class FunctionalDatabase(DatabaseFunction):
                 "kernel_backend": kernel_backend(),
                 **counters_for(engine).snapshot(),
             },
+            # per-query cost attribution: cumulative totals, the meters
+            # of queries running right now, and per-session /
+            # per-fingerprint rollups (docs/observability.md)
+            "resources": resources_for(engine).snapshot(),
             "views": views,
             "tables": {
                 table_name: self.partition_layout(table_name)

@@ -266,6 +266,28 @@ class ServerBusyError(ServerError):
     """The admission queue is full; retry later (backpressure)."""
 
 
+class ResourceExhaustedError(ServerError):
+    """A query exceeded its resource budget and was killed (retryable).
+
+    Raised cooperatively at batch boundaries when a per-query budget
+    (``REPRO_MAX_ROWS_SCANNED``, ``REPRO_MAX_RESULT_ROWS``) or deadline
+    (``REPRO_QUERY_DEADLINE_MS``, a HELLO session override, or a
+    per-frame ``deadline_ms``) is exceeded. The kill is clean: the
+    session and any open transaction stay fully usable, so the client
+    may simply retry with a larger budget. ``snapshot`` carries the
+    resource meter at kill time — the same payload attached to the
+    ``query_killed`` lifecycle event; it is ``None`` when the error was
+    re-raised from a wire frame (the server's event log keeps the
+    authoritative copy).
+    """
+
+    snapshot: dict | None = None
+
+    def __init__(self, message: str, snapshot: dict | None = None):
+        super().__init__(message)
+        self.snapshot = snapshot
+
+
 class ConnectionClosedError(ServerError):
     """The peer closed the connection mid-conversation."""
 

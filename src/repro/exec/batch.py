@@ -34,6 +34,7 @@ from repro._util import MISSING
 __all__ = [
     "COLUMNAR_BATCH_SIZE",
     "ColumnBatch",
+    "batch_bytes",
     "batch_mode",
     "set_batch_mode",
     "using_batch_mode",
@@ -86,7 +87,8 @@ def using_batch_mode(mode: str | None) -> Iterator[None]:
 class ColumnBatch:
     """A chunk of rows held column-accessible, materialized late."""
 
-    __slots__ = ("keys", "rows", "name", "np_cache", "_cols", "_pairs")
+    __slots__ = ("keys", "rows", "name", "np_cache", "_cols", "_pairs",
+                 "_nbytes")
 
     def __init__(self, keys: list, rows: list, name: str = "batch"):
         self.keys = keys
@@ -95,9 +97,22 @@ class ColumnBatch:
         self.np_cache: dict = {}
         self._cols: dict = {}
         self._pairs: list | None = None
+        self._nbytes: int | None = None
 
     def __len__(self) -> int:
         return len(self.keys)
+
+    def approx_bytes(self) -> int:
+        """O(1) live-size estimate: row count × a first-row width model.
+
+        Feeds the resource meter's bytes-scanned and peak-batch gauges;
+        an attribution heuristic, not an allocator measurement, so it
+        deliberately avoids walking every row.
+        """
+        if self._nbytes is None:
+            width = len(self.rows[0]) if self.rows else 0
+            self._nbytes = len(self.keys) * (64 + 48 * width)
+        return self._nbytes
 
     def col(self, attr: str) -> list:
         """One attribute as a value list; undefined slots are MISSING."""
@@ -143,6 +158,18 @@ class ColumnBatch:
         return f"<ColumnBatch {self.name!r}: {len(self.keys)} rows>"
 
 
+def batch_bytes(batch: Any) -> int:
+    """Cheap live-size estimate for any batch shape the executor yields.
+
+    ``ColumnBatch`` memoizes a first-row width model; plain row-entry
+    lists get a flat per-entry constant. Used by the resource meter's
+    scan hooks, so it must stay O(1) per batch.
+    """
+    if isinstance(batch, ColumnBatch):
+        return batch.approx_bytes()
+    return len(batch) * 128
+
+
 class ExecutorCounters:
     """Executor telemetry, surfaced via ``db.stats()`` and metrics.
 
@@ -155,6 +182,17 @@ class ExecutorCounters:
     instance *per storage engine*, so two databases in one process stop
     sharing — and clobbering — each other's counts; increment sites
     bump both.
+
+    Attribution semantics (pinned by tests/test_resources.py): scan
+    leaves attribute to the engine their function graph resolves to.
+    *Partition slices resolve to no engine*, so scans over a
+    partitioned table — serial or scatter-gather — land in the shared
+    unattributed sink, not the per-engine instance; the process-global
+    instance stays exact in both modes. Per-query resource meters
+    (obs.resources) do NOT share this gap: they are forked into
+    scatter workers explicitly and always attribute to the engine the
+    query started on. Diff the global instance (or use meters) when a
+    workload touches partitioned tables.
     """
 
     FIELDS = (

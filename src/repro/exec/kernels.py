@@ -180,6 +180,22 @@ _PY_OPS = {
 }
 
 
+def _note_dispatch(vectorized: bool) -> None:
+    """Tell the active resource meter which backend evaluated a batch.
+
+    The kernel/python split is a per-batch *dispatch* decision (never a
+    plan property), so this is the only place that can attribute it.
+    """
+    from repro.obs.resources import active_meter
+
+    meter = active_meter()
+    if meter is not None:
+        if vectorized:
+            meter.kernel_batches += 1
+        else:
+            meter.python_batches += 1
+
+
 def compare_mask(
     batch: Any, kind: str, payload: Any, op: str, const: Any
 ) -> Any:
@@ -188,7 +204,9 @@ def compare_mask(
         nc = numeric_col(batch, kind, payload)
         if nc is not None:
             values, defined = nc
+            _note_dispatch(True)
             return _PY_OPS[op](values, const) & defined
+    _note_dispatch(False)
     values = _operand_col(batch, kind, payload)
     py_op = _PY_OPS[op]
     out = [False] * len(values)
@@ -218,7 +236,9 @@ def membership_mask(
             hits = _np.isin(values, list(collection))
             if negated:
                 hits = ~hits
+            _note_dispatch(True)
             return hits & defined
+    _note_dispatch(False)
     values = _operand_col(batch, kind, payload)
     out = [False] * len(values)
     for i, v in enumerate(values):
@@ -245,7 +265,9 @@ def between_mask(
         nc = numeric_col(batch, kind, payload)
         if nc is not None:
             values, defined = nc
+            _note_dispatch(True)
             return (values >= lo) & (values <= hi) & defined
+    _note_dispatch(False)
     values = _operand_col(batch, kind, payload)
     out = [False] * len(values)
     for i, v in enumerate(values):

@@ -22,11 +22,13 @@ from repro.errors import MergeConflictError, UndefinedInputError
 from repro.exec.batch import (
     COLUMNAR_BATCH_SIZE,
     ColumnBatch,
+    batch_bytes,
     batch_mode,
     counters,
     counters_for,
 )
 from repro.fdm.functions import FDMFunction, values_equal
+from repro.obs.resources import active_meter
 
 __all__ = [
     "BATCH_SIZE",
@@ -133,6 +135,12 @@ class ScanNode(PhysicalNode):
                 counters.row_rows += len(batch)
                 scoped.row_batches += 1
                 scoped.row_rows += len(batch)
+                # read per batch, not per generator: the pulls of one
+                # enumeration always run under the same meter, but the
+                # batch boundary is also the budget checkpoint
+                meter = active_meter()
+                if meter is not None:
+                    meter.on_scan_batch(len(batch), batch_bytes(batch))
                 yield batch
             return
         for batch in columnar(
@@ -148,6 +156,9 @@ class ScanNode(PhysicalNode):
                 counters.row_rows += len(batch)
                 scoped.row_batches += 1
                 scoped.row_rows += len(batch)
+            meter = active_meter()
+            if meter is not None:
+                meter.on_scan_batch(len(batch), batch_bytes(batch))
             yield batch
 
     def key_batches(self) -> Iterator[list]:

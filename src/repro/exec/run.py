@@ -165,13 +165,12 @@ def route_items(fn: FDMFunction) -> Iterator[tuple] | None:
     pipeline = pipeline_for(fn)
     if pipeline is None:
         return None
-    observed = _observed(fn, pipeline, keys=False)
-    if observed is not None:
-        return observed
-    profiled = _profiled(fn, pipeline, keys=False)
-    if profiled is not None:
-        return profiled
-    return pipeline.iter_entries()
+    it = _observed(fn, pipeline, keys=False)
+    if it is None:
+        it = _profiled(fn, pipeline, keys=False)
+    if it is None:
+        it = pipeline.iter_entries()
+    return _metered(fn, pipeline, it)
 
 
 def route_keys(fn: FDMFunction) -> Iterator[Any] | None:
@@ -181,13 +180,107 @@ def route_keys(fn: FDMFunction) -> Iterator[Any] | None:
     pipeline = pipeline_for(fn)
     if pipeline is None:
         return None
-    observed = _observed(fn, pipeline, keys=True)
-    if observed is not None:
-        return observed
-    profiled = _profiled(fn, pipeline, keys=True)
-    if profiled is not None:
-        return profiled
-    return pipeline.iter_keys()
+    it = _observed(fn, pipeline, keys=True)
+    if it is None:
+        it = _profiled(fn, pipeline, keys=True)
+    if it is None:
+        it = pipeline.iter_keys()
+    return _metered(fn, pipeline, it)
+
+
+#: Sentinel distinguishing "not memoized yet" from a memoized ``None``.
+_NO_ENGINE = object()
+
+
+def _route_engine(fn: FDMFunction, pipeline: PhysicalPipeline) -> Any:
+    """``engine_of(fn)`` memoized on the cached pipeline object."""
+    engine = getattr(pipeline, "_meter_engine", _NO_ENGINE)
+    if engine is _NO_ENGINE:
+        engine = engine_of(fn)
+        try:
+            pipeline._meter_engine = engine
+        except Exception:
+            pass
+    return engine
+
+
+def _tag_fingerprint(fn: FDMFunction, pipeline: PhysicalPipeline, meter: Any):
+    """Stamp the workload fingerprint on *meter* so the resource rollup
+    and the latency profile join on one key. Memoized per cached plan;
+    never raises into the query."""
+    try:
+        from repro.obs.workload import _pipeline_info
+
+        info = _pipeline_info(fn, pipeline)
+        meter.fingerprint = info[0]
+        if meter.query is None:
+            meter.query = info[1]
+    except Exception:
+        pass
+
+
+def _metered(
+    fn: FDMFunction, pipeline: PhysicalPipeline, inner: Iterator[Any]
+) -> Iterator[Any]:
+    """Attach this enumeration to a resource meter.
+
+    Two cases. An *enclosing* meter (a server verb, or an outer
+    enumeration whose pull we are running inside) is already fed by the
+    scan/kernel/join hooks; we only stamp the workload fingerprint on
+    it and return *inner* untouched — zero added per-row cost. With no
+    enclosing meter and metering on, this enumeration is its own query:
+    wrap it so it registers live, counts result rows, enforces budgets,
+    and folds into the engine rollup when the stream closes.
+    """
+    from repro.obs import resources
+
+    meter = resources.active_meter()
+    if meter is not None:
+        if meter.fingerprint is None:
+            _tag_fingerprint(fn, pipeline, meter)
+        return inner
+    if resources.meter_mode() != "on":
+        return inner
+    return _metered_iter(fn, pipeline, inner)
+
+
+def _metered_iter(
+    fn: FDMFunction, pipeline: PhysicalPipeline, inner: Iterator[Any]
+) -> Iterator[Any]:
+    from repro.obs import resources
+
+    engine = _route_engine(fn, pipeline)
+    meter = resources.start_meter(engine)
+    if meter is None:  # metering flipped off between route and first pull
+        yield from inner
+        return
+    _tag_fingerprint(fn, pipeline, meter)
+    accounting = resources.resources_for(engine)
+    accounting.begin(meter)
+    local = resources._local
+    armed = meter._armed
+    try:
+        while True:
+            # the meter is active only *during* our pulls — generator
+            # frames run on the consumer's thread between yields (the
+            # _observed_iter set_collector idiom), and the consumer may
+            # carry its own meter that ours must not shadow
+            previous = local.meter
+            local.meter = meter
+            try:
+                item = next(inner)
+            except StopIteration:
+                break
+            finally:
+                local.meter = previous
+            meter.result_rows += 1
+            if armed:
+                meter.check()
+            yield item
+    finally:
+        if local.meter is meter:
+            local.meter = None
+        accounting.finish(meter)
 
 
 def _profiled(

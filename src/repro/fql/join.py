@@ -319,9 +319,11 @@ class JoinPlan:
                 except UndefinedInputError:
                     continue
                 probe.setdefault(join_value, []).append((key, value))
+            _note_build_rows(sum(len(v) for v in probe.values()))
         elif prefetch and fn.is_enumerable:
             # batched mode: one scan replaces per-binding point probes
             amap = dict(_enum_items(fn, prefetch))
+            _note_build_rows(len(amap))
 
         for binding in partials:
             try:
@@ -372,6 +374,16 @@ class JoinPlan:
             for name, (key, _value) in binding.items():
                 used[name].add(key)
         return used
+
+
+def _note_build_rows(rows: int) -> None:
+    """Attribute one hash-build (or prefetch map) size to the active
+    resource meter — the memory-shaped cost a row count alone hides."""
+    from repro.obs.resources import active_meter
+
+    meter = active_meter()
+    if meter is not None:
+        meter.join_build_rows += rows
 
 
 def _enum_items(fn: Any, prefetch: bool) -> Iterator[tuple[Any, Any]]:

@@ -15,7 +15,9 @@ mirrored to a JSON-lines file sink (``REPRO_EVENTS_PATH``, or
 * ``plan_change`` — the workload profiler saw a fingerprint re-lower
   to a different physical plan (last-good vs new hash attached);
 * ``latency_regression`` — a query class's recent p95 degraded past
-  the profiler's threshold.
+  the profiler's threshold;
+* ``query_killed`` — a query blew a resource budget or deadline and
+  was cooperatively cancelled (the resource-meter snapshot attached).
 
 One :class:`EventLog` attaches lazily per engine (:func:`events_for`),
 mirroring ``slowlog_for``/``metrics_for``. Emission is cheap (one

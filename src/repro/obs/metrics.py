@@ -438,3 +438,37 @@ def _wire_engine_gauges(registry: MetricsRegistry, engine: Any) -> None:
         registry.gauge(
             f"executor_{field}", help, fn=executor_counter(field)
         )
+
+    def resource_total(field: str) -> Callable[[], float | None]:
+        def read() -> float | None:
+            eng = ref()
+            if eng is None:
+                return None
+            from repro.obs.resources import resources_for
+
+            accounting = resources_for(eng)
+            if field in ("queries", "killed"):
+                return float(getattr(accounting, field))
+            if field == "active_queries":
+                return float(len(accounting._active))
+            return float(accounting.totals[field])
+
+        return read
+
+    for field, help in (
+        ("queries", "Metered queries finished on this engine"),
+        ("killed", "Queries killed by a resource budget or deadline"),
+        ("active_queries", "Metered queries running right now"),
+        ("rows_scanned", "Rows pulled out of scan nodes, all queries"),
+        ("bytes_scanned", "Estimated bytes materialized by scans"),
+        ("peak_batch_bytes", "Largest single-batch estimate observed"),
+        ("kernel_batches", "Predicate batches dispatched to numpy"),
+        ("python_batches", "Predicate batches on the python fallback"),
+        ("join_build_rows", "Rows materialized into join build sides"),
+        ("result_rows", "Rows returned to consumers"),
+        ("wal_bytes_metered", "WAL bytes attributed to metered DML"),
+    ):
+        source = "wal_bytes" if field == "wal_bytes_metered" else field
+        registry.gauge(
+            f"resource_{field}", help, fn=resource_total(source)
+        )

@@ -674,6 +674,7 @@ class ScatterGatherNode:
 
     def _scatter(self, run: Callable[[Any], Any]) -> list:
         from repro.obs.instrument import active_collector
+        from repro.obs.resources import active_meter
         from repro.obs.trace import current_context
 
         ts = self.relation._manager.now()
@@ -683,13 +684,14 @@ class ScatterGatherNode:
         # workers can't read our thread-locals
         collector = active_collector()
         ctx = current_context()
+        meter = active_meter()
         if len(nodes) <= 1 or _local.in_worker:
             # Already on a pool worker (a cached scatter pipeline pulled
             # from inside another query's sub-pipeline): submitting into
             # the same bounded pool while every worker waits on results
             # deadlocks, so nested scatters run inline instead.
             return [
-                self._run_partition(run, pid, node, collector, ctx)
+                self._run_partition(run, pid, node, collector, ctx, meter)
                 for pid, node in zip(pids, nodes)
             ]
         pool = _pool()
@@ -697,7 +699,9 @@ class ScatterGatherNode:
         def task(pid: int, node: Any) -> Any:
             _local.in_worker = True
             try:
-                return self._run_partition(run, pid, node, collector, ctx)
+                return self._run_partition(
+                    run, pid, node, collector, ctx, meter
+                )
             finally:
                 _local.in_worker = False
 
@@ -713,21 +717,36 @@ class ScatterGatherNode:
         node: Any,
         collector: Any,
         ctx: Any,
+        meter: Any = None,
     ) -> Any:
         """Drain one partition's sub-pipeline, instrumented when an
-        analyze collector or sampled trace is active upstream.
+        analyze collector, sampled trace, or resource meter is active
+        upstream.
 
         Per-partition nodes are built fresh for every execution, so
         instrumenting them (which monkeypatches ``batches``) can never
-        leak shims into plans other queries share."""
-        if collector is None and ctx is None:
+        leak shims into plans other queries share. A meter forks one
+        child per partition, active only on that worker; the child is
+        absorbed into the parent even when the worker raises — which is
+        how a budget kill inside a worker still accounts its final
+        counts before :class:`~repro.errors.ResourceExhaustedError`
+        propagates through the gatherer."""
+        if collector is None and ctx is None and meter is None:
             return run(node)
         from repro.obs.instrument import instrument_pipeline
+        from repro.obs.resources import set_active_meter
         from repro.obs.trace import resume
 
         stats = instrument_pipeline(node) if collector is not None else None
-        with resume(ctx, "scatter.partition", partition=pid):
-            result = run(node)
+        child = meter.fork() if meter is not None else None
+        previous = set_active_meter(child) if child is not None else None
+        try:
+            with resume(ctx, "scatter.partition", partition=pid):
+                result = run(node)
+        finally:
+            if child is not None:
+                set_active_meter(previous)
+                meter.absorb(child)
         if collector is not None:
             collector.record(pid, node, stats)
         return result

@@ -279,17 +279,34 @@ class ReproServer:
             try:
                 self._admission.put_nowait(conn)
             except queue.Full:
-                # beyond-capacity shedding: a typed, retryable refusal
+                # beyond-capacity shedding: a typed, retryable refusal.
+                # The refusal names the fingerprint currently consuming
+                # the most rows, so a shed client (and the event log)
+                # can see *why* the server is saturated, not just that
+                # it is.
                 self.rejected_busy += 1
                 from repro.obs.events import emit
+                from repro.obs.resources import resources_for
 
+                try:
+                    top_consumer = resources_for(self.db.engine).top_consumer()
+                except Exception:
+                    top_consumer = None
                 emit(
                     self.db.engine,
                     "shed",
                     queue_depth=self._admission.maxsize,
                     sessions=self.max_sessions,
                     rejected_total=self.rejected_busy,
+                    top_consumer=top_consumer,
                 )
+                message = (
+                    "admission queue full "
+                    f"({self._admission.maxsize} waiting, "
+                    f"{self.max_sessions} sessions); retry later"
+                )
+                if top_consumer is not None:
+                    message += f"; top consumer: {top_consumer}"
                 try:
                     protocol.send_frame(
                         conn,
@@ -298,12 +315,7 @@ class ReproServer:
                             "ok": False,
                             "error": {
                                 "type": "ServerBusyError",
-                                "message": (
-                                    "admission queue full "
-                                    f"({self._admission.maxsize} waiting, "
-                                    f"{self.max_sessions} sessions); "
-                                    "retry later"
-                                ),
+                                "message": message,
                             },
                         },
                     )

@@ -217,6 +217,11 @@ class Session:
         #: table name → (version token, Relation): the SQL verb's
         #: snapshot mirror, re-materialized only when the snapshot moves.
         self._sql_mirror: dict[str, Any] = {}
+        #: Per-session resource-budget overrides, set by HELLO
+        #: (``max_rows_scanned``, ``max_result_rows``, ``deadline_ms``);
+        #: they beat the ``REPRO_*`` env defaults, and a per-frame
+        #: ``deadline_ms`` beats them in turn.
+        self.budgets: dict[str, float] = {}
         self.requests = 0
         self.closing = False
         #: Transport hook installed by the server: enqueue one push
@@ -289,15 +294,61 @@ class Session:
 
     def _verb_hello(self, request: dict[str, Any]) -> dict[str, Any]:
         """HELLO: the connection handshake — server name, library
-        version, session id, and the visible relation names."""
+        version, session id, and the visible relation names. An
+        optional ``budgets`` dict installs per-session resource-budget
+        overrides (``max_rows_scanned``, ``max_result_rows``,
+        ``deadline_ms``); re-sending HELLO replaces them, and an empty
+        dict clears them back to the environment defaults."""
         import repro
 
+        budgets = request.get("budgets")
+        if budgets is not None:
+            if not isinstance(budgets, dict):
+                raise ProtocolError("HELLO 'budgets' must be a dict")
+            parsed: dict[str, float] = {}
+            for field in ("max_rows_scanned", "max_result_rows",
+                          "deadline_ms"):
+                value = budgets.get(field)
+                if value is None:
+                    continue
+                if not isinstance(value, (int, float)) or value <= 0:
+                    raise ProtocolError(
+                        f"HELLO budget {field!r} must be a positive number"
+                    )
+                parsed[field] = value
+            self.budgets = parsed
         return {
             "server": self.db._name,
             "version": repro.__version__,
             "session": self.session_id,
             "relations": list(self.db.keys()),
+            "budgets": dict(self.budgets),
         }
+
+    def _metered(self, request: dict[str, Any], verb: str, query: Any = None):
+        """The resource-meter context for one read/write verb.
+
+        Budget precedence: the frame's ``deadline_ms``, then this
+        session's HELLO overrides, then the ``REPRO_*`` env vars. The
+        meter deregisters (and rolls up) in *every* exit path, so a
+        budget kill leaves the session and any open transaction intact
+        for the next request.
+        """
+        from repro.obs.resources import metered
+
+        deadline = request.get("deadline_ms")
+        if deadline is not None and (
+            not isinstance(deadline, (int, float)) or deadline <= 0
+        ):
+            raise ProtocolError("'deadline_ms' must be a positive number")
+        return metered(
+            self.db.engine,
+            session_id=self.session_id,
+            verb=verb,
+            query=query if isinstance(query, str) else None,
+            overrides=self.budgets,
+            deadline_ms=deadline,
+        )
 
     def _verb_ping(self, request: dict[str, Any]) -> dict[str, Any]:
         """PING: liveness probe; answers ``{"pong": true}``."""
@@ -341,8 +392,22 @@ class Session:
         if not isinstance(expr, str):
             raise ProtocolError("FQL verb requires an 'expr' string")
         self._read_barrier(request)
-        result = self._eval_fql(expr, request.get("params"))
-        return protocol.encode_value(result, request.get("max_rows"))
+        with self._metered(request, "fql", expr) as meter:
+            result = self._eval_fql(expr, request.get("params"))
+            payload = protocol.encode_value(result, request.get("max_rows"))
+            if (
+                meter is not None
+                and isinstance(payload, dict)
+                and payload.get("@") == "relation"
+            ):
+                # result rows are counted at the wire-encode boundary:
+                # the enumeration underneath attributed its scans to
+                # this meter already, and the encoded row list is the
+                # answer actually leaving the server
+                meter.result_rows += len(payload.get("rows") or ())
+                if meter._armed:
+                    meter.check()
+            return payload
 
     def _verb_explain(self, request: dict[str, Any]) -> dict[str, Any]:
         """EXPLAIN: render the physical plan of ``expr`` — or, with no
@@ -391,23 +456,31 @@ class Session:
                 "the SQL verb is read-only (SELECT / set operations); "
                 "route writes through the DML verb"
             )
-        mirror = SQLDatabase(f"{self.db._name}-mirror")
-        for table_name in self._statement_tables(statement):
-            if table_name in self.db._stored:
-                mirror.load(self._mirror_relation(table_name))
-        params = request.get("params") or []
-        if not isinstance(params, list):
-            raise ProtocolError("SQL params must be a positional list")
-        relation = mirror._executor.execute(statement, tuple(params))
-        from repro.relational.nulls import is_null
+        with self._metered(request, "sql", sql_text) as meter:
+            mirror = SQLDatabase(f"{self.db._name}-mirror")
+            for table_name in self._statement_tables(statement):
+                if table_name in self.db._stored:
+                    mirror.load(self._mirror_relation(table_name))
+            params = request.get("params") or []
+            if not isinstance(params, list):
+                raise ProtocolError("SQL params must be a positional list")
+            relation = mirror._executor.execute(statement, tuple(params))
+            from repro.relational.nulls import is_null
 
-        return {
-            "columns": list(relation.columns),
-            "rows": [
-                [None if is_null(v) else protocol.encode_value(v) for v in row]
-                for row in relation.rows
-            ],
-        }
+            if meter is not None:
+                meter.result_rows += len(relation.rows)
+                if meter._armed:
+                    meter.check()
+            return {
+                "columns": list(relation.columns),
+                "rows": [
+                    [
+                        None if is_null(v) else protocol.encode_value(v)
+                        for v in row
+                    ]
+                    for row in relation.rows
+                ],
+            }
 
     @staticmethod
     def _statement_tables(statement: Any) -> list[str]:
@@ -495,21 +568,28 @@ class Session:
             raise SchemaError(f"{table!r} is not a stored relation")
         key = protocol.decode_key(request.get("key"))
         row = protocol.decode_value(request.get("row"))
-        if op == "insert":
-            relation.insert(key, row)
-        elif op == "add":
-            key = relation.add(row)
-        elif op == "update":
-            relation[key] = row
-        elif op == "set":
-            attr = request.get("attr")
-            if not isinstance(attr, str):
-                raise ProtocolError("DML 'set' requires an 'attr' string")
-            relation(key)[attr] = protocol.decode_value(request.get("value"))
-        elif op == "delete":
-            del relation[key]
-        else:
-            raise ProtocolError(f"unknown DML op {op!r}")
+        with self._metered(request, "dml", f"{op} {table}"):
+            # the meter rides the statement: WAL bytes are attributed in
+            # WriteAheadLog.append, and an expired deadline aborts at
+            # the pre-apply gate in TransactionManager.commit — never
+            # mid-apply, so a kill is always transactionally clean
+            if op == "insert":
+                relation.insert(key, row)
+            elif op == "add":
+                key = relation.add(row)
+            elif op == "update":
+                relation[key] = row
+            elif op == "set":
+                attr = request.get("attr")
+                if not isinstance(attr, str):
+                    raise ProtocolError("DML 'set' requires an 'attr' string")
+                relation(key)[attr] = protocol.decode_value(
+                    request.get("value")
+                )
+            elif op == "delete":
+                del relation[key]
+            else:
+                raise ProtocolError(f"unknown DML op {op!r}")
         return {
             "op": op,
             "table": table,
@@ -627,6 +707,25 @@ class Session:
         if fingerprint is not None:
             response["diff"] = profile.plan_diff(str(fingerprint))
         return response
+
+    # -- TOP ---------------------------------------------------------------------
+
+    def _verb_top(self, request: dict[str, Any]) -> dict[str, Any]:
+        """TOP: the resource-accounting rollup — cumulative totals,
+        queries/killed counts, the meters of queries live right now
+        (inspectable mid-flight), and per-session / per-fingerprint
+        consumption rows. Fingerprints are the workload profiler's
+        tokens, so TOP joins against WORKLOAD's latency rows one to
+        one; ``tools/repro_top.py`` renders both."""
+        from repro.obs.resources import resources_for
+
+        accounting = resources_for(self.db.engine)
+        limit = request.get("limit")
+        snapshot = accounting.snapshot(
+            active_limit=int(limit) if isinstance(limit, (int, float)) else 32
+        )
+        snapshot["top_consumer"] = accounting.top_consumer()
+        return snapshot
 
     # -- SUBSCRIBE ---------------------------------------------------------------
 

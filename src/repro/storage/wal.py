@@ -20,6 +20,7 @@ from typing import Any, Iterator
 
 from repro._util import TOMBSTONE, decode_tuple_key, encode_tuple_key
 from repro.errors import WALError
+from repro.obs.resources import active_meter
 
 __all__ = ["WALRecord", "WriteAheadLog"]
 
@@ -120,10 +121,24 @@ class WriteAheadLog:
                 "database before committing"
             )
         self._records.append(record)
+        line: str | None = None
         if self._file is not None:
-            self._file.write(record.to_json() + "\n")
+            line = record.to_json() + "\n"
+            self._file.write(line)
             self._file.flush()
             os.fsync(self._file.fileno())
+        # meter the DML path's durability cost. Accounting only — this
+        # runs mid-commit, after the conflict checks, so it must never
+        # raise (budget enforcement happens *before* apply, in
+        # TransactionManager.commit).
+        meter = active_meter()
+        if meter is not None:
+            if line is None:
+                try:
+                    line = record.to_json() + "\n"
+                except Exception:
+                    line = ""
+            meter.wal_bytes += len(line)
 
     def records(self) -> Iterator[WALRecord]:
         """Every retained record in commit order (full replay)."""

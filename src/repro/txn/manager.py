@@ -221,6 +221,20 @@ class TransactionManager:
                         txn.txn_id, key=key, table=table_name
                     )
             if txn.writes:
+                # pre-apply budget checkpoint: a metered DML statement
+                # whose deadline expired aborts cleanly *here* — once
+                # apply_commit starts writing version chains the commit
+                # must run to completion, so this is the last safe gate
+                from repro.obs.resources import active_meter
+
+                meter = active_meter()
+                if meter is not None and meter._armed:
+                    reason = meter.exceeded()
+                    if reason is not None:
+                        self._finish(txn, ABORTED)
+                        self.aborts += 1
+                        meter.kill(reason)
+            if txn.writes:
                 # Apply at clock+1 and publish the new clock only after
                 # the version chains are fully written: concurrent
                 # autocommit readers sample `now()` without taking this

@@ -399,6 +399,7 @@ class TestStatsSchemas:
             "transactions",
             "versions",
             "replication",
+            "resources",
         }
         assert set(stats["plan_cache"]) == {
             "size",

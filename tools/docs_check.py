@@ -41,6 +41,7 @@ DOCSTRING_FILES = [
     "src/repro/obs/workload.py",
     "src/repro/obs/events.py",
     "src/repro/obs/health.py",
+    "src/repro/obs/resources.py",
     "src/repro/server/protocol.py",
     "src/repro/server/session.py",
     "src/repro/server/server.py",

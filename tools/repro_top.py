@@ -65,6 +65,14 @@ def poll_member(host: str, port: int, top: int) -> dict[str, Any]:
         row["workload"] = client.workload()
     except Exception as exc:
         row["error"] = f"{type(exc).__name__}: {exc}"
+    else:
+        # TOP is newer than HEALTH/WORKLOAD: a member that lacks the
+        # verb (older build) stays UP with an empty resources section
+        # instead of being marked DOWN.
+        try:
+            row["resources"] = client.top(limit=top)
+        except Exception:
+            row["resources"] = None
     finally:
         try:
             client.close()
@@ -136,6 +144,82 @@ def render_workload(rows: list[dict[str, Any]], top: int) -> list[str]:
     return lines
 
 
+#: Column keys accepted by ``--sort`` and their fingerprint-row fields.
+RESOURCE_SORT_KEYS = {
+    "rows": "rows_scanned",
+    "bytes": "bytes_scanned",
+    "result": "result_rows",
+    "wal": "wal_bytes",
+    "queries": "queries",
+    "killed": "killed",
+}
+
+
+def _fmt_count(n: float) -> str:
+    """Compact counts: 1234 → 1.2k, 5_600_000 → 5.6M."""
+    n = float(n)
+    for bound, suffix in ((1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if n >= bound:
+            return f"{n / bound:.1f}{suffix}"
+    return f"{int(n)}"
+
+
+def render_resources(
+    rows: list[dict[str, Any]], top: int, sort: str = "rows"
+) -> list[str]:
+    """Per-fingerprint resource consumption merged across members.
+
+    Sortable via ``--sort`` (rows scanned by default); live queries
+    are appended so a runaway shows up before it finishes.
+    """
+    field = RESOURCE_SORT_KEYS[sort]
+    merged: dict[str, dict[str, Any]] = {}
+    active: list[dict[str, Any]] = []
+    killed_total = 0
+    for row in rows:
+        snap = row.get("resources")
+        if not snap:
+            continue
+        killed_total += snap.get("killed", 0)
+        for fp, cls in (snap.get("fingerprints") or {}).items():
+            got = merged.get(fp)
+            if got is None or cls.get(field, 0) > got.get(field, 0):
+                merged[fp] = cls
+        for meter in snap.get("active") or []:
+            active.append((row["addr"], meter))
+    if not merged and not active:
+        return ["  (no metered queries yet — is REPRO_METER off?)"]
+    ranked = sorted(
+        merged.items(), key=lambda kv: kv[1].get(field, 0), reverse=True
+    )[:top]
+    lines = [
+        "  fingerprint   queries    rows   bytes  result     wal"
+        "  kern/py  killed"
+    ]
+    for fp, cls in ranked:
+        kern = f"{_fmt_count(cls['kernel_batches'])}/" \
+               f"{_fmt_count(cls['python_batches'])}"
+        lines.append(
+            f"  {fp}  {cls['queries']:>7}  {_fmt_count(cls['rows_scanned']):>6}"
+            f"  {_fmt_count(cls['bytes_scanned']):>6}"
+            f"  {_fmt_count(cls['result_rows']):>6}"
+            f"  {_fmt_count(cls['wal_bytes']):>6}"
+            f"  {kern:>7}  {cls['killed']:>6}"
+        )
+    for addr, meter in active[:top]:
+        fp = meter.get("fingerprint") or "(in flight)"
+        lines.append(
+            f"  {fp:<12}  LIVE     {_fmt_count(meter['rows_scanned']):>6}"
+            f"  {_fmt_count(meter['bytes_scanned']):>6}"
+            f"  {_fmt_count(meter['result_rows']):>6}"
+            f"  {_fmt_count(meter['wal_bytes']):>6}"
+            f"  {meter.get('elapsed_ms', 0):.0f}ms on {addr}"
+        )
+    if killed_total:
+        lines.append(f"  ({killed_total} query(ies) killed over budget)")
+    return lines
+
+
 def render_events(rows: list[dict[str, Any]], limit: int = 8) -> list[str]:
     """The newest lifecycle events across every member, newest last."""
     events: list[tuple[float, str, dict[str, Any]]] = []
@@ -161,7 +245,9 @@ def render_events(rows: list[dict[str, Any]], limit: int = 8) -> list[str]:
     return lines
 
 
-def render_frame(rows: list[dict[str, Any]], top: int) -> str:
+def render_frame(
+    rows: list[dict[str, Any]], top: int, sort: str = "rows"
+) -> str:
     """One full dashboard frame as a string."""
     lines = [
         f"repro_top — {time.strftime('%H:%M:%S')} — "
@@ -174,6 +260,9 @@ def render_frame(rows: list[dict[str, Any]], top: int) -> str:
     lines.append("")
     lines.append("WORKLOAD (by total latency)")
     lines.extend(render_workload(rows, top))
+    lines.append("")
+    lines.append(f"RESOURCES (by {sort})")
+    lines.extend(render_resources(rows, top, sort))
     lines.append("")
     lines.append("EVENTS")
     lines.extend(render_events(rows))
@@ -202,6 +291,10 @@ def main(argv: list[str] | None = None) -> int:
         help="query classes to show (default 10)",
     )
     parser.add_argument(
+        "--sort", choices=sorted(RESOURCE_SORT_KEYS), default="rows",
+        help="resources column to rank fingerprints by (default rows)",
+    )
+    parser.add_argument(
         "--once", action="store_true",
         help="render one frame and exit (no screen clearing)",
     )
@@ -212,7 +305,7 @@ def main(argv: list[str] | None = None) -> int:
 
     while True:
         rows = [poll_member(host, port, args.top) for host, port in members]
-        frame = render_frame(rows, args.top)
+        frame = render_frame(rows, args.top, args.sort)
         if args.once:
             print(frame)
             return 0
