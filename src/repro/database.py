@@ -444,6 +444,7 @@ class FunctionalDatabase(DatabaseFunction):
         everything a dashboard (or the server's STATS verb) needs
         without reaching into subsystem internals.
         """
+        from repro.compile import offload_stats
         from repro.exec.batch import batch_mode, counters_for
         from repro.exec.kernels import kernel_backend
         from repro.obs.resources import resources_for
@@ -477,6 +478,9 @@ class FunctionalDatabase(DatabaseFunction):
             # of queries running right now, and per-session /
             # per-fingerprint rollups (docs/observability.md)
             "resources": resources_for(engine).snapshot(),
+            # SQL-offload backend: queries offloaded, mirror syncs,
+            # rows mirrored, and fallbacks by reason (DESIGN.md §14)
+            "offload": offload_stats(engine),
             "views": views,
             "tables": {
                 table_name: self.partition_layout(table_name)

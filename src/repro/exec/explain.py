@@ -65,9 +65,29 @@ def explain(fn: FDMFunction, estimates: bool = True) -> str:
         lines.append(pipeline.explain())
 
     lines.append("")
+    lines.append("== offload ==")
+    lines.extend(_offload_summary(fn, optimized))
+
+    lines.append("")
     lines.append("== batching ==")
     lines.extend(_batching_summary(pipeline))
     return "\n".join(lines)
+
+
+def _offload_summary(fn: FDMFunction, optimized: Any) -> list[str]:
+    """The SQL-offload verdict (and compiled SQL) for this query.
+
+    Delegates to :func:`repro.compile.offload.explain_offload`, which
+    walks the same gates the router does without touching the fallback
+    counters; any surprise degrades to a one-line note rather than
+    breaking ``explain()``.
+    """
+    try:
+        from repro.compile.offload import explain_offload
+
+        return explain_offload(fn, optimized)
+    except Exception as exc:  # explain must never fail
+        return [f"  (offload explain unavailable: {exc})"]
 
 
 def _batching_summary(pipeline: Any) -> list[str]:

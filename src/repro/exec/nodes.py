@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from repro._util import MISSING
-from repro.errors import MergeConflictError, UndefinedInputError
+from repro.errors import UndefinedInputError
 from repro.exec.batch import (
     COLUMNAR_BATCH_SIZE,
     ColumnBatch,
@@ -27,7 +27,7 @@ from repro.exec.batch import (
     counters,
     counters_for,
 )
-from repro.fdm.functions import FDMFunction, values_equal
+from repro.fdm.functions import FDMFunction
 from repro.obs.resources import active_meter
 
 __all__ = [
@@ -653,59 +653,60 @@ class HashJoinNode(PhysicalNode):
 
 
 class _SetOpNode(PhysicalNode):
-    """Shared plumbing: stream left, prefetch right into a lookup map."""
+    """Shared plumbing: stream the left side, probe the right lazily.
+
+    The naive set operations are *point-wise* about the right operand:
+    membership is a ``defined_at`` probe at each left key, and right
+    values are only ever computed for keys where both sides collide.
+    Prefetching right entries (or even right keys, for intersect and
+    minus) would evaluate values the naive path never touches — and a
+    value whose computation raises (say, a Sum fold over an unaddable
+    column) must raise exactly when the naive interpretation would,
+    never earlier. Collision keys therefore delegate wholesale to the
+    logical function's ``_apply``, which also preserves its object-
+    identity semantics (``values_equal`` short-circuits on ``f is g``,
+    so ``t ∖ t`` is empty even when ``t`` holds NaN values that compare
+    unequal to themselves elementwise).
+    """
 
     def __init__(self, left: PhysicalNode, right: PhysicalNode, fn: Any):
         self.children = (left, right)
         self.fn = fn
 
-    def _right_pairs(self) -> list:
-        return list(self.children[1].entries())
+    def _right_key_order(self) -> list:
+        out: list = []
+        for batch in self.children[1].key_batches():
+            out.extend(batch)
+        return out
 
 
 class UnionNode(_SetOpNode):
     op = "union"
 
     def batches(self) -> Iterator[list]:
-        from repro.fql.setops import UnionFunction, _both_recursable
-
-        policy = self.fn._on_conflict
-        right_pairs = self._right_pairs()
-        right_map = dict(right_pairs)
+        # union is the one set op that enumerates the right side in
+        # full (its keys appear in the output), matching naive keys()
+        right_order = self._right_key_order()
+        right_keys = set(right_order)
         seen = set()
         for batch in self.children[0].batches():
             out = []
             for key, left_value in batch:
                 seen.add(key)
-                if key not in right_map:
+                if key not in right_keys:
                     out.append((key, left_value))
-                    continue
-                right_value = right_map[key]
-                if values_equal(left_value, right_value):
-                    out.append((key, left_value))
-                elif _both_recursable(left_value, right_value):
-                    out.append(
-                        (
-                            key,
-                            UnionFunction(
-                                left_value, right_value, on_conflict=policy
-                            ),
-                        )
-                    )
-                elif policy == "left":
-                    out.append((key, left_value))
-                elif policy == "right":
-                    out.append((key, right_value))
                 else:
-                    raise MergeConflictError(
-                        f"union conflict at key {key!r}: {left_value!r} vs "
-                        f"{right_value!r} (pass on_conflict='left'/'right' "
-                        "to pick a side)"
-                    )
+                    # collision: merge policy, recursion, and conflict
+                    # errors all live in the logical operator
+                    out.append((key, self.fn._apply(key)))
             if out:
                 yield out
-        tail = [(k, v) for k, v in right_pairs if k not in seen]
-        yield from rebatch(iter(tail))
+        tail = (
+            (key, self.fn._apply(key))
+            for key in right_order
+            if key not in seen
+        )
+        yield from rebatch(tail)
 
     def key_batches(self) -> Iterator[list]:
         # naive union keys() never compares values (and so never hits a
@@ -727,22 +728,16 @@ class IntersectNode(_SetOpNode):
     op = "intersect"
 
     def batches(self) -> Iterator[list]:
-        from repro.fql.setops import IntersectFunction, _both_recursable
-
-        right_map = dict(self._right_pairs())
-        for batch in self.children[0].batches():
+        fn = self.fn
+        for batch in self.children[0].key_batches():
             out = []
-            for key, left_value in batch:
-                if key not in right_map:
+            for key in batch:
+                if not fn.right.defined_at(key):
                     continue
-                right_value = right_map[key]
-                if values_equal(left_value, right_value):
-                    out.append((key, left_value))
+                try:
+                    out.append((key, fn._apply(key)))
+                except UndefinedInputError:
                     continue
-                if _both_recursable(left_value, right_value):
-                    nested = IntersectFunction(left_value, right_value)
-                    if len(nested):
-                        out.append((key, nested))
             if out:
                 yield out
 
@@ -754,24 +749,17 @@ class MinusNode(_SetOpNode):
     op = "minus"
 
     def batches(self) -> Iterator[list]:
-        from repro.fql.setops import MinusFunction, _both_recursable
-
-        right_map = dict(self._right_pairs())
+        fn = self.fn
         for batch in self.children[0].batches():
             out = []
             for key, left_value in batch:
-                if key not in right_map:
+                if not fn.right.defined_at(key):
                     out.append((key, left_value))
                     continue
-                right_value = right_map[key]
-                if values_equal(left_value, right_value):
+                try:
+                    out.append((key, fn._apply(key)))
+                except UndefinedInputError:
                     continue
-                if _both_recursable(left_value, right_value):
-                    nested = MinusFunction(left_value, right_value)
-                    if len(nested):
-                        out.append((key, nested))
-                    continue
-                out.append((key, left_value))
             if out:
                 yield out
 

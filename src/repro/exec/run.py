@@ -121,7 +121,12 @@ def pipeline_for(fn: FDMFunction) -> PhysicalPipeline | None:
         # and columnar filter kernels that the rows mode must not see.
         # (The kernel backend is NOT part of the key — numpy vs python
         # dispatch happens per batch at run time.)
-        key = (fingerprint(fn), parallel_mode(), batch_mode())
+        # Offload mode is part of the key too: a compiled-to-SQL plan
+        # cached under REPRO_OFFLOAD=force must not serve the off mode.
+        from repro.compile import offload_mode
+
+        key = (fingerprint(fn), parallel_mode(), batch_mode(),
+               offload_mode())
     except Exception:
         return None
     if key in _planning.inflight:
@@ -139,7 +144,14 @@ def pipeline_for(fn: FDMFunction) -> PhysicalPipeline | None:
 
             trace: list[str] = []
             optimized = optimize(fn, rules=pipeline_rules(), trace=trace)
-            pipeline = lower(optimized, logical=fn, fired_rules=trace)
+            # third physical mode: compile to SQL on the offload backend
+            # when the shape is expressible and the cost model agrees;
+            # try_offload returning None means "lower as usual"
+            from repro.compile import try_offload
+
+            pipeline = try_offload(fn, optimized, trace)
+            if pipeline is None:
+                pipeline = lower(optimized, logical=fn, fired_rules=trace)
         except Exception:
             # a planning failure must never break a query: fall back to
             # the per-key interpretation, and remember the verdict

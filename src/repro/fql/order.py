@@ -9,6 +9,7 @@ them required no model change at all.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Iterator
 
 from repro.errors import OperatorError, UndefinedInputError
@@ -19,9 +20,46 @@ from repro.fdm.relations import RelationFunction
 __all__ = ["order_by", "limit", "top", "OrderedFunction", "LimitedFunction"]
 
 
+def _is_nan(value: Any) -> bool:
+    return isinstance(value, float) and math.isnan(value)
+
+
+def _value_lt(a: Any, b: Any) -> bool:
+    """A *consistent total order* over arbitrary sort-key values.
+
+    The optimizer reorders filters around sorts, which preserves the
+    observable order only if sorting any subset agrees with sorting the
+    whole set — i.e. only if the comparison is a genuine total order.
+    Python's ``<`` is not one over hostile values: ``NaN < x`` and
+    ``x < NaN`` are both False (non-transitive ties that let timsort
+    emit an arbitrary arrangement), and mixed-type tuples raise. So:
+    NaN sorts after every other number, tuples compare elementwise
+    under this same order, and cross-type comparisons that raise fall
+    back to ordering by type name.
+    """
+    if isinstance(a, tuple) and isinstance(b, tuple):
+        for x, y in zip(a, b):
+            if _value_lt(x, y):
+                return True
+            if _value_lt(y, x):
+                return False
+        return len(a) < len(b)
+    if (
+        isinstance(a, (int, float))
+        and isinstance(b, (int, float))
+        and (_is_nan(a) or _is_nan(b))
+    ):
+        return _is_nan(b) and not _is_nan(a)
+    try:
+        return bool(a < b)
+    except TypeError:
+        return str(type(a)) < str(type(b))
+
+
 class _SortKey:
-    """Totally-ordered wrapper: undefined sort keys go last, mixed types
-    compare by type name first (no TypeError mid-sort)."""
+    """Totally-ordered wrapper: undefined sort keys go last, the rest
+    compare via :func:`_value_lt` (no TypeError mid-sort, no NaN
+    inconsistency)."""
 
     __slots__ = ("rank", "value")
 
@@ -32,10 +70,7 @@ class _SortKey:
     def __lt__(self, other: "_SortKey") -> bool:
         if self.rank != other.rank:
             return self.rank < other.rank
-        try:
-            return bool(self.value < other.value)
-        except TypeError:
-            return str(type(self.value)) < str(type(other.value))
+        return _value_lt(self.value, other.value)
 
 
 class OrderedFunction(DerivedFunction):

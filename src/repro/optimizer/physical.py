@@ -36,6 +36,7 @@ __all__ = [
     "IndexLookupFunction",
     "KeyLookupFunction",
     "FusedGroupAggregateFunction",
+    "offload_worthwhile",
 ]
 
 
@@ -327,3 +328,34 @@ class FusedGroupAggregateFunction(DerivedFunction):
     count = RelationFunction.count
     attributes = RelationFunction.attributes
     to_rows = RelationFunction.to_rows
+
+
+def offload_worthwhile(relation: Any) -> tuple[bool, str]:
+    """The cost model's auto-mode verdict for one SQL-offloadable scan.
+
+    Offload wins when per-row interpretation overhead dominates — wide
+    analytic scans over enough rows; it loses on tiny tables, where the
+    mirror sync and SQL round trip cost more than the Python fold saves
+    (point lookups never reach this check: their ``key_lookup`` /
+    ``index_lookup`` cores decline structurally in the compiler).
+
+    The default crossover is deliberately conservative: offloaded
+    queries run inside the SQL engine, outside the batched executor's
+    row-level instrumentation (executor counters, zone-map telemetry,
+    per-row budget checks), so auto mode only claims scans big enough
+    that the trade is clearly worth it. ``REPRO_OFFLOAD_MIN_ROWS``
+    tunes the crossover (default 100000 rows); ``REPRO_OFFLOAD=force``
+    bypasses the verdict entirely.
+    """
+    import os
+
+    try:
+        threshold = int(
+            os.environ.get("REPRO_OFFLOAD_MIN_ROWS", "100000")
+        )
+    except ValueError:
+        threshold = 100000
+    rows = getattr(relation.statistics(), "row_count", 0)
+    if rows < threshold:
+        return False, "small_table"
+    return True, "ok"

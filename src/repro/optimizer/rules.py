@@ -245,6 +245,20 @@ class PushFilterBelowOrder(Rule):
 
 
 class PushFilterBelowSetOps(Rule):
+    """Push a *key-only* filter below a set operation.
+
+    Only predicates that reference the key alone are sound to push: a
+    set operation's value at a colliding key is not necessarily either
+    operand's value — union merges unequal nested values, intersect
+    and minus recurse into a nested result holding a *subset* of the
+    row's attributes (``t ∖ t`` over a NaN-bearing row yields a nested
+    diff with just the NaN attributes, which an attribute predicate
+    above sees as undefined). Pushing an attribute predicate would
+    evaluate it against the operand rows instead of those result
+    values and change the answer. Key predicates commute: filtering
+    keys first never alters any collision's value.
+    """
+
     name = "push_filter_below_setops"
 
     def apply(self, node: FDMFunction) -> FDMFunction | None:
@@ -252,6 +266,8 @@ class PushFilterBelowSetOps(Rule):
             return None
         inner = node.source
         pred = node.predicate
+        if not pred.is_transparent or pred.attrs():
+            return None
         if isinstance(inner, UnionFunction):
             return inner.rebuild(
                 (

@@ -57,6 +57,19 @@ class StorageEngine:
         #: :func:`repro.replication.hub_for` on the first REPLICA_HELLO
         #: so unreplicated databases pay nothing on the commit path.
         self.replication_hub = None
+        #: Per-table staleness tokens for the SQL offload mirror
+        #: (DESIGN.md §14). Every write application, re-shard, and
+        #: rollback bumps the touched tables' epochs; the mirror
+        #: compares its synced epoch before serving any offloaded
+        #: query, so a stale snapshot is never read.
+        self.mirror_epochs: dict[str, int] = {}
+        #: The lazily-attached :class:`repro.compile.mirror.EngineMirror`
+        #: (``None`` until the first offloaded query plans).
+        self.offload_mirror = None
+
+    def bump_mirror_epoch(self, name: str) -> None:
+        """Invalidate the offload mirror's snapshot of table *name*."""
+        self.mirror_epochs[name] = self.mirror_epochs.get(name, 0) + 1
 
     def ensure_changelog(self) -> ChangeLog:
         """Start change capture (idempotent). The floor sits at the
@@ -124,6 +137,9 @@ class StorageEngine:
         # Zones rebuild from ALL versions (not just latest) so readers at
         # old snapshots stay covered by the new segment layout.
         self.zones[name] = rebuild_zone_maps(table)
+        # re-sharding changes the table's enumeration order (segment by
+        # segment), which the offload mirror bakes into its row order
+        self.bump_mirror_epoch(name)
         self._invalidate_partition_consumers(name)
         return table
 
@@ -156,6 +172,7 @@ class StorageEngine:
         del self.indexes[name]
         del self.stats[name]
         self.zones.pop(name, None)
+        self.bump_mirror_epoch(name)
 
     def has_table(self, name: str) -> bool:
         return name in self.tables
@@ -208,6 +225,10 @@ class StorageEngine:
         """
         changelog = self.changelog
         deltas: dict[str, Delta] = {}
+        for table_name in {t for t, _k, _d in writes}:
+            # one funnel for commits, recovery replay, and replica
+            # apply: any of them staling the offload mirror bumps here
+            self.bump_mirror_epoch(table_name)
         for table_name, key, data in writes:
             table = self.table(table_name)
             old = table.read(key, _LATEST)
@@ -253,6 +274,8 @@ class StorageEngine:
         self.wal.close()
         if self.plan_cache is not None:
             self.plan_cache.clear()
+        if self.offload_mirror is not None:
+            self.offload_mirror.close()
 
     # -- maintenance ------------------------------------------------------------------
 

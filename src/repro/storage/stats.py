@@ -259,6 +259,27 @@ def _zone_compare(az: AttrZone, op: str, const: Any) -> bool:
         return True
     if isinstance(const, bool):
         const = int(const)  # True == 1 in Python: test numeric bounds
+    if op == "!=":
+        # every value of a *different* family satisfies != trivially
+        # ('TX' != 86.0 is simply True), so absent bounds for the
+        # constant's family prove nothing; the segment can be skipped
+        # only when every observed value is the constant itself — a
+        # single-family zone pinned to min == max == const
+        if _is_numeric(const) and const == const:
+            return not (
+                az.str_min is None
+                and az.num_min is not None
+                and az.num_min == az.num_max == const
+            )
+        if isinstance(const, str):
+            return not (
+                az.num_min is None
+                and az.str_min is not None
+                and az.str_min == az.str_max == const
+            )
+        # None/NaN/containers: no zone-tracked value equals these
+        # (None and containers land in ``other``, NaN != everything)
+        return True
     if _is_numeric(const) and const == const:
         lo, hi = az.num_min, az.num_max
     elif isinstance(const, str):
@@ -280,7 +301,7 @@ def _zone_compare(az: AttrZone, op: str, const: Any) -> bool:
         return hi > const
     if op == ">=":
         return hi >= const
-    return True  # "!=" and anything unexpected: inconclusive
+    return True  # anything unexpected: inconclusive
 
 
 def zone_may_match(zone: "ZoneMap | None", pred: Any) -> bool:

@@ -11,9 +11,10 @@ NaN, booleans (``True == 1``), mixed numeric/string columns, and
 integers beyond the float64-exact range.
 """
 
-import math
-
 import pytest
+
+from zoo import ZOO, hostile_rows
+from zoo import ordered as _ordered
 
 import repro as fql
 from repro.exec import (
@@ -27,40 +28,10 @@ from repro.exec import (
 from repro.exec.kernels import HAVE_NUMPY
 from repro.partition import hash_partition, using_parallel_mode
 
-BIG = 2**60  # beyond float64-exact: must force the python value path
-
-
-def _rows():
-    states = ["NY", "CA", "TX", "WA"]
-    rows = {}
-    for i in range(1, 97):
-        row = {
-            "name": f"c{i}",
-            "age": 18 + (i * 17) % 70,
-            "state": states[i % 4],
-        }
-        if i % 7 == 0:
-            row["bonus"] = None  # defined-but-None
-        if i % 11 == 0:
-            row["score"] = float("nan")
-        elif i % 5 == 0:
-            row["score"] = float(i)
-        if i % 13 == 0:
-            row["flag"] = i % 2 == 0  # booleans compare numerically
-        if i % 17 == 0:
-            row["serial"] = BIG + i  # not exactly representable
-        if i % 19 == 0:
-            row["mixed"] = "txt"  # string in an otherwise-numeric slot
-        elif i % 3 == 0:
-            row["mixed"] = i
-        rows[i] = row
-    return rows
-
-
 @pytest.fixture(scope="module")
 def flat_db():
     db = fql.connect("columnar-flat", default=False)
-    db["customers"] = _rows()
+    db["customers"] = hostile_rows()
     yield db
     db.close()
 
@@ -69,74 +40,10 @@ def flat_db():
 def part_db():
     db = fql.connect("columnar-part", default=False)
     db.create_table(
-        "customers", rows=_rows(), partition_by=hash_partition("state", 4)
+        "customers", rows=hostile_rows(), partition_by=hash_partition("state", 4)
     )
     yield db
     db.close()
-
-
-ZOO = {
-    "filter_eq": lambda db: fql.filter(db.customers, state="NY"),
-    "filter_ne": lambda db: fql.filter(db.customers, "state != 'CA'"),
-    "filter_lt": lambda db: fql.filter(db.customers, "age < 40"),
-    "filter_range": lambda db: fql.filter(db.customers, "age between 30 and 55"),
-    "filter_in": lambda db: fql.filter(db.customers, "state in ['TX', 'WA']"),
-    "filter_conj": lambda db: fql.filter(
-        db.customers, "age > 25 and state == 'NY'"
-    ),
-    "filter_disj": lambda db: fql.filter(
-        db.customers, "age > 80 or state == 'CA'"
-    ),
-    "filter_not": lambda db: fql.filter(db.customers, "not (age > 40)"),
-    "filter_none_attr": lambda db: fql.filter(db.customers, "bonus == None"),
-    "filter_nan": lambda db: fql.filter(db.customers, "score > 10"),
-    "filter_bool": lambda db: fql.filter(db.customers, "flag == True"),
-    "filter_bigint": lambda db: fql.filter(db.customers, f"serial > {BIG}"),
-    "filter_mixed": lambda db: fql.filter(db.customers, "mixed > 10"),
-    "filter_opaque": lambda db: fql.filter(
-        lambda c: c.age % 3 == 0, db.customers
-    ),
-    "project": lambda db: fql.project(db.customers, ["name", "state"]),
-    "project_over_filter": lambda db: fql.project(
-        fql.filter(db.customers, "age >= 40"), ["name", "age"]
-    ),
-    "order_limit": lambda db: fql.limit(
-        fql.order_by(db.customers, "age"), 10
-    ),
-    "group": lambda db: fql.group(by=["state"], input=db.customers),
-    "agg": lambda db: fql.group_and_aggregate(
-        by=["state"],
-        n=fql.Count(),
-        total=fql.Sum("age"),
-        avg=fql.Avg("age"),
-        lo=fql.Min("age"),
-        hi=fql.Max("age"),
-        first=fql.First("name"),
-        names=fql.Collect("name"),
-        input=db.customers,
-    ),
-    "agg_sparse": lambda db: fql.group_and_aggregate(
-        by=["state"],
-        n_scores=fql.Count("score"),
-        hi=fql.Max("score"),
-        input=db.customers,
-    ),
-    "agg_bool_key": lambda db: fql.group_and_aggregate(
-        by=["flag"], n=fql.Count(), input=db.customers
-    ),
-}
-
-
-def _canon_value(value):
-    if isinstance(value, fql.fdm.FDMFunction) and value.is_enumerable:
-        return {k: _canon_value(v) for k, v in value.items()}
-    if isinstance(value, float) and math.isnan(value):
-        return "NaN"
-    return value
-
-
-def _ordered(fn):
-    return [(key, _canon_value(value)) for key, value in fn.items()]
 
 
 def _baseline(build, db):
@@ -232,7 +139,7 @@ def test_kernel_flip_without_replanning(flat_db):
 def test_columnar_after_dml(flat_db):
     """Inserts/updates/deletes are visible to columnar scans at once."""
     db = fql.connect("columnar-dml", default=False)
-    db["customers"] = _rows()
+    db["customers"] = hostile_rows()
     expr = fql.filter(db.customers, "age > 30")
     with using_batch_mode("columnar"):
         before = dict(_ordered(expr))

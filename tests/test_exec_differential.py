@@ -583,3 +583,39 @@ def test_dynamic_view_sees_dml(customers):
         assert expr.count() == 4
         del customers[7]
         assert expr.count() == 3
+
+
+# -- the shared operator zoo (tests/zoo.py) -----------------------------------
+#
+# The corpus every physical-mode differential in this repo pins. Here it
+# runs over hostile stored data under batch vs naive; the columnar,
+# partition, and offload suites run the same builders under their own
+# mode matrices.
+
+
+@pytest.fixture(scope="module")
+def zoo_db():
+    import zoo
+
+    db = connect("exec-zoo", default=False)
+    db["customers"] = zoo.hostile_rows()
+    yield db
+    db.close()
+
+
+def _zoo_names():
+    import zoo
+
+    return sorted(zoo.ZOO)
+
+
+@pytest.mark.parametrize("name", _zoo_names())
+def test_shared_zoo_batch_matches_naive(name, zoo_db):
+    import zoo
+
+    build = zoo.ZOO[name]
+    with using_exec_mode("naive"):
+        expected = zoo.ordered(build(zoo_db))
+    with using_exec_mode("batch"):
+        got = zoo.ordered(build(zoo_db))
+    assert got == expected, f"{name}: batch diverged from naive"

@@ -400,6 +400,7 @@ class TestStatsSchemas:
             "versions",
             "replication",
             "resources",
+            "offload",
         }
         assert set(stats["plan_cache"]) == {
             "size",

@@ -1,0 +1,188 @@
+"""Mirror staleness: a stale offload snapshot is never read.
+
+The offload mirror records the engine's ``mirror_epochs`` token at
+sync time, and every write funnel bumps that token — DML commits (and
+with them WAL replay and replica apply, which share the same
+``apply_commit`` path), transaction rollback (which bumps *without*
+moving the commit clock), and in-place re-partitioning (which changes
+enumeration order, baked into the mirror's ``ord`` column). These
+tests pin each funnel: the epoch moves, ``is_fresh`` drops, and the
+next offloaded query rebuilds the snapshot (``mirror_syncs``
+increments) and returns exactly the naive answer.
+
+Two gates are pinned alongside: a query inside an open transaction
+must take the batched path (its buffered writes are invisible to the
+mirror), and a budget-armed query must take the batched path (the SQL
+engine cannot run the per-batch meter checks that keep queries
+killable).
+"""
+
+import pytest
+
+import repro as fql
+from repro.compile import offload_stats, set_offload_mode, using_offload_mode
+from repro.compile.mirror import mirror_for
+from repro.exec import set_exec_mode, using_exec_mode
+from repro.partition import hash_partition
+
+
+@pytest.fixture(autouse=True)
+def _reset_modes():
+    set_exec_mode(None)
+    set_offload_mode(None)
+    yield
+    set_exec_mode(None)
+    set_offload_mode(None)
+
+
+@pytest.fixture
+def db():
+    handle = fql.connect("offload-mirror", default=False)
+    handle["t"] = {
+        i: {
+            "name": f"c{i}",
+            "age": 20 + i,
+            "state": "NY" if i % 2 else "CA",
+        }
+        for i in range(1, 21)
+    }
+    yield handle
+    handle.close()
+
+
+def _offloaded_keys(db, predicate="age >= 30"):
+    with using_exec_mode("batch"), using_offload_mode("force"):
+        return [k for k, _ in fql.filter(db.t, predicate).items()]
+
+
+def _naive_entries(db, predicate="age >= 30"):
+    with using_exec_mode("naive"):
+        return [
+            (k, dict(v.items()))
+            for k, v in fql.filter(db.t, predicate).items()
+        ]
+
+
+def _offloaded_entries(db, predicate="age >= 30"):
+    with using_exec_mode("batch"), using_offload_mode("force"):
+        return [
+            (k, dict(v.items()))
+            for k, v in fql.filter(db.t, predicate).items()
+        ]
+
+
+class TestMirrorLifecycle:
+    def test_sync_is_lazy_and_reused(self, db):
+        before = offload_stats(db._engine)
+        _offloaded_keys(db)
+        mid = offload_stats(db._engine)
+        assert mid["mirror_syncs"] == before["mirror_syncs"] + 1
+        assert mid["queries_offloaded"] == before["queries_offloaded"] + 1
+        # a second query over the unchanged table reuses the snapshot
+        _offloaded_keys(db, "age < 25")
+        after = offload_stats(db._engine)
+        assert after["mirror_syncs"] == mid["mirror_syncs"]
+        assert after["queries_offloaded"] == mid["queries_offloaded"] + 1
+
+    def test_fresh_after_query_stale_after_write(self, db):
+        _offloaded_keys(db)
+        mirror = mirror_for(db._engine)
+        assert mirror.is_fresh("t")
+        db.t[99] = {"name": "new", "age": 80, "state": "NY"}
+        assert not mirror.is_fresh("t")
+
+
+class TestWriteFunnels:
+    def test_insert_bumps_epoch_and_resyncs(self, db):
+        _offloaded_keys(db)
+        engine = db._engine
+        epoch = engine.mirror_epochs["t"]
+        syncs = offload_stats(engine)["mirror_syncs"]
+        db.t[99] = {"name": "new", "age": 80, "state": "NY"}
+        assert engine.mirror_epochs["t"] == epoch + 1
+        assert 99 in _offloaded_keys(db)
+        assert offload_stats(engine)["mirror_syncs"] == syncs + 1
+
+    def test_update_and_delete_resync(self, db):
+        assert 1 not in _offloaded_keys(db)  # age 21
+        db.t[1]["age"] = 95
+        assert 1 in _offloaded_keys(db)
+        del db.t[1]
+        assert 1 not in _offloaded_keys(db)
+        # every refresh decoded the post-write rows, never the snapshot
+        assert _offloaded_entries(db) == _naive_entries(db)
+
+    def test_rollback_bumps_without_moving_clock(self, db):
+        _offloaded_keys(db)
+        engine = db._engine
+        epoch = engine.mirror_epochs["t"]
+        clock = db._manager.now()
+        db.begin()
+        db.t[50] = {"name": "ghost", "age": 99, "state": "NY"}
+        db.rollback()
+        # the clock did not move — fingerprints alone would still
+        # consider a cached offload plan fresh — but the epoch did
+        assert db._manager.now() == clock
+        assert engine.mirror_epochs["t"] == epoch + 1
+        assert not mirror_for(engine).is_fresh("t")
+        keys = _offloaded_keys(db)
+        assert 50 not in keys
+        assert keys == [k for k, _ in _naive_entries(db)]
+
+    def test_partition_table_bumps_epoch(self, db):
+        _offloaded_keys(db)
+        engine = db._engine
+        epoch = engine.mirror_epochs["t"]
+        db.partition_table("t", hash_partition("state", 3))
+        assert engine.mirror_epochs["t"] == epoch + 1
+        # the re-sharded table enumerates segment by segment; the
+        # rebuilt mirror must bake in the *new* order
+        assert _offloaded_entries(db) == _naive_entries(db)
+
+    def test_replica_apply_funnel_bumps_epoch(self, db):
+        """Replica apply replays through ``engine.apply_commit`` (the
+        recovery path); the same funnel must stale the mirror."""
+        _offloaded_keys(db)
+        engine = db._engine
+        epoch = engine.mirror_epochs["t"]
+        ts = db._manager.now() + 1
+        engine.apply_commit(
+            ts, [("t", 123, {"name": "repl", "age": 90, "state": "NY"})]
+        )
+        with db._manager._lock:
+            db._manager._clock = ts
+        assert engine.mirror_epochs["t"] == epoch + 1
+        assert 123 in _offloaded_keys(db)
+
+
+class TestExecutionGates:
+    def test_open_transaction_falls_back(self, db):
+        before = offload_stats(db._engine)
+        with db.transaction():
+            db.t[77] = {"name": "buffered", "age": 99, "state": "NY"}
+            keys = _offloaded_keys(db)
+        after = offload_stats(db._engine)
+        # the buffered write was visible (snapshot-isolated batched
+        # read), which no mirror snapshot could have served
+        assert 77 in keys
+        assert after["queries_offloaded"] == before["queries_offloaded"]
+        assert after["fallback_reasons"].get("txn", 0) > before[
+            "fallback_reasons"
+        ].get("txn", 0)
+
+    def test_budget_armed_query_falls_back(self, db):
+        from repro.obs.resources import ResourceMeter, set_active_meter
+
+        before = offload_stats(db._engine)
+        meter = ResourceMeter(db._engine, max_rows_scanned=10**9)
+        previous = set_active_meter(meter)
+        try:
+            keys = _offloaded_keys(db)
+        finally:
+            set_active_meter(previous)
+        after = offload_stats(db._engine)
+        assert keys == [k for k, _ in _naive_entries(db)]
+        assert after["queries_offloaded"] == before["queries_offloaded"]
+        assert after["fallback_reasons"].get("metered", 0) > before[
+            "fallback_reasons"
+        ].get("metered", 0)

@@ -49,6 +49,10 @@ DOCSTRING_FILES = [
     "src/repro/replication/hub.py",
     "src/repro/replication/replica.py",
     "src/repro/replication/wire.py",
+    "src/repro/compile/__init__.py",
+    "src/repro/compile/mirror.py",
+    "src/repro/compile/sqlgen.py",
+    "src/repro/compile/offload.py",
 ]
 
 #: Markdown files whose links are checked (docs/*.md added below).
