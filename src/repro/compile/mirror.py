@@ -342,11 +342,13 @@ class EngineMirror:
         """
         epoch = self.current_epoch(table_name)
         mirror = self._tables.get(table_name)
-        if (
-            mirror is not None
-            and mirror.synced_epoch == epoch
-            and mirror.synced_ts == ts
-        ):
+        if mirror is not None and mirror.synced_epoch == epoch:
+            # the epoch is the per-table staleness token: every write
+            # funnel that touches this table bumps it, so an unchanged
+            # epoch means ``scan_at(ts)`` equals the synced snapshot
+            # even when the global commit clock moved (a commit to some
+            # *other* table) — adopt the newer stamp, don't rebuild
+            mirror.synced_ts = ts
             return mirror
         if mirror is None:
             mirror = TableMirror(sql_name=f"m{len(self._tables)}")
@@ -374,14 +376,14 @@ class EngineMirror:
                     columns[attr] = len(columns)
                     profiles[attr] = ColumnProfile()
 
-        mirror.synced_epoch = epoch
-        mirror.synced_ts = ts
-        mirror.mirrorable = mirrorable
-        mirror.keys = keys
-        mirror.columns = columns
-        mirror.profiles = profiles
-        self.counters.mirror_syncs += 1
         if not mirrorable:
+            mirror.synced_epoch = epoch
+            mirror.synced_ts = ts
+            mirror.mirrorable = False
+            mirror.keys = keys
+            mirror.columns = columns
+            mirror.profiles = profiles
+            self.counters.mirror_syncs += 1
             return
 
         params: list[tuple] = []
@@ -401,17 +403,34 @@ class EngineMirror:
         cols = ", ".join(
             f"c{i}, p{i}" for i in range(len(columns))
         )
-        conn.execute(f'DROP TABLE IF EXISTS "{mirror.sql_name}"')
-        conn.execute(
-            f'CREATE TABLE "{mirror.sql_name}" '
-            f"(ord INTEGER PRIMARY KEY{', ' + cols if cols else ''})"
-        )
-        if params:
-            placeholders = ", ".join("?" * (1 + 2 * len(columns)))
-            conn.executemany(
-                f'INSERT INTO "{mirror.sql_name}" VALUES ({placeholders})',
-                params,
+        try:
+            conn.execute(f'DROP TABLE IF EXISTS "{mirror.sql_name}"')
+            conn.execute(
+                f'CREATE TABLE "{mirror.sql_name}" '
+                f"(ord INTEGER PRIMARY KEY{', ' + cols if cols else ''})"
             )
+            if params:
+                placeholders = ", ".join("?" * (1 + 2 * len(columns)))
+                conn.executemany(
+                    f'INSERT INTO "{mirror.sql_name}" '
+                    f"VALUES ({placeholders})",
+                    params,
+                )
+        except Exception:
+            # the previous SQL table may be half-destroyed (DROP ran,
+            # INSERT failed): never let ensure_synced serve it again
+            mirror.synced_epoch = None
+            raise
+        # only a fully rebuilt snapshot is recorded as fresh; a raise
+        # anywhere above leaves the mirror stale and the next offloaded
+        # query retries (or keeps falling back)
+        mirror.synced_epoch = epoch
+        mirror.synced_ts = ts
+        mirror.mirrorable = True
+        mirror.keys = keys
+        mirror.columns = columns
+        mirror.profiles = profiles
+        self.counters.mirror_syncs += 1
         self.counters.rows_mirrored += len(params)
 
     def read_row(self, table_name: str, key: Any, ts: int) -> Any:

@@ -28,7 +28,7 @@ from typing import Any, Iterator
 
 from repro._util import TOMBSTONE, chunked
 from repro.compile import offload_mode
-from repro.compile.mirror import EngineMirror, TableMirror, mirror_for
+from repro.compile.mirror import EngineMirror, mirror_for
 from repro.compile.sqlgen import (
     CompiledQuery,
     QueryShape,
@@ -195,21 +195,32 @@ class OffloadPipeline:
                 # could not rule out — the batched fold handles it
                 mirror.counters.note_fallback("runtime_error")
                 return None
+            # snapshot the mirror state the ordinals index into while
+            # still holding the lock: a concurrent offloaded query may
+            # resync this TableMirror and replace keys/synced_ts, and
+            # fetched ordinals must decode against the list their SQL
+            # ran over, not whatever a later sync installed
+            mirror_keys = table_mirror.keys
+            synced_ts = table_mirror.synced_ts
         mirror.counters.queries_offloaded += 1
         if compiled.kind == "aggregate":
-            return self._decode_groups(rows, table_mirror, compiled, keys)
-        return self._decode_rows(rows, table_mirror, keys)
+            return self._decode_groups(
+                rows, mirror_keys, synced_ts, compiled, keys
+            )
+        return self._decode_rows(rows, mirror_keys, synced_ts, keys)
 
     def _decode_rows(
-        self, rows: list[tuple], table_mirror: TableMirror, keys: bool
+        self,
+        rows: list[tuple],
+        mirror_keys: list[Any],
+        ts: int,
+        keys: bool,
     ) -> list:
         shape = self._shape
-        mirror_keys = table_mirror.keys
         if keys:
             return [mirror_keys[ordinal] for (ordinal,) in rows]
         relation = shape.relation
         table = relation._engine.table(shape.table_name)
-        ts = table_mirror.synced_ts
         transforms = list(reversed(shape.transforms))  # innermost first
         out: list[tuple] = []
         for (ordinal,) in rows:
@@ -230,7 +241,8 @@ class OffloadPipeline:
     def _decode_groups(
         self,
         rows: list[tuple],
-        table_mirror: TableMirror,
+        mirror_keys: list[Any],
+        ts: int,
         compiled: CompiledQuery,
         keys: bool,
     ) -> list:
@@ -239,7 +251,6 @@ class OffloadPipeline:
         assert fused is not None
         relation = shape.relation
         table = relation._engine.table(shape.table_name)
-        ts = table_mirror.synced_ts
         transforms = list(reversed(shape.transforms))
         by = fused._by
         out: list = []
@@ -250,7 +261,7 @@ class OffloadPipeline:
             # decode the group key from the group's *first* member row:
             # exact Python objects (True stays bool, 1.0 stays float),
             # matching the dict key the naive fold would have kept
-            rep_data = table.read(table_mirror.keys[min_ordinal], ts)
+            rep_data = table.read(mirror_keys[min_ordinal], ts)
             if rep_data is TOMBSTONE or not isinstance(rep_data, dict):
                 continue
             group_key = by.key_of(RowTuple(rep_data, relation._name))
@@ -305,7 +316,16 @@ def try_offload(
             mirror.counters.note_fallback(reason)
             return None
     with mirror.lock:
-        table_mirror = mirror.ensure_synced(shape.table_name, manager.now())
+        try:
+            table_mirror = mirror.ensure_synced(
+                shape.table_name, manager.now()
+            )
+        except Exception:
+            # a failed rebuild (the mirror stays marked stale) falls
+            # back to the batched path, counted — not a planning error
+            # that would degrade the whole query to naive interpretation
+            mirror.counters.note_fallback("sync_error")
+            return None
         if not table_mirror.mirrorable:
             mirror.counters.note_fallback("unmirrorable_rows")
             return None
@@ -322,8 +342,11 @@ def try_offload(
 def explain_offload(fn: Any, optimized: Any) -> list[str]:
     """The ``== offload ==`` section of ``explain()``: the verdict the
     router would reach for *optimized*, with the compiled SQL on
-    success and the decline reason otherwise. Never mutates the
-    fallback counters (explaining a query is not running it)."""
+    success and the decline reason otherwise. Explaining a query is
+    not running it: no fallback counter moves and no mirror sync runs
+    (a sync is a whole-table copy) — the SQL shown is compiled against
+    the existing snapshot's column profiles, with a ``mirror:`` line
+    flagging when that snapshot is stale or absent."""
     from repro.exec.cache import engine_of
 
     mode = offload_mode()
@@ -353,8 +376,22 @@ def explain_offload(fn: Any, optimized: Any) -> list[str]:
             return lines
     mirror = mirror_for(engine)
     with mirror.lock:
-        table_mirror = mirror.ensure_synced(
-            shape.table_name, relation._manager.now()
+        table_mirror = mirror._tables.get(shape.table_name)
+        if table_mirror is None or table_mirror.synced_epoch is None:
+            # compiling needs the snapshot's column profiles, and
+            # explain must not pay (or count) a whole-table copy just
+            # to show the SQL — the first real run syncs and compiles
+            lines.append(f"  verdict: offload ({mirror.backend})")
+            lines.append(
+                "  mirror: not yet synced"
+                " (first run copies the table and compiles the SQL)"
+            )
+            return lines
+        fresh = mirror.is_fresh(shape.table_name)
+        lines.append(
+            "  mirror: fresh"
+            if fresh
+            else "  mirror: stale (next run resyncs and may recompile)"
         )
         if not table_mirror.mirrorable:
             lines.append("  verdict: batched (unmirrorable rows)")

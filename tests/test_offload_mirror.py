@@ -155,6 +155,98 @@ class TestWriteFunnels:
         assert 123 in _offloaded_keys(db)
 
 
+class TestStalenessGranularity:
+    def test_commit_to_other_table_reuses_snapshot(self, db):
+        """The commit clock is global but the epoch is per-table: a
+        commit that never touches ``t`` moves the clock without bumping
+        ``t``'s epoch, and must not force a whole-table re-copy."""
+        db["u"] = {i: {"x": i} for i in range(3)}
+        _offloaded_keys(db)
+        engine = db._engine
+        syncs = offload_stats(engine)["mirror_syncs"]
+        db.u[99] = {"x": 99}  # clock moves; t untouched
+        assert _offloaded_entries(db) == _naive_entries(db)
+        assert offload_stats(engine)["mirror_syncs"] == syncs
+
+    def test_failed_rebuild_is_never_marked_fresh(self, db):
+        """A sync whose SQL rebuild raises must leave the mirror stale
+        (the old SQL table may be half-destroyed), fall back for that
+        query, and rebuild successfully on the next one."""
+        _offloaded_keys(db)
+        engine = db._engine
+        mirror = mirror_for(engine)
+        db.t[99] = {"name": "new", "age": 80, "state": "NY"}
+
+        class _BrokenConn:
+            def __init__(self, real):
+                self._real = real
+
+            def execute(self, *args):
+                return self._real.execute(*args)
+
+            def executemany(self, *args):
+                raise RuntimeError("injected rebuild failure")
+
+        real = mirror.connection()
+        before = offload_stats(engine)
+        mirror._conn = _BrokenConn(real)
+        try:
+            entries = _offloaded_entries(db)
+        finally:
+            mirror._conn = real
+        after = offload_stats(engine)
+        # the batched fallback still served the post-write truth …
+        assert entries == _naive_entries(db)
+        assert after["fallback_reasons"].get("sync_error", 0) > before[
+            "fallback_reasons"
+        ].get("sync_error", 0)
+        # … and the failed rebuild was not recorded as a fresh sync
+        assert not mirror.is_fresh("t")
+        assert after["mirror_syncs"] == before["mirror_syncs"]
+        # the connection restored, the next *newly planned* query
+        # resyncs and offloads (the failed plan was cached as batched,
+        # so an identical query keeps serving the batched fallback)
+        assert _offloaded_entries(db, "age < 25") == _naive_entries(
+            db, "age < 25"
+        )
+        assert mirror.is_fresh("t")
+        assert (
+            offload_stats(engine)["mirror_syncs"]
+            == before["mirror_syncs"] + 1
+        )
+
+
+class TestExplainSideEffects:
+    def test_explain_never_syncs_or_counts(self, db):
+        """``explain()`` must not pay (or count) a whole-table copy:
+        before any offloaded run it reports the mirror as unsynced,
+        and after one it compiles against the existing snapshot."""
+        from repro.exec import explain
+
+        engine = db._engine
+        before = offload_stats(engine)
+        with using_exec_mode("batch"), using_offload_mode("force"):
+            text = explain(fql.filter(db.t, "age >= 30"))
+        after = offload_stats(engine)
+        assert "== offload ==" in text
+        assert "mirror: not yet synced" in text
+        assert after == before  # no syncs, no fallbacks, no offloads
+        # after a real run, explain shows the SQL of the fresh snapshot
+        _offloaded_keys(db)
+        mid = offload_stats(engine)
+        with using_exec_mode("batch"), using_offload_mode("force"):
+            text = explain(fql.filter(db.t, "age >= 30"))
+        assert "mirror: fresh" in text
+        assert "sql:" in text
+        assert offload_stats(engine) == mid
+        # a write stales the snapshot; explain says so without resyncing
+        db.t[99] = {"name": "new", "age": 80, "state": "NY"}
+        with using_exec_mode("batch"), using_offload_mode("force"):
+            text = explain(fql.filter(db.t, "age >= 30"))
+        assert "mirror: stale" in text
+        assert offload_stats(engine)["mirror_syncs"] == mid["mirror_syncs"]
+
+
 class TestExecutionGates:
     def test_open_transaction_falls_back(self, db):
         before = offload_stats(db._engine)
